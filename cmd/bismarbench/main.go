@@ -1,0 +1,43 @@
+// Command bismarbench regenerates the paper's §IV-B Bismar evaluation:
+// the consistency-cost efficiency metric sampled across access patterns
+// and levels (-samples), and the adaptive Bismar tuner against every
+// static level over a phased workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	platform := flag.String("platform", "g5k", "platform preset: g5k (50 nodes) or ec2 (18 VMs)")
+	scale := flag.Float64("scale", 0.02, "operation/record scale factor (1 = paper scale)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	samples := flag.Bool("samples", false, "run the efficiency-metric sampling study instead of the adaptive comparison")
+	flag.Parse()
+
+	var p experiments.Platform
+	switch *platform {
+	case "g5k":
+		p = experiments.G5KCost()
+	case "ec2":
+		p = experiments.EC2Cost()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown platform %q (want g5k or ec2)\n", *platform)
+		os.Exit(2)
+	}
+
+	if *samples {
+		sp := p.Scaled(*scale)
+		fmt.Printf("platform %s: %d nodes, RF %d (scale %.3f)\n", sp.Name, sp.Nodes, sp.RF, *scale)
+		_, table := experiments.RunExpB2Metric(sp, *seed)
+		table.Render(os.Stdout)
+		return
+	}
+	fmt.Printf("platform %s: %d nodes, RF %d (scale %.3f)\n", p.Name, p.Nodes, p.RF, *scale)
+	_, table := experiments.RunExpC(p, *scale, *seed)
+	table.Render(os.Stdout)
+}

@@ -1,0 +1,63 @@
+// Command harmonybench regenerates the paper's §IV-A evaluation: Harmony
+// against static eventual and strong consistency on the EC2 and Grid'5000
+// platform presets, plus the Figure-1 model validation.
+//
+// Paper-scale operation counts run in virtual time but still take a
+// while; -scale trades fidelity for speed (benches use 0.008).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	platform := flag.String("platform", "g5k", "platform preset: g5k (84 nodes) or ec2 (20 VMs)")
+	scale := flag.Float64("scale", 0.02, "operation/record scale factor (1 = paper scale)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	tolStr := flag.String("tolerances", "", "comma-separated tolerated stale rates (default: paper's per-platform values)")
+	validate := flag.Bool("validate", false, "run the Figure-1 model validation instead")
+	flag.Parse()
+
+	if *validate {
+		_, table := experiments.RunFig1Validation(*seed)
+		table.Render(os.Stdout)
+		return
+	}
+
+	var p experiments.Platform
+	var tolerances []float64
+	switch *platform {
+	case "g5k":
+		p = experiments.G5KHarmony()
+		tolerances = []float64{0.20, 0.40}
+	case "ec2":
+		p = experiments.EC2Harmony()
+		tolerances = []float64{0.40, 0.60}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown platform %q (want g5k or ec2)\n", *platform)
+		os.Exit(2)
+	}
+	if *tolStr != "" {
+		tolerances = nil
+		for _, s := range strings.Split(*tolStr, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad tolerance %q: %v\n", s, err)
+				os.Exit(2)
+			}
+			tolerances = append(tolerances, v)
+		}
+	}
+
+	p = p.Scaled(*scale)
+	fmt.Printf("platform %s: %d nodes, RF %d, %d ops, %d client threads (scale %.3f)\n",
+		p.Name, p.Nodes, p.RF, p.Ops, p.Threads, *scale)
+	_, table := experiments.RunExpA(p, tolerances, *seed)
+	table.Render(os.Stdout)
+}

@@ -1,0 +1,125 @@
+// Command storesim runs ad-hoc workloads against the simulated store:
+// pick a topology, replication factor, consistency level (or an adaptive
+// tuner) and a workload mix, and get throughput, latency, staleness,
+// resource usage and the priced bill.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+func parseLevel(s string) (repro.Level, bool) {
+	switch strings.ToUpper(s) {
+	case "ONE":
+		return repro.One, true
+	case "TWO":
+		return repro.Two, true
+	case "THREE":
+		return repro.Three, true
+	case "QUORUM":
+		return repro.Quorum, true
+	case "ALL":
+		return repro.All, true
+	case "LOCAL_QUORUM":
+		return repro.LocalQuorum, true
+	case "EACH_QUORUM":
+		return repro.EachQuorum, true
+	}
+	var k int
+	if _, err := fmt.Sscanf(s, "K(%d)", &k); err == nil && k > 0 {
+		return repro.Count(k), true
+	}
+	return repro.Level{}, false
+}
+
+func main() {
+	topoName := flag.String("topology", "g5k", "topology: g5k, ec2, single, geo")
+	nodes := flag.Int("nodes", 12, "node count")
+	rf := flag.Int("rf", 3, "replication factor")
+	level := flag.String("level", "ONE", "consistency level (ONE, TWO, THREE, QUORUM, ALL, LOCAL_QUORUM, EACH_QUORUM, K(n)) or 'harmony:<alpha>'")
+	readProp := flag.Float64("reads", 0.5, "read proportion of the mix")
+	records := flag.Uint64("records", 10000, "records loaded")
+	ops := flag.Uint64("ops", 100000, "operations to run")
+	threads := flag.Int("threads", 128, "closed-loop client threads")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	theta := flag.Float64("theta", 0.99, "zipfian skew")
+	flag.Parse()
+
+	var topo *repro.Topology
+	switch *topoName {
+	case "g5k":
+		topo = repro.G5KTwoSites(*nodes)
+	case "ec2":
+		topo = repro.EC2TwoAZ(*nodes)
+	case "single":
+		topo = repro.SingleDC(*nodes)
+	case "geo":
+		topo = repro.GeoRegions(*nodes/3, "us-east", "eu-west", "ap-south")
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topoName)
+		os.Exit(2)
+	}
+
+	cfg := repro.Defaults(topo)
+	cfg.RF = *rf
+	cfg.Seed = *seed
+	sim := repro.NewSim(topo, cfg)
+
+	var sess repro.Session
+	var ctl *repro.Controller
+	if alphaStr, ok := strings.CutPrefix(*level, "harmony:"); ok {
+		var alpha float64
+		if _, err := fmt.Sscanf(alphaStr, "%f", &alpha); err != nil {
+			fmt.Fprintf(os.Stderr, "bad harmony tolerance %q\n", alphaStr)
+			os.Exit(2)
+		}
+		sess, ctl = sim.HarmonySession(alpha)
+	} else if lvl, ok := parseLevel(*level); ok {
+		sess = sim.StaticSession(lvl, lvl)
+	} else {
+		fmt.Fprintf(os.Stderr, "bad level %q\n", *level)
+		os.Exit(2)
+	}
+
+	w := repro.MixWorkload(*records, *readProp, 0, *theta)
+	start := time.Now()
+	m, err := sim.RunWorkload(w, sess, *ops, *threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload: %d ops (%.0f%% reads, zipf θ=%.2f) on %d nodes RF %d, level %s\n",
+		m.Ops, 100**readProp, *theta, topo.N(), *rf, *level)
+	fmt.Printf("virtual duration %v (wall %v, %d events)\n",
+		m.Elapsed().Round(time.Millisecond), time.Since(start).Round(time.Millisecond), sim.Engine.Events())
+	fmt.Printf("throughput  %.0f ops/s\n", m.Throughput())
+	fmt.Printf("stale reads %.2f%% (oracle ground truth)\n", 100*m.StaleRate())
+	fmt.Printf("read  lat   %s\n", m.ReadLat.String())
+	fmt.Printf("write lat   %s\n", m.WriteLat.String())
+	fmt.Printf("errors      timeouts=%d unavailable=%d\n", m.Timeouts, m.Unavailable)
+
+	u := sim.Cluster.Usage()
+	fmt.Printf("usage       replicaReads=%d replicaWrites=%d repairs=%d droppedMutations=%d\n",
+		u.ReplicaReads, u.ReplicaWrites, u.ReadRepairs, u.DroppedMuts)
+	meter := sim.Transport.Meter()
+	interDC, interRegion := meter.BilledBytes()
+	bill := experiments.Pricing().Smooth().BillFor(repro.Usage{
+		Nodes:            topo.N(),
+		Duration:         m.Elapsed(),
+		StoredBytes:      float64(u.StoredBytes),
+		InterDCBytes:     float64(interDC),
+		InterRegionBytes: float64(interRegion),
+	})
+	fmt.Printf("bill        %s ($%.4f per M ops)\n", bill, bill.Total()/float64(m.Ops)*1e6)
+	if ctl != nil {
+		fmt.Printf("adaptive    %d decisions, %d level changes\n", len(ctl.Journal()), ctl.LevelChanges())
+	}
+}

@@ -1,0 +1,59 @@
+// Social network: the paper's high-tolerance application. Stale timeline
+// reads are harmless, so the operator cares about the bill. The example
+// compares a static QUORUM deployment against Bismar, which re-prices
+// every consistency level at runtime and keeps the cheapest one whose
+// consistency is still worth paying for.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	topo := repro.G5KTwoSites(20)
+	cfg := repro.Defaults(topo)
+	cfg.RF = 5
+	cfg.Seed = 21
+
+	dep := repro.Deployment{
+		Nodes: 20, RF: 5, Threads: 200, Concurrency: cfg.Concurrency,
+		ReadServiceMean:  800 * time.Microsecond,
+		WriteServiceMean: 500 * time.Microsecond,
+		CoordMean:        80 * time.Microsecond,
+		ClientRTT:        time.Millisecond,
+		ValueBytes:       1024,
+		DatasetBytes:     8 << 30,
+		CrossDCFraction:  0.5,
+		Pricing:          repro.EC2Pricing2013(),
+	}
+
+	run := func(name string, tuner repro.Tuner) {
+		sim := repro.NewSim(topo, cfg)
+		sess, ctl := sim.AdaptiveSession(tuner, 250*time.Millisecond)
+		w := repro.WorkloadB(5000) // read-mostly timeline traffic
+		m, err := sim.RunWorkload(w, sess, 60000, 200)
+		if err != nil {
+			log.Fatal(err)
+		}
+		meter := sim.Transport.Meter()
+		interDC, _ := meter.BilledBytes()
+		// Bill with smooth (unrounded) instance time and normalize per
+		// million operations so runs of different lengths compare.
+		bill := repro.EC2Pricing2013().Smooth().BillFor(repro.Usage{
+			Nodes: 20, Duration: m.Elapsed(),
+			StoredBytes: 8 << 30 * 5, InterDCBytes: float64(interDC),
+		})
+		perM := bill.Total() / float64(m.Ops) * 1e6
+		fmt.Printf("%-14s %6.0f ops/s  stale %.2f%%  level changes %-3d  $%.4f per M ops\n",
+			name, m.Throughput(), 100*m.StaleRate(), ctl.LevelChanges(), perM)
+	}
+
+	fmt.Println("social network timeline service (read-mostly, staleness-tolerant)")
+	run("static QUORUM", repro.NewStaticTuner(repro.Quorum, repro.Quorum))
+	run("static ONE", repro.NewStaticTuner(repro.One, repro.One))
+	run("bismar", repro.NewBismarTuner(dep))
+}

@@ -1,0 +1,128 @@
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func TestSimReadWriteRoundtrip(t *testing.T) {
+	topo := repro.SingleDC(4)
+	cfg := repro.Defaults(topo)
+	cfg.Seed = 5
+	sim := repro.NewSim(topo, cfg)
+	w := sim.Write("k", []byte("v"), repro.Quorum)
+	if w.Err != nil {
+		t.Fatal(w.Err)
+	}
+	r := sim.Read("k", repro.Quorum)
+	if r.Err != nil || string(r.Value) != "v" || r.Stale {
+		t.Fatalf("read: %+v", r)
+	}
+	missing := sim.Read("nope", repro.One)
+	if missing.Err != nil || missing.Exists {
+		t.Fatalf("missing key: %+v", missing)
+	}
+}
+
+func TestSimRunWorkloadWithHarmony(t *testing.T) {
+	topo := repro.G5KTwoSites(8)
+	cfg := repro.Defaults(topo)
+	cfg.Seed = 6
+	sim := repro.NewSim(topo, cfg)
+	sess, ctl := sim.HarmonySession(0.05)
+	m, err := sim.RunWorkload(repro.HeavyReadUpdate(1000), sess, 10000, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ops != 10000 {
+		t.Errorf("ops = %d", m.Ops)
+	}
+	if m.StaleRate() > 0.075 {
+		t.Errorf("stale rate %.3f above tolerance with margin", m.StaleRate())
+	}
+	if len(ctl.Journal()) == 0 {
+		t.Error("controller never ran")
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	run := func() (float64, float64) {
+		topo := repro.EC2TwoAZ(6)
+		cfg := repro.Defaults(topo)
+		cfg.Seed = 7
+		sim := repro.NewSim(topo, cfg)
+		m, err := sim.RunWorkload(repro.WorkloadB(500), sim.StaticSession(repro.One, repro.One), 5000, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Throughput(), m.StaleRate()
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 || s1 != s2 {
+		t.Errorf("same seed diverged: (%f,%f) vs (%f,%f)", t1, s1, t2, s2)
+	}
+}
+
+func TestFacadeBehaviorPipeline(t *testing.T) {
+	topo := repro.SingleDC(4)
+	cfg := repro.Defaults(topo)
+	cfg.Seed = 8
+	sim := repro.NewSim(topo, cfg)
+	col := sim.CollectTrace(0)
+
+	sess := sim.StaticSession(repro.One, repro.One)
+	if _, err := sim.RunWorkload(repro.WorkloadC(500), sess, 4000, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunWorkload(repro.MixWorkload(100, 0.5, 0, 0.99), sess, 4000, 16); err != nil {
+		t.Fatal(err)
+	}
+	tl := repro.BuildTimeline(col.Trace(), 50*time.Millisecond)
+	model, err := repro.BuildBehaviorModel(tl, repro.DefaultBehaviorOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.States) < 2 {
+		t.Errorf("expected ≥2 states, got %d", len(model.States))
+	}
+
+	sim2 := repro.NewSim(topo, cfg)
+	bsess, ctl := sim2.BehaviorSession(model)
+	if _, err := sim2.RunWorkload(repro.WorkloadC(500), bsess, 4000, 16); err != nil {
+		t.Fatal(err)
+	}
+	if len(ctl.Journal()) == 0 {
+		t.Error("behavior session never decided")
+	}
+}
+
+func TestLiveFacade(t *testing.T) {
+	topo := repro.SingleDC(4)
+	cfg := repro.Defaults(topo)
+	cfg.Seed = 9
+	lv := repro.NewLive(topo, cfg, 0.2)
+	defer lv.Close()
+	if w := lv.Write("k", []byte("v"), repro.Quorum); w.Err != nil {
+		t.Fatal(w.Err)
+	}
+	if r := lv.Read("k", repro.One); r.Err != nil || string(r.Value) != "v" {
+		t.Fatalf("live read: %+v", r)
+	}
+	sess, ctl := lv.AdaptiveSession(repro.NewHarmonyTuner(0.1, cfg.RF), 50*time.Millisecond)
+	sess.Write("k2", []byte("x"))
+	if r := sess.Read("k2"); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if ctl == nil {
+		t.Fatal("no controller")
+	}
+}
+
+func TestCountLevelClamp(t *testing.T) {
+	if repro.Count(0) != repro.One || repro.Count(1) != repro.One {
+		t.Error("Count must clamp to ONE")
+	}
+}

@@ -1,0 +1,279 @@
+package behavior
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Normalizer z-scores feature columns so clustering distances are not
+// dominated by large-magnitude features (op rates vs ratios). It is kept
+// in the model so runtime features are projected identically.
+type Normalizer struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitNormalizer learns column statistics from points.
+func FitNormalizer(points [][]float64) Normalizer {
+	if len(points) == 0 {
+		return Normalizer{}
+	}
+	dim := len(points[0])
+	n := Normalizer{Mean: make([]float64, dim), Std: make([]float64, dim)}
+	for _, p := range points {
+		for j, v := range p {
+			n.Mean[j] += v
+		}
+	}
+	for j := range n.Mean {
+		n.Mean[j] /= float64(len(points))
+	}
+	for _, p := range points {
+		for j, v := range p {
+			d := v - n.Mean[j]
+			n.Std[j] += d * d
+		}
+	}
+	for j := range n.Std {
+		n.Std[j] = math.Sqrt(n.Std[j] / float64(len(points)))
+		if n.Std[j] < 1e-12 {
+			n.Std[j] = 1
+		}
+	}
+	return n
+}
+
+// Apply projects a vector into normalized space.
+func (n Normalizer) Apply(v []float64) []float64 {
+	if len(n.Mean) == 0 {
+		return append([]float64(nil), v...)
+	}
+	out := make([]float64, len(v))
+	for j, x := range v {
+		out[j] = (x - n.Mean[j]) / n.Std[j]
+	}
+	return out
+}
+
+// Restore maps a normalized vector back to feature space.
+func (n Normalizer) Restore(v []float64) []float64 {
+	if len(n.Mean) == 0 {
+		return append([]float64(nil), v...)
+	}
+	out := make([]float64, len(v))
+	for j, x := range v {
+		out[j] = x*n.Std[j] + n.Mean[j]
+	}
+	return out
+}
+
+// KMeans is a fitted k-means clustering.
+type KMeans struct {
+	K         int
+	Centroids [][]float64
+	Inertia   float64 // sum of squared distances to assigned centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Assign returns the nearest centroid index for v.
+func (km *KMeans) Assign(v []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for i, c := range km.Centroids {
+		if d := sqDist(v, c); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Cluster runs k-means++ initialization followed by Lloyd iterations.
+// points must be non-empty and of equal dimension.
+func Cluster(points [][]float64, k int, src *stats.Source, maxIters int) (*KMeans, []int) {
+	if k <= 0 {
+		k = 1
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	if maxIters <= 0 {
+		maxIters = 50
+	}
+	km := &KMeans{K: k}
+
+	// k-means++ seeding: first centroid uniform, then proportional to
+	// squared distance from the nearest chosen centroid.
+	first := points[src.IntN(len(points))]
+	km.Centroids = append(km.Centroids, append([]float64(nil), first...))
+	d2 := make([]float64, len(points))
+	for len(km.Centroids) < k {
+		var total float64
+		for i, p := range points {
+			d2[i] = math.Inf(1)
+			for _, c := range km.Centroids {
+				if d := sqDist(p, c); d < d2[i] {
+					d2[i] = d
+				}
+			}
+			total += d2[i]
+		}
+		if total <= 0 {
+			// All remaining points coincide with a centroid.
+			km.Centroids = append(km.Centroids, append([]float64(nil), points[src.IntN(len(points))]...))
+			continue
+		}
+		target := src.Float64() * total
+		var cum float64
+		chosen := len(points) - 1
+		for i, d := range d2 {
+			cum += d
+			if cum >= target {
+				chosen = i
+				break
+			}
+		}
+		km.Centroids = append(km.Centroids, append([]float64(nil), points[chosen]...))
+	}
+
+	assign := make([]int, len(points))
+	dim := len(points[0])
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, p := range points {
+			a := km.Assign(p)
+			if a != assign[i] {
+				assign[i] = a
+				changed = true
+			}
+		}
+		sums := make([][]float64, km.K)
+		counts := make([]int, km.K)
+		for i := range sums {
+			sums[i] = make([]float64, dim)
+		}
+		for i, p := range points {
+			a := assign[i]
+			counts[a]++
+			for j, v := range p {
+				sums[a][j] += v
+			}
+		}
+		for i := range km.Centroids {
+			if counts[i] == 0 {
+				// Re-seed an empty cluster on the farthest point.
+				far, farD := 0, -1.0
+				for pi, p := range points {
+					if d := sqDist(p, km.Centroids[assign[pi]]); d > farD {
+						far, farD = pi, d
+					}
+				}
+				copy(km.Centroids[i], points[far])
+				changed = true
+				continue
+			}
+			for j := range km.Centroids[i] {
+				km.Centroids[i][j] = sums[i][j] / float64(counts[i])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+
+	km.Inertia = 0
+	for i, p := range points {
+		km.Inertia += sqDist(p, km.Centroids[assign[i]])
+	}
+	return km, assign
+}
+
+// Silhouette computes the mean silhouette coefficient of an assignment —
+// the model-selection criterion for choosing k.
+func Silhouette(points [][]float64, assign []int, k int) float64 {
+	if k < 2 || len(points) < 2 {
+		return 0
+	}
+	var total float64
+	var counted int
+	for i, p := range points {
+		var intra, intraN float64
+		interMean := make([]float64, k)
+		interN := make([]float64, k)
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			d := math.Sqrt(sqDist(p, q))
+			if assign[j] == assign[i] {
+				intra += d
+				intraN++
+			} else {
+				interMean[assign[j]] += d
+				interN[assign[j]]++
+			}
+		}
+		if intraN == 0 {
+			// Singleton cluster: the conventional silhouette value is 0,
+			// which penalizes clusterings that shave off lone points.
+			counted++
+			continue
+		}
+		a := intra / intraN
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == assign[i] || interN[c] == 0 {
+				continue
+			}
+			if m := interMean[c] / interN[c]; m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+			counted++
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// SelectK clusters for every k in [kMin, kMax] and returns the clustering
+// with the best silhouette score.
+func SelectK(points [][]float64, kMin, kMax int, src *stats.Source) (*KMeans, []int, float64) {
+	if kMin < 2 {
+		kMin = 2
+	}
+	if kMax > len(points) {
+		kMax = len(points)
+	}
+	var bestKM *KMeans
+	var bestAssign []int
+	bestScore := math.Inf(-1)
+	for k := kMin; k <= kMax; k++ {
+		km, assign := Cluster(points, k, src.StreamN("kmeans", k), 100)
+		score := Silhouette(points, assign, k)
+		// Strict improvement required: ties go to the simpler model.
+		if score > bestScore+1e-9 {
+			bestKM, bestAssign, bestScore = km, assign, score
+		}
+	}
+	if bestKM == nil {
+		bestKM, bestAssign = Cluster(points, 1, src, 10)
+		bestScore = 0
+	}
+	return bestKM, bestAssign, bestScore
+}

@@ -1,0 +1,119 @@
+package behavior
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Persistence for the offline workflow: traces are collected on one day
+// and modeled later, and fitted models ship to the runtime classifier —
+// both cross process boundaries in practice, so both serialize to JSON.
+
+// jsonOp is the wire form of one trace operation.
+type jsonOp struct {
+	AtMicros int64  `json:"t"`
+	Kind     int    `json:"k"`
+	Key      string `json:"key"`
+}
+
+// WriteTo streams the trace as JSON.
+func (t Trace) WriteTo(w io.Writer) (int64, error) {
+	ops := make([]jsonOp, len(t.Ops))
+	for i, op := range t.Ops {
+		ops[i] = jsonOp{AtMicros: int64(op.At / time.Microsecond), Kind: int(op.Kind), Key: op.Key}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(ops); err != nil {
+		return 0, fmt.Errorf("behavior: encoding trace: %w", err)
+	}
+	return 0, nil
+}
+
+// ReadTrace parses a trace written by WriteTo.
+func ReadTrace(r io.Reader) (Trace, error) {
+	var ops []jsonOp
+	if err := json.NewDecoder(r).Decode(&ops); err != nil {
+		return Trace{}, fmt.Errorf("behavior: decoding trace: %w", err)
+	}
+	t := Trace{Ops: make([]Op, len(ops))}
+	for i, op := range ops {
+		t.Ops[i] = Op{
+			At:   time.Duration(op.AtMicros) * time.Microsecond,
+			Kind: OpKind(op.Kind),
+			Key:  op.Key,
+		}
+	}
+	return t, nil
+}
+
+// jsonModel is the wire form of a fitted model. Policies and centroids
+// serialize fully; rules do not (they are code), so a loaded model keeps
+// the policies that were assigned at fit time.
+type jsonModel struct {
+	PeriodMicros int64       `json:"period_us"`
+	NormMean     []float64   `json:"norm_mean"`
+	NormStd      []float64   `json:"norm_std"`
+	Centroids    [][]float64 `json:"centroids"`
+	Silhouette   float64     `json:"silhouette"`
+	States       []jsonState `json:"states"`
+}
+
+type jsonState struct {
+	Name     string  `json:"name"`
+	Policy   int     `json:"policy"`
+	Alpha    float64 `json:"alpha"`
+	RuleName string  `json:"rule"`
+	Periods  int     `json:"periods"`
+}
+
+// WriteTo serializes the fitted model as JSON.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	jm := jsonModel{
+		PeriodMicros: int64(m.PeriodLen / time.Microsecond),
+		NormMean:     m.Norm.Mean,
+		NormStd:      m.Norm.Std,
+		Centroids:    m.KM.Centroids,
+		Silhouette:   m.Silhouette,
+	}
+	for _, s := range m.States {
+		jm.States = append(jm.States, jsonState{
+			Name: s.Name, Policy: int(s.Policy.Kind), Alpha: s.Policy.Alpha,
+			RuleName: s.RuleName, Periods: s.Periods,
+		})
+	}
+	if err := json.NewEncoder(w).Encode(jm); err != nil {
+		return 0, fmt.Errorf("behavior: encoding model: %w", err)
+	}
+	return 0, nil
+}
+
+// ReadModel parses a model written by WriteTo.
+func ReadModel(r io.Reader) (*Model, error) {
+	var jm jsonModel
+	if err := json.NewDecoder(r).Decode(&jm); err != nil {
+		return nil, fmt.Errorf("behavior: decoding model: %w", err)
+	}
+	if len(jm.Centroids) == 0 || len(jm.Centroids) != len(jm.States) {
+		return nil, fmt.Errorf("behavior: model has %d centroids for %d states",
+			len(jm.Centroids), len(jm.States))
+	}
+	m := &Model{
+		PeriodLen:  time.Duration(jm.PeriodMicros) * time.Microsecond,
+		Norm:       Normalizer{Mean: jm.NormMean, Std: jm.NormStd},
+		KM:         &KMeans{K: len(jm.Centroids), Centroids: jm.Centroids},
+		Silhouette: jm.Silhouette,
+	}
+	for i, js := range jm.States {
+		m.States = append(m.States, State{
+			ID:       i,
+			Name:     js.Name,
+			Centroid: featuresFromVector(m.Norm.Restore(jm.Centroids[i])),
+			Policy:   Policy{Kind: PolicyKind(js.Policy), Alpha: js.Alpha},
+			RuleName: js.RuleName,
+			Periods:  js.Periods,
+		})
+	}
+	return m, nil
+}

@@ -1,0 +1,75 @@
+package behavior
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRoundtrip(t *testing.T) {
+	orig := syntheticTrace()
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Ops) != len(orig.Ops) {
+		t.Fatalf("ops %d vs %d", len(back.Ops), len(orig.Ops))
+	}
+	for i := range orig.Ops {
+		if back.Ops[i] != orig.Ops[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, back.Ops[i], orig.Ops[i])
+		}
+	}
+}
+
+func TestModelRoundtripClassifiesIdentically(t *testing.T) {
+	tl := BuildTimeline(syntheticTrace(), time.Second)
+	m, err := BuildModel(tl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.PeriodLen != m.PeriodLen || len(back.States) != len(m.States) {
+		t.Fatalf("shape differs: %v/%d vs %v/%d",
+			back.PeriodLen, len(back.States), m.PeriodLen, len(m.States))
+	}
+	// Every timeline period must classify to the same state id.
+	for i, p := range tl.Periods {
+		if m.Classify(p.Features).ID != back.Classify(p.Features).ID {
+			t.Fatalf("period %d classifies differently after roundtrip", i)
+		}
+	}
+	for i := range m.States {
+		if back.States[i].Policy != m.States[i].Policy {
+			t.Errorf("state %d policy differs: %v vs %v",
+				i, back.States[i].Policy, m.States[i].Policy)
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("not json")); err == nil {
+		t.Error("garbage trace accepted")
+	}
+}
+
+func TestReadModelRejectsInconsistent(t *testing.T) {
+	if _, err := ReadModel(strings.NewReader(`{"centroids":[[1,2]],"states":[]}`)); err == nil {
+		t.Error("inconsistent model accepted")
+	}
+	if _, err := ReadModel(strings.NewReader("{")); err == nil {
+		t.Error("truncated model accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package behavior
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/harmony"
+	"repro/internal/kv"
+	"repro/internal/monitor"
+)
+
+// PolicyKind enumerates the consistency policies a state can be mapped to
+// (§III-C: "policies include geographical policies, Harmony, and static
+// eventual and strong policies").
+type PolicyKind int
+
+// The policy kinds.
+const (
+	// PolicyEventual pins level ONE: fastest, weakest.
+	PolicyEventual PolicyKind = iota
+	// PolicyStrong pins QUORUM reads and writes: every read sees every
+	// acknowledged write.
+	PolicyStrong
+	// PolicyHarmony runs the Harmony tuner with the policy's Alpha.
+	PolicyHarmony
+	// PolicyGeo pins LOCAL_QUORUM: quorum in the coordinator's
+	// datacenter — the geographical policy for geo-concentrated access.
+	PolicyGeo
+)
+
+// Policy is a state's consistency prescription.
+type Policy struct {
+	Kind  PolicyKind
+	Alpha float64 // tolerated stale rate for PolicyHarmony
+}
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p.Kind {
+	case PolicyEventual:
+		return "eventual(ONE)"
+	case PolicyStrong:
+		return "strong(QUORUM)"
+	case PolicyHarmony:
+		return fmt.Sprintf("harmony(α=%.0f%%)", p.Alpha*100)
+	case PolicyGeo:
+		return "geo(LOCAL_QUORUM)"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p.Kind))
+}
+
+// Tuner instantiates the policy as a core.Tuner for a store with
+// replication factor rf.
+func (p Policy) Tuner(rf int) core.Tuner {
+	switch p.Kind {
+	case PolicyStrong:
+		return core.StaticTuner{Read: kv.Quorum, Write: kv.Quorum}
+	case PolicyHarmony:
+		return harmony.New(p.Alpha, rf)
+	case PolicyGeo:
+		return core.StaticTuner{Read: kv.LocalQuorum, Write: kv.LocalQuorum}
+	default:
+		return core.StaticTuner{Read: kv.One, Write: kv.One}
+	}
+}
+
+// Rule maps matching states to a policy; the first matching rule wins.
+// Administrators prepend custom rules to the generic set.
+type Rule struct {
+	Name    string
+	Applies func(f Features) bool
+	Policy  Policy
+}
+
+// GenericRules is the paper's "set of generic predefined rules": states
+// with negligible writes relax to eventual; write-heavy states whose
+// reads chase their writes require strong consistency; everything else
+// gets Harmony with a tolerance scaled to how often reads follow writes.
+func GenericRules() []Rule {
+	return []Rule{
+		{
+			Name:    "read-only",
+			Applies: func(f Features) bool { return f.WriteRate < 0.5 || f.ReadRatio > 0.99 },
+			Policy:  Policy{Kind: PolicyEventual},
+		},
+		{
+			Name: "write-heavy-read-your-writes",
+			Applies: func(f Features) bool {
+				return f.ReadAfterWrite > 0.25 && f.ReadRatio < 0.8
+			},
+			Policy: Policy{Kind: PolicyStrong},
+		},
+		{
+			Name:    "raw-sensitive",
+			Applies: func(f Features) bool { return f.ReadAfterWrite > 0.05 },
+			Policy:  Policy{Kind: PolicyHarmony, Alpha: 0.05},
+		},
+		{
+			Name:    "default-adaptive",
+			Applies: func(Features) bool { return true },
+			Policy:  Policy{Kind: PolicyHarmony, Alpha: 0.20},
+		},
+	}
+}
+
+// policyFor applies the rules in order.
+func policyFor(f Features, rules []Rule) (Policy, string) {
+	for _, r := range rules {
+		if r.Applies(f) {
+			return r.Policy, r.Name
+		}
+	}
+	return Policy{Kind: PolicyHarmony, Alpha: 0.20}, "fallback"
+}
+
+// stateTuner adapts a state's policy into the controller framework with a
+// recognizable name.
+type stateTuner struct {
+	inner core.Tuner
+	label string
+}
+
+func (s stateTuner) Name() string { return s.label }
+func (s stateTuner) Decide(snap monitor.Snapshot) core.Decision {
+	d := s.inner.Decide(snap)
+	d.Reason = s.label + ": " + d.Reason
+	return d
+}

@@ -1,0 +1,116 @@
+package behavior
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kv"
+	"repro/internal/monitor"
+	"repro/internal/storage"
+)
+
+// Transition records a runtime state change.
+type Transition struct {
+	At   time.Duration
+	From int
+	To   int
+}
+
+// RuntimeClassifier is the paper's runtime component: it watches the live
+// access stream, computes the same per-period features as the offline
+// pipeline, classifies the application's current state against the model,
+// and delegates consistency decisions to the state's policy. It
+// implements core.Tuner, so it plugs into the standard controller.
+type RuntimeClassifier struct {
+	Model *Model
+
+	rf        int
+	fz        *Featurizer
+	periodEnd time.Duration
+	started   bool
+
+	current     *State
+	tuners      map[int]core.Tuner
+	transitions []Transition
+
+	// MinOpsPerPeriod guards classification against nearly-idle periods
+	// whose features are noise.
+	MinOpsPerPeriod uint64
+}
+
+// NewRuntimeClassifier returns a classifier for a store with replication
+// factor rf. The initial state is the model's most frequent one.
+func NewRuntimeClassifier(m *Model, rf int) *RuntimeClassifier {
+	rc := &RuntimeClassifier{
+		Model:           m,
+		rf:              rf,
+		fz:              NewFeaturizer(0),
+		tuners:          make(map[int]core.Tuner),
+		MinOpsPerPeriod: 50,
+	}
+	best := 0
+	for i, s := range m.States {
+		if s.Periods > m.States[best].Periods {
+			best = i
+		}
+	}
+	rc.current = &m.States[best]
+	return rc
+}
+
+// Hooks returns the instrumentation hooks feeding the online featurizer.
+func (rc *RuntimeClassifier) Hooks() *kv.Hooks {
+	return &kv.Hooks{
+		ReadStarted: func(now time.Duration, key string) {
+			rc.fz.Observe(Op{At: now, Kind: OpRead, Key: key})
+		},
+		WriteStarted: func(now time.Duration, key string, _ storage.Version, _ int) {
+			rc.fz.Observe(Op{At: now, Kind: OpWrite, Key: key})
+		},
+	}
+}
+
+// Current reports the active state.
+func (rc *RuntimeClassifier) Current() *State { return rc.current }
+
+// Transitions reports the state-change history.
+func (rc *RuntimeClassifier) Transitions() []Transition { return rc.transitions }
+
+// Name implements core.Tuner.
+func (rc *RuntimeClassifier) Name() string { return "behavior-classifier" }
+
+// Decide implements core.Tuner: close out elapsed periods, re-classify,
+// and delegate to the active state's policy tuner.
+func (rc *RuntimeClassifier) Decide(snap monitor.Snapshot) core.Decision {
+	now := snap.Now
+	if !rc.started {
+		rc.started = true
+		rc.fz.Reset(now)
+		rc.periodEnd = now + rc.Model.PeriodLen
+	}
+	for now >= rc.periodEnd {
+		if rc.fz.Ops() >= rc.MinOpsPerPeriod {
+			f := rc.fz.Finish(rc.periodEnd)
+			next := rc.Model.Classify(f)
+			if next.ID != rc.current.ID {
+				rc.transitions = append(rc.transitions, Transition{At: now, From: rc.current.ID, To: next.ID})
+				rc.current = next
+			}
+		}
+		rc.fz.Reset(rc.periodEnd)
+		rc.periodEnd += rc.Model.PeriodLen
+	}
+
+	t, ok := rc.tuners[rc.current.ID]
+	if !ok {
+		t = rc.current.Policy.Tuner(rc.rf)
+		rc.tuners[rc.current.ID] = t
+	}
+	d := t.Decide(snap)
+	d.Reason = fmt.Sprintf("state %d (%s) → %s; %s", rc.current.ID, rc.current.Name,
+		rc.current.Policy.String(), d.Reason)
+	return d
+}
+
+var _ core.Tuner = (*RuntimeClassifier)(nil)

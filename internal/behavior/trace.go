@@ -1,0 +1,82 @@
+// Package behavior implements the paper's third contribution (§III-C):
+// customized consistency by application behavior modeling. An offline
+// pipeline cuts an application's access trace into periods, extracts
+// per-period features, clusters them with k-means into application
+// states, and associates each state with a consistency policy through a
+// rules engine (generic rules plus administrator-supplied custom rules).
+// At runtime a nearest-centroid classifier identifies the current state
+// from the live metric stream and switches the session to the state's
+// policy.
+package behavior
+
+import (
+	"time"
+
+	"repro/internal/kv"
+	"repro/internal/storage"
+)
+
+// OpKind distinguishes trace operations.
+type OpKind int
+
+// Trace operation kinds.
+const (
+	OpRead OpKind = iota
+	OpWrite
+)
+
+// Op is one access-trace record.
+type Op struct {
+	At   time.Duration
+	Kind OpKind
+	Key  string
+}
+
+// Trace is an application access log ordered by time.
+type Trace struct {
+	Ops []Op
+}
+
+// Duration reports the trace's time span.
+func (t Trace) Duration() time.Duration {
+	if len(t.Ops) == 0 {
+		return 0
+	}
+	return t.Ops[len(t.Ops)-1].At - t.Ops[0].At
+}
+
+// Collector records an access trace from live store traffic; register its
+// Hooks on the cluster. Collection is what the paper calls gathering
+// "application data access past traces".
+type Collector struct {
+	trace Trace
+	limit int
+}
+
+// NewCollector returns a collector keeping at most limit operations
+// (0 = unbounded).
+func NewCollector(limit int) *Collector {
+	return &Collector{limit: limit}
+}
+
+// Hooks returns the instrumentation hooks to register.
+func (c *Collector) Hooks() *kv.Hooks {
+	return &kv.Hooks{
+		ReadStarted: func(now time.Duration, key string) {
+			c.add(Op{At: now, Kind: OpRead, Key: key})
+		},
+		WriteStarted: func(now time.Duration, key string, _ storage.Version, _ int) {
+			c.add(Op{At: now, Kind: OpWrite, Key: key})
+		},
+	}
+}
+
+func (c *Collector) add(op Op) {
+	if c.limit > 0 && len(c.trace.Ops) >= c.limit {
+		return
+	}
+	c.trace.Ops = append(c.trace.Ops, op)
+}
+
+// Trace returns the recorded trace.
+func (c *Collector) Trace() Trace { return c.trace }

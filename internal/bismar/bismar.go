@@ -1,0 +1,242 @@
+// Package bismar implements the paper's cost-efficient consistency tuner
+// (§III-B): a model of the per-level monetary cost of running the
+// workload (VM instances + storage + network, the bill decomposition of
+// internal/cost), the consistency-cost efficiency metric
+//
+//	eff(ℓ) = (1 − P_stale(ℓ)) / (Cost(ℓ)/Cost(ALL))
+//
+// (fresh reads bought per normalized dollar), and a tuner that selects
+// the level with the highest efficiency each control period.
+package bismar
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/harmony"
+	"repro/internal/kv"
+	"repro/internal/monitor"
+)
+
+// Deployment captures the operator-known constants of the storage
+// deployment that the cost model needs. Everything here is static
+// configuration a middleware would be given (or read from the cluster
+// config), not runtime measurement.
+type Deployment struct {
+	Nodes       int
+	RF          int
+	Threads     int // closed-loop client threads driving the store
+	Concurrency int // work slots per node
+
+	ReadServiceMean  time.Duration
+	WriteServiceMean time.Duration
+	CoordMean        time.Duration
+	ClientRTT        time.Duration // client↔coordinator round trip
+
+	ValueBytes      int
+	DatasetBytes    float64 // logical dataset size (before replication)
+	CrossDCFraction float64 // fraction of inter-node hops crossing DCs
+
+	Pricing cost.Pricing
+}
+
+const (
+	msgOverhead = 64
+	digestBytes = 80
+)
+
+// Model prices one consistency level under a deployment and a monitoring
+// snapshot.
+type Model struct {
+	Deploy Deployment
+}
+
+// Throughput predicts the sustained operations per second at symmetric
+// level k: the closed-loop limit (threads / mean op latency) capped by
+// the cluster's service capacity, which shrinks as reads fan out to more
+// replicas.
+func (m Model) Throughput(k int, snap monitor.Snapshot) float64 {
+	d := m.Deploy
+	r := readFraction(snap)
+	lat := snap.RankDelays
+	kth := func(i int) time.Duration {
+		if len(lat) == 0 {
+			return time.Millisecond
+		}
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return lat[i]
+	}
+	lRead := d.ClientRTT + d.CoordMean + kth(k-1)
+	lWrite := d.ClientRTT + d.CoordMean + kth(k-1)
+	meanLat := r*lRead.Seconds() + (1-r)*lWrite.Seconds()
+	if meanLat <= 0 {
+		meanLat = 1e-4
+	}
+	closed := float64(d.Threads) / meanLat
+
+	workRead := float64(k)*d.ReadServiceMean.Seconds() + d.CoordMean.Seconds()
+	workWrite := float64(d.RF)*d.WriteServiceMean.Seconds() + d.CoordMean.Seconds()
+	work := r*workRead + (1-r)*workWrite
+	capacity := float64(d.Nodes*d.Concurrency) / work
+
+	return min(closed, capacity)
+}
+
+// NetworkBytesPerOp predicts the billed inter-DC bytes of one operation
+// at symmetric level k.
+func (m Model) NetworkBytesPerOp(k int, snap monitor.Snapshot) float64 {
+	d := m.Deploy
+	r := readFraction(snap)
+	// Read: one data round trip plus k−1 digest round trips.
+	readBytes := float64(2*msgOverhead+len1(d.ValueBytes)) +
+		float64(k-1)*float64(msgOverhead+digestBytes)
+	// Write: the mutation travels to every replica regardless of level.
+	writeBytes := float64(d.RF) * float64(2*msgOverhead+len1(d.ValueBytes))
+	return d.CrossDCFraction * (r*readBytes + (1-r)*writeBytes)
+}
+
+func len1(v int) int {
+	if v <= 0 {
+		return 1024
+	}
+	return v
+}
+
+// CostPerMillionOps predicts the dollars per million operations at
+// symmetric level k: instance-hours for the time the million operations
+// take, prorated replicated storage, and billed network traffic.
+func (m Model) CostPerMillionOps(k int, snap monitor.Snapshot) float64 {
+	d := m.Deploy
+	thr := m.Throughput(k, snap)
+	if thr <= 0 {
+		return 0
+	}
+	duration := time.Duration(1e6 / thr * float64(time.Second))
+	u := cost.Usage{
+		Nodes:        d.Nodes,
+		Duration:     duration,
+		StoredBytes:  d.DatasetBytes * float64(d.RF),
+		InterDCBytes: m.NetworkBytesPerOp(k, snap) * 1e6,
+	}
+	// The tuner compares levels with smooth (per-second) billing; the
+	// coarse hourly rounding is applied to real bills, not to marginal
+	// decisions (see the billing-granularity ablation).
+	return m.Deploy.Pricing.PerSecond().BillFor(u).Total()
+}
+
+func readFraction(snap monitor.Snapshot) float64 {
+	t := snap.ReadRate + snap.WriteRate
+	if t <= 0 {
+		return 0.5
+	}
+	return snap.ReadRate / t
+}
+
+// LevelEval is the per-level outcome of one Bismar evaluation.
+type LevelEval struct {
+	K          int
+	Level      kv.Level
+	Fresh      float64 // 1 − estimated stale rate
+	CostPM     float64 // $ per million ops
+	NormCost   float64 // CostPM / CostPM(ALL)
+	Efficiency float64 // Fresh / NormCost
+}
+
+// Tuner is the Bismar adaptive tuner: argmax-efficiency level selection.
+type Tuner struct {
+	Deploy Deployment
+	// MaxStale optionally caps the estimated stale rate of eligible
+	// levels (1 disables the cap; the metric alone already avoids very
+	// stale levels).
+	MaxStale float64
+	// PerKeyEstimator selects the refined stale estimator.
+	PerKeyEstimator bool
+
+	model Model
+}
+
+// New returns a Bismar tuner over a deployment.
+func New(dep Deployment) *Tuner {
+	return &Tuner{Deploy: dep, MaxStale: 1, model: Model{Deploy: dep}}
+}
+
+// Name implements core.Tuner.
+func (t *Tuner) Name() string { return "bismar" }
+
+// Evaluate scores every symmetric level under the snapshot; exported for
+// the efficiency-metric experiment (Exp B2).
+func (t *Tuner) Evaluate(snap monitor.Snapshot) []LevelEval {
+	rf := t.Deploy.RF
+	evals := make([]LevelEval, 0, rf)
+	costAll := t.model.CostPerMillionOps(rf, snap)
+	for k := 1; k <= rf; k++ {
+		est := harmony.Estimator{RF: rf, WriteK: k, PerKey: t.PerKeyEstimator}
+		stale := est.StaleRate(k, snap)
+		cpm := t.model.CostPerMillionOps(k, snap)
+		norm := 1.0
+		if costAll > 0 {
+			norm = cpm / costAll
+		}
+		e := LevelEval{
+			K:        k,
+			Level:    levelFor(k, rf),
+			Fresh:    1 - stale,
+			CostPM:   cpm,
+			NormCost: norm,
+		}
+		if norm > 0 {
+			e.Efficiency = e.Fresh / norm
+		}
+		evals = append(evals, e)
+	}
+	return evals
+}
+
+// Decide implements core.Tuner: the highest-efficiency level within the
+// staleness cap wins, applied symmetrically to reads and writes (the
+// configuration the paper's cost study sweeps).
+func (t *Tuner) Decide(snap monitor.Snapshot) core.Decision {
+	evals := t.Evaluate(snap)
+	best := evals[len(evals)-1] // ALL is always admissible
+	for _, e := range evals {
+		if 1-e.Fresh > t.MaxStale {
+			continue
+		}
+		if e.Efficiency > best.Efficiency {
+			best = e
+		}
+	}
+	return core.Decision{
+		ReadLevel:          best.Level,
+		WriteLevel:         best.Level,
+		EstimatedStaleRate: 1 - best.Fresh,
+		Efficiency:         best.Efficiency,
+		Reason: fmt.Sprintf("eff(%v)=%.2f (fresh=%.3f, $%.4f/Mops)",
+			best.Level, best.Efficiency, best.Fresh, best.CostPM),
+	}
+}
+
+// levelFor names the canonical Cassandra level for k of rf when one
+// exists, so journals and reports read like the paper.
+func levelFor(k, rf int) kv.Level {
+	switch {
+	case k == 1:
+		return kv.One
+	case k == rf:
+		return kv.All
+	case k == rf/2+1:
+		return kv.Quorum
+	case k == 2:
+		return kv.Two
+	case k == 3:
+		return kv.Three
+	default:
+		return kv.Count(k)
+	}
+}
+
+var _ core.Tuner = (*Tuner)(nil)

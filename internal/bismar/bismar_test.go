@@ -1,0 +1,141 @@
+package bismar
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/monitor"
+)
+
+func testDeployment() Deployment {
+	return Deployment{
+		Nodes: 18, RF: 5, Threads: 200, Concurrency: 2,
+		ReadServiceMean:  8 * time.Millisecond,
+		WriteServiceMean: 6 * time.Millisecond,
+		CoordMean:        300 * time.Microsecond,
+		ClientRTT:        time.Millisecond,
+		ValueBytes:       1024,
+		DatasetBytes:     24 << 30,
+		CrossDCFraction:  0.5,
+		Pricing:          cost.EC2East2013(),
+	}
+}
+
+func snap(writeRate float64, delaysMs ...int) monitor.Snapshot {
+	d := make([]time.Duration, len(delaysMs))
+	for i, ms := range delaysMs {
+		d[i] = time.Duration(ms) * time.Millisecond
+	}
+	return monitor.Snapshot{
+		ReadRate:     writeRate, // 50/50 mix
+		WriteRate:    writeRate,
+		RankDelays:   d,
+		TailKeys:     1,
+		TailReadShr:  1,
+		TailWriteRte: writeRate,
+	}
+}
+
+func TestThroughputDecreasesWithLevel(t *testing.T) {
+	m := Model{Deploy: testDeployment()}
+	s := snap(500, 1, 3, 8, 20, 60)
+	prev := 0.0
+	for k := 1; k <= 5; k++ {
+		thr := m.Throughput(k, s)
+		if thr <= 0 {
+			t.Fatalf("k=%d: throughput %f", k, thr)
+		}
+		if k > 1 && thr > prev+1e-9 {
+			t.Errorf("throughput increased with level: k=%d %f > %f", k, thr, prev)
+		}
+		prev = thr
+	}
+}
+
+func TestCostIncreasesWithLevel(t *testing.T) {
+	m := Model{Deploy: testDeployment()}
+	s := snap(500, 1, 3, 8, 20, 60)
+	prev := 0.0
+	for k := 1; k <= 5; k++ {
+		c := m.CostPerMillionOps(k, s)
+		if c <= 0 {
+			t.Fatalf("k=%d: cost %f", k, c)
+		}
+		if k > 1 && c < prev-1e-9 {
+			t.Errorf("cost decreased with level: k=%d %f < %f", k, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestNetworkBytesGrowWithLevel(t *testing.T) {
+	m := Model{Deploy: testDeployment()}
+	s := snap(500, 1, 3, 8, 20, 60)
+	if m.NetworkBytesPerOp(5, s) <= m.NetworkBytesPerOp(1, s) {
+		t.Error("digest traffic must grow with read level")
+	}
+}
+
+func TestEvaluateNormalizesAgainstAll(t *testing.T) {
+	tn := New(testDeployment())
+	evals := tn.Evaluate(snap(500, 1, 3, 8, 20, 60))
+	if len(evals) != 5 {
+		t.Fatalf("evals = %d", len(evals))
+	}
+	last := evals[len(evals)-1]
+	if last.NormCost < 0.999 || last.NormCost > 1.001 {
+		t.Errorf("ALL norm cost = %f, want 1", last.NormCost)
+	}
+	if last.Fresh < 0.999 {
+		t.Errorf("ALL must be fresh: %f", last.Fresh)
+	}
+	for _, e := range evals {
+		if e.Efficiency < 0 {
+			t.Errorf("negative efficiency: %+v", e)
+		}
+	}
+}
+
+func TestDecidePrefersOneWhenQuiet(t *testing.T) {
+	tn := New(testDeployment())
+	d := tn.Decide(snap(0.1, 1, 2, 3, 4, 5)) // negligible writes: ONE is fresh and cheap
+	if d.ReadLevel.Replicas(5) != 1 {
+		t.Errorf("quiet workload should pick ONE, got %v", d.ReadLevel)
+	}
+	if d.Efficiency <= 0 {
+		t.Error("efficiency not reported")
+	}
+}
+
+func TestDecideAvoidsVeryStaleOneUnderPressure(t *testing.T) {
+	tn := New(testDeployment())
+	// Per-key write pressure high and propagation slow: ONE is mostly
+	// stale, so its efficiency collapses below stronger levels.
+	s := snap(2000, 1, 150, 300, 450, 600)
+	d := tn.Decide(s)
+	if d.ReadLevel.Replicas(5) == 1 {
+		t.Errorf("heavily stale ONE chosen: est stale %.3f", d.EstimatedStaleRate)
+	}
+}
+
+func TestMaxStaleCapFiltersLevels(t *testing.T) {
+	tn := New(testDeployment())
+	tn.MaxStale = 0.001
+	s := snap(2000, 1, 150, 300, 450, 600)
+	d := tn.Decide(s)
+	if d.EstimatedStaleRate > 0.001 {
+		t.Errorf("cap violated: %f", d.EstimatedStaleRate)
+	}
+}
+
+func TestLevelForNames(t *testing.T) {
+	if levelFor(1, 5).String() != "ONE" || levelFor(3, 5).String() != "QUORUM" ||
+		levelFor(5, 5).String() != "ALL" || levelFor(4, 5).String() != "K(4)" ||
+		levelFor(2, 5).String() != "TWO" {
+		t.Error("level naming wrong")
+	}
+	if New(testDeployment()).Name() != "bismar" {
+		t.Error("tuner name")
+	}
+}

@@ -1,0 +1,167 @@
+// Package core is the adaptive consistency framework the paper's tuners
+// plug into: a Tuner turns monitor snapshots into consistency-level
+// decisions, and a Controller re-evaluates the tuner periodically and
+// applies its decision to every operation of a session. Harmony
+// (internal/harmony) and Bismar (internal/bismar) are Tuner
+// implementations; static levels are wrapped by StaticTuner so the
+// baselines run through the same machinery.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kv"
+	"repro/internal/monitor"
+)
+
+// Clock is the scheduling surface controllers need.
+type Clock interface {
+	Now() time.Duration
+	Schedule(d time.Duration, fn func())
+}
+
+// Decision is a tuner's output for one control period.
+type Decision struct {
+	ReadLevel  kv.Level
+	WriteLevel kv.Level
+	// EstimatedStaleRate is the tuner's own prediction of the stale-read
+	// fraction under the chosen levels.
+	EstimatedStaleRate float64
+	// Efficiency is the consistency-cost efficiency of the chosen level
+	// (Bismar); zero for tuners that do not price levels.
+	Efficiency float64
+	// Reason summarizes why the levels were chosen, for journals.
+	Reason string
+}
+
+// Tuner decides consistency levels from monitoring snapshots.
+type Tuner interface {
+	// Name identifies the tuner in reports.
+	Name() string
+	// Decide inspects a snapshot and returns the levels to use until the
+	// next control period.
+	Decide(snap monitor.Snapshot) Decision
+}
+
+// StaticTuner pins fixed levels (the paper's static baselines).
+type StaticTuner struct {
+	Read  kv.Level
+	Write kv.Level
+}
+
+// Name implements Tuner.
+func (s StaticTuner) Name() string {
+	return fmt.Sprintf("static-%v/%v", s.Read, s.Write)
+}
+
+// Decide implements Tuner.
+func (s StaticTuner) Decide(monitor.Snapshot) Decision {
+	return Decision{ReadLevel: s.Read, WriteLevel: s.Write, Reason: "static"}
+}
+
+// JournalEntry records one control decision with the snapshot highlights
+// that led to it.
+type JournalEntry struct {
+	At        time.Duration
+	Decision  Decision
+	ReadRate  float64
+	WriteRate float64
+	Tp        time.Duration
+}
+
+// Controller periodically re-evaluates a tuner and exposes the current
+// decision to adaptive sessions. Not safe for concurrent use; the engine
+// serializes access.
+type Controller struct {
+	Monitor  *monitor.Monitor
+	Tuner    Tuner
+	Clock    Clock
+	Interval time.Duration
+
+	cur          Decision
+	journal      []JournalEntry
+	levelChanges int
+	started      bool
+	stopped      bool
+}
+
+// NewController wires a controller; interval ≤ 0 defaults to one second.
+func NewController(mon *monitor.Monitor, tuner Tuner, clock Clock, interval time.Duration) *Controller {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Controller{
+		Monitor:  mon,
+		Tuner:    tuner,
+		Clock:    clock,
+		Interval: interval,
+		// Before the first snapshot the safest posture is the strongest
+		// level; the first control tick relaxes it as soon as evidence
+		// arrives.
+		cur: Decision{ReadLevel: kv.Quorum, WriteLevel: kv.One, Reason: "bootstrap"},
+	}
+}
+
+// Start begins the control loop: an immediate evaluation, then one per
+// interval.
+func (c *Controller) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.tick()
+}
+
+// Stop halts rescheduling after the next tick fires.
+func (c *Controller) Stop() { c.stopped = true }
+
+func (c *Controller) tick() {
+	if c.stopped {
+		return
+	}
+	snap := c.Monitor.Snapshot()
+	d := c.Tuner.Decide(snap)
+	if d.ReadLevel != c.cur.ReadLevel || d.WriteLevel != c.cur.WriteLevel {
+		c.levelChanges++
+	}
+	c.cur = d
+	c.journal = append(c.journal, JournalEntry{
+		At:        snap.Now,
+		Decision:  d,
+		ReadRate:  snap.ReadRate,
+		WriteRate: snap.WriteRate,
+		Tp:        snap.PropagationTime(),
+	})
+	c.Clock.Schedule(c.Interval, c.tick)
+}
+
+// Current reports the decision in force.
+func (c *Controller) Current() Decision { return c.cur }
+
+// Journal returns the decision history.
+func (c *Controller) Journal() []JournalEntry { return c.journal }
+
+// LevelChanges reports how many times the decision changed.
+func (c *Controller) LevelChanges() int { return c.levelChanges }
+
+// Session returns a session that stamps every operation with the
+// controller's current levels — the adaptive middleware of the paper.
+func (c *Controller) Session(cluster *kv.Cluster) kv.Session {
+	return adaptiveSession{ctl: c, cluster: cluster}
+}
+
+type adaptiveSession struct {
+	ctl     *Controller
+	cluster *kv.Cluster
+}
+
+// Read implements kv.Session with the current adaptive read level.
+func (s adaptiveSession) Read(key string, cb func(kv.ReadResult)) {
+	s.cluster.Read(key, s.ctl.cur.ReadLevel, cb)
+}
+
+// Write implements kv.Session with the current adaptive write level.
+func (s adaptiveSession) Write(key string, value []byte, cb func(kv.WriteResult)) {
+	s.cluster.Write(key, value, s.ctl.cur.WriteLevel, cb)
+}

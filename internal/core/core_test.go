@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/kv"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// flipTuner alternates between two levels on every decision.
+type flipTuner struct {
+	n int
+}
+
+func (f *flipTuner) Name() string { return "flip" }
+func (f *flipTuner) Decide(monitor.Snapshot) Decision {
+	f.n++
+	if f.n%2 == 1 {
+		return Decision{ReadLevel: kv.One, WriteLevel: kv.One, Reason: "odd"}
+	}
+	return Decision{ReadLevel: kv.Quorum, WriteLevel: kv.One, Reason: "even"}
+}
+
+func newControllerHarness(t *testing.T, tuner Tuner, interval time.Duration) (*sim.Engine, *Controller, *kv.Cluster) {
+	t.Helper()
+	eng := sim.New(1)
+	topo := netsim.SingleDC(3)
+	tr := netsim.NewTransport(eng, topo)
+	cfg := kv.DefaultConfig()
+	cfg.HintReplayInterval = 0
+	cfg.AntiEntropyInterval = 0
+	cl := kv.New(topo, tr, cfg)
+	mon := monitor.New(cl.RF(), tr, monitor.DefaultOptions())
+	cl.AddHooks(mon.Hooks())
+	ctl := NewController(mon, tuner, tr, interval)
+	return eng, ctl, cl
+}
+
+func TestControllerTicksAndJournals(t *testing.T) {
+	eng, ctl, _ := newControllerHarness(t, &flipTuner{}, 100*time.Millisecond)
+	ctl.Start()
+	eng.RunUntil(time.Second)
+	ctl.Stop()
+	j := ctl.Journal()
+	if len(j) < 10 || len(j) > 12 {
+		t.Errorf("journal entries = %d, want ≈11", len(j))
+	}
+	// Flip tuner changes level on every tick.
+	if ctl.LevelChanges() < len(j)-1 {
+		t.Errorf("level changes = %d over %d decisions", ctl.LevelChanges(), len(j))
+	}
+	for i := 1; i < len(j); i++ {
+		if j[i].At-j[i-1].At != 100*time.Millisecond {
+			t.Errorf("tick spacing %v", j[i].At-j[i-1].At)
+		}
+	}
+}
+
+func TestControllerStopHaltsTicks(t *testing.T) {
+	eng, ctl, _ := newControllerHarness(t, StaticTuner{Read: kv.One, Write: kv.One}, 50*time.Millisecond)
+	ctl.Start()
+	eng.RunUntil(200 * time.Millisecond)
+	ctl.Stop()
+	n := len(ctl.Journal())
+	eng.RunUntil(time.Second)
+	if len(ctl.Journal()) > n+1 {
+		t.Errorf("controller kept ticking after Stop: %d → %d", n, len(ctl.Journal()))
+	}
+}
+
+func TestControllerStartIdempotent(t *testing.T) {
+	eng, ctl, _ := newControllerHarness(t, StaticTuner{Read: kv.One, Write: kv.One}, 100*time.Millisecond)
+	ctl.Start()
+	ctl.Start()
+	eng.RunUntil(350 * time.Millisecond)
+	ctl.Stop()
+	if n := len(ctl.Journal()); n > 5 {
+		t.Errorf("double Start doubled ticks: %d", n)
+	}
+}
+
+func TestAdaptiveSessionUsesCurrentLevels(t *testing.T) {
+	eng, ctl, cl := newControllerHarness(t, &flipTuner{}, 100*time.Millisecond)
+	var levels []kv.Level
+	cl.AddHooks(&kv.Hooks{ReadCompleted: func(_ time.Duration, res kv.ReadResult) {
+		levels = append(levels, res.Level)
+	}})
+	ctl.Start()
+	sess := ctl.Session(cl)
+
+	// One read per control period.
+	for i := 0; i < 6; i++ {
+		sess.Read("k", func(kv.ReadResult) {})
+		eng.RunFor(100 * time.Millisecond)
+	}
+	ctl.Stop()
+	eng.RunFor(time.Second)
+
+	sawOne, sawQuorum := false, false
+	for _, l := range levels {
+		switch l {
+		case kv.One:
+			sawOne = true
+		case kv.Quorum:
+			sawQuorum = true
+		}
+	}
+	if !sawOne || !sawQuorum {
+		t.Errorf("adaptive session did not follow tuner flips: %v", levels)
+	}
+}
+
+func TestStaticTuner(t *testing.T) {
+	s := StaticTuner{Read: kv.Quorum, Write: kv.One}
+	d := s.Decide(monitor.Snapshot{})
+	if d.ReadLevel != kv.Quorum || d.WriteLevel != kv.One {
+		t.Errorf("decision = %+v", d)
+	}
+	if s.Name() != "static-QUORUM/ONE" {
+		t.Errorf("name = %s", s.Name())
+	}
+}
+
+func TestBootstrapDecisionIsSafe(t *testing.T) {
+	_, ctl, _ := newControllerHarness(t, StaticTuner{Read: kv.One, Write: kv.One}, time.Second)
+	// Before Start, the posture must be the conservative bootstrap.
+	if ctl.Current().ReadLevel != kv.Quorum {
+		t.Errorf("bootstrap read level = %v", ctl.Current().ReadLevel)
+	}
+}

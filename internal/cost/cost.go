@@ -1,0 +1,120 @@
+// Package cost implements the monetary-cost substrate of the paper's
+// §III-B: a cloud pricing catalog and the decomposition of a storage
+// deployment's bill into the three parts the paper identifies — VM
+// instances, storage, and network — computed from metered resource usage.
+package cost
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// GB is one gigabyte in bytes.
+const GB = 1 << 30
+
+// HoursPerMonth converts GB-month storage prices to per-hour proration
+// (730 h, the cloud-billing convention).
+const HoursPerMonth = 730.0
+
+// Pricing is a cloud price catalog. All prices in dollars.
+type Pricing struct {
+	Name string
+
+	// InstanceHour is the on-demand price of one storage VM per hour.
+	InstanceHour float64
+	// BillingGranularity rounds instance time up per node (2013-era EC2
+	// billed whole hours; set time.Second for modern per-second billing).
+	BillingGranularity time.Duration
+
+	// StorageGBMonth is the block-storage price per GB-month, prorated
+	// by run duration.
+	StorageGBMonth float64
+
+	// InterDCPerGB prices traffic between availability zones of one
+	// region; InterRegionPerGB prices WAN traffic between regions.
+	InterDCPerGB     float64
+	InterRegionPerGB float64
+}
+
+// EC2East2013 is the paper-era us-east-1 catalog: m1.large on-demand at
+// $0.24/h, EBS standard at $0.10/GB-month, $0.01/GB between availability
+// zones and $0.02/GB between regions.
+func EC2East2013() Pricing {
+	return Pricing{
+		Name:               "ec2-us-east-1-2013",
+		InstanceHour:       0.24,
+		BillingGranularity: time.Hour,
+		StorageGBMonth:     0.10,
+		InterDCPerGB:       0.01,
+		InterRegionPerGB:   0.02,
+	}
+}
+
+// PerSecond returns a copy of p with per-second instance billing, the
+// ablation knob for billing granularity.
+func (p Pricing) PerSecond() Pricing {
+	p.BillingGranularity = time.Second
+	p.Name += "+per-second"
+	return p
+}
+
+// Smooth returns a copy of p with exact (unrounded) instance billing;
+// normalized per-operation comparisons use it so short scaled runs are
+// not quantized by the billing unit.
+func (p Pricing) Smooth() Pricing {
+	p.BillingGranularity = time.Nanosecond
+	p.Name += "+smooth"
+	return p
+}
+
+// Usage is the metered consumption a bill is computed from.
+type Usage struct {
+	Nodes            int
+	Duration         time.Duration
+	StoredBytes      float64 // logical dataset size resident on disk (replicas included)
+	InterDCBytes     float64
+	InterRegionBytes float64
+}
+
+// Bill is the paper's three-part decomposition.
+type Bill struct {
+	Instances float64
+	Storage   float64
+	Network   float64
+}
+
+// Total sums the parts.
+func (b Bill) Total() float64 { return b.Instances + b.Storage + b.Network }
+
+// String renders the decomposition.
+func (b Bill) String() string {
+	return fmt.Sprintf("$%.4f (vm $%.4f + storage $%.4f + network $%.4f)",
+		b.Total(), b.Instances, b.Storage, b.Network)
+}
+
+// BillFor prices a usage record under the catalog.
+func (p Pricing) BillFor(u Usage) Bill {
+	var b Bill
+	if u.Nodes > 0 && u.Duration > 0 {
+		g := p.BillingGranularity
+		if g <= 0 {
+			g = time.Hour
+		}
+		units := math.Ceil(float64(u.Duration) / float64(g))
+		b.Instances = float64(u.Nodes) * units * p.InstanceHour * (float64(g) / float64(time.Hour))
+	}
+	b.Storage = (u.StoredBytes / GB) * p.StorageGBMonth * (u.Duration.Hours() / HoursPerMonth)
+	b.Network = (u.InterDCBytes/GB)*p.InterDCPerGB + (u.InterRegionBytes/GB)*p.InterRegionPerGB
+	return b
+}
+
+// PerMillionOps normalizes a bill to dollars per million operations, the
+// unit Bismar compares levels in (runs at different levels take different
+// wall-clock times, so absolute bills are not comparable).
+func PerMillionOps(b Bill, ops uint64) float64 {
+	if ops == 0 {
+		return 0
+	}
+	return b.Total() / float64(ops) * 1e6
+}

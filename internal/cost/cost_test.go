@@ -1,0 +1,110 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBillInstancesHourlyRounding(t *testing.T) {
+	p := EC2East2013()
+	u := Usage{Nodes: 10, Duration: 90 * time.Minute}
+	b := p.BillFor(u)
+	// 90 min rounds to 2 hours: 10 × 2 × $0.24.
+	if math.Abs(b.Instances-4.80) > 1e-9 {
+		t.Errorf("instances = %f, want 4.80", b.Instances)
+	}
+}
+
+func TestBillPerSecondAndSmooth(t *testing.T) {
+	u := Usage{Nodes: 10, Duration: 90 * time.Minute}
+	ps := EC2East2013().PerSecond().BillFor(u)
+	want := 10 * 1.5 * 0.24
+	if math.Abs(ps.Instances-want) > 0.001 {
+		t.Errorf("per-second instances = %f, want %f", ps.Instances, want)
+	}
+	sm := EC2East2013().Smooth().BillFor(u)
+	if math.Abs(sm.Instances-want) > 1e-9 {
+		t.Errorf("smooth instances = %f, want %f", sm.Instances, want)
+	}
+}
+
+func TestBillStorageProrated(t *testing.T) {
+	p := EC2East2013().Smooth()
+	u := Usage{Nodes: 1, Duration: 730 * time.Hour, StoredBytes: 100 * GB}
+	b := p.BillFor(u)
+	// A full month of 100 GB at $0.10/GB-month.
+	if math.Abs(b.Storage-10.0) > 1e-6 {
+		t.Errorf("storage = %f, want 10.0", b.Storage)
+	}
+}
+
+func TestBillNetworkTiers(t *testing.T) {
+	p := EC2East2013()
+	u := Usage{InterDCBytes: 100 * GB, InterRegionBytes: 50 * GB}
+	b := p.BillFor(u)
+	if math.Abs(b.Network-(100*0.01+50*0.02)) > 1e-9 {
+		t.Errorf("network = %f", b.Network)
+	}
+}
+
+func TestBillTotalIsSumProperty(t *testing.T) {
+	p := EC2East2013()
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(func(nodes uint8, mins uint16, gb, dcGB, regGB uint16) bool {
+		u := Usage{
+			Nodes:            int(nodes),
+			Duration:         time.Duration(mins) * time.Minute,
+			StoredBytes:      float64(gb) * GB,
+			InterDCBytes:     float64(dcGB) * GB,
+			InterRegionBytes: float64(regGB) * GB,
+		}
+		b := p.BillFor(u)
+		if b.Instances < 0 || b.Storage < 0 || b.Network < 0 {
+			return false
+		}
+		return math.Abs(b.Total()-(b.Instances+b.Storage+b.Network)) < 1e-9
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBillMonotoneInDurationProperty(t *testing.T) {
+	p := EC2East2013().PerSecond()
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(func(minsA, minsB uint16) bool {
+		if minsA > minsB {
+			minsA, minsB = minsB, minsA
+		}
+		ua := Usage{Nodes: 5, Duration: time.Duration(minsA) * time.Minute, StoredBytes: GB}
+		ub := Usage{Nodes: 5, Duration: time.Duration(minsB) * time.Minute, StoredBytes: GB}
+		return p.BillFor(ua).Total() <= p.BillFor(ub).Total()+1e-9
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerMillionOps(t *testing.T) {
+	b := Bill{Instances: 2, Storage: 1, Network: 1}
+	if got := PerMillionOps(b, 2_000_000); math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("per-M = %f", got)
+	}
+	if PerMillionOps(b, 0) != 0 {
+		t.Error("zero ops must price zero")
+	}
+}
+
+func TestZeroUsageZeroBill(t *testing.T) {
+	if total := EC2East2013().BillFor(Usage{}).Total(); total != 0 {
+		t.Errorf("empty usage billed %f", total)
+	}
+}
+
+func TestBillString(t *testing.T) {
+	s := Bill{Instances: 1, Storage: 0.5, Network: 0.25}.String()
+	if !strings.Contains(s, "1.75") {
+		t.Errorf("bill string: %s", s)
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harmony"
+	"repro/internal/kv"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+	"repro/internal/ycsb"
+)
+
+// Ablations for the design choices DESIGN.md calls out. Each returns a
+// rendered table; benches assert their orderings.
+
+// RunAblationDigestReads compares QUORUM reads with and without digest
+// reads: digests trade a little latency risk (mismatch refetches) for a
+// large cut in replica-to-coordinator bytes. A read-mostly mix is used so
+// the read path dominates the traffic being compared.
+func RunAblationDigestReads(p Platform, seed uint64) ([2]RunResult, *Table) {
+	w := ycsb.Mix(p.Records, 0.95, ycsb.DistZipfian, 0.99)
+	w.ValueSize = p.ValueBytes
+	var results [2]RunResult
+	for i, digest := range []bool{true, false} {
+		d := digest
+		results[i] = Run(RunSpec{
+			Platform: p,
+			Tuner:    core.StaticTuner{Read: kv.Quorum, Write: kv.One},
+			Workload: w,
+			Seed:     seed,
+			Mutate:   func(c *kv.Config) { c.DigestReads = d },
+		})
+	}
+	t := NewTable("Ablation: digest reads (QUORUM reads, "+p.Name+")",
+		"digest reads", "throughput(op/s)", "bytes/op (billed)", "read mean")
+	for i, digest := range []bool{true, false} {
+		r := results[i]
+		perOp := float64(r.Traffic.Bytes[netsim.InterDC]+r.Traffic.Bytes[netsim.InterRegion]) /
+			float64(r.Metrics.Ops)
+		t.Add(fmt.Sprint(digest), fmt.Sprintf("%.0f", r.Metrics.Throughput()),
+			fmt.Sprintf("%.0f", perOp), r.Metrics.ReadLat.Mean().Round(10*time.Microsecond))
+	}
+	return results, t
+}
+
+// RunAblationReadRepair measures how much read repair and the global
+// repair chance curb staleness at level ONE.
+func RunAblationReadRepair(p Platform, seed uint64) *Table {
+	type variant struct {
+		name   string
+		repair bool
+		global float64
+	}
+	variants := []variant{
+		{"off", false, 0},
+		{"contacted-only", true, 0},
+		{"contacted+10% global", true, 0.1},
+		{"contacted+50% global", true, 0.5},
+	}
+	t := NewTable("Ablation: read repair (level ONE, "+p.Name+")",
+		"read repair", "stale reads", "repair writes", "throughput(op/s)")
+	for _, v := range variants {
+		v := v
+		res := Run(RunSpec{
+			Platform: p,
+			Tuner:    core.StaticTuner{Read: kv.One, Write: kv.One},
+			Seed:     seed,
+			Mutate: func(c *kv.Config) {
+				c.ReadRepair = v.repair
+				c.GlobalRepairChance = v.global
+			},
+		})
+		t.Add(v.name, pct(res.Metrics.StaleRate()), res.Usage.ReadRepairs,
+			fmt.Sprintf("%.0f", res.Metrics.Throughput()))
+	}
+	return t
+}
+
+// RunAblationMonitorWindow sweeps the monitor's rate-estimation window:
+// short windows adapt faster but flap levels; long windows lag behind
+// workload shifts.
+func RunAblationMonitorWindow(p Platform, seed uint64) *Table {
+	t := NewTable("Ablation: monitor window (harmony α=20%, "+p.Name+")",
+		"window", "level changes", "avg read k", "stale reads", "throughput(op/s)")
+	for _, window := range []time.Duration{2 * time.Second, 10 * time.Second, 30 * time.Second} {
+		opts := monitor.DefaultOptions()
+		opts.Window = window
+		res := Run(RunSpec{
+			Platform:    p,
+			Tuner:       harmony.New(0.20, p.RF),
+			Seed:        seed,
+			MonitorOpts: &opts,
+		})
+		t.Add(window, res.LevelChanges, fmt.Sprintf("%.2f", res.AvgReadK),
+			pct(res.Metrics.StaleRate()), fmt.Sprintf("%.0f", res.Metrics.Throughput()))
+	}
+	return t
+}
+
+// RunAblationBillingGranularity contrasts 2013 whole-hour instance
+// billing with per-second billing on the per-level bills of Exp B1.
+func RunAblationBillingGranularity(rows []ExpB1Row) *Table {
+	hourly := Pricing()
+	t := NewTable("Ablation: instance billing granularity (Exp B1 usages)",
+		"level", "duration", "$ hourly-rounded", "$ per-second", "hourly/per-second")
+	for _, r := range rows {
+		hb := hourly.BillFor(r.Usage)
+		ratio := 0.0
+		if r.Bill.Total() > 0 {
+			ratio = hb.Total() / r.Bill.Total()
+		}
+		t.Add(r.Level.String(), r.Usage.Duration.Round(time.Second),
+			fmt.Sprintf("%.3f", hb.Total()), fmt.Sprintf("%.3f", r.Bill.Total()),
+			fmt.Sprintf("%.2f", ratio))
+	}
+	t.Note("hour rounding inflates short runs' bills and quantizes level differences; Bismar decides on smooth costs")
+	return t
+}
+
+// RunAblationPerKeyRates compares Harmony's aggregate estimator (the
+// paper's) against the per-key refinement: the refinement holds lower
+// levels for the same tolerance because reads of cold keys stop
+// inheriting hot-key staleness.
+func RunAblationPerKeyRates(p Platform, alpha float64, seed uint64) ([2]RunResult, *Table) {
+	var results [2]RunResult
+	tuners := []core.Tuner{
+		harmony.New(alpha, p.RF),
+		harmony.New(alpha, p.RF).PerKey(),
+	}
+	for i, tn := range tuners {
+		results[i] = Run(RunSpec{Platform: p, Tuner: tn, Seed: seed})
+	}
+	t := NewTable(fmt.Sprintf("Ablation: aggregate vs per-key estimation (harmony α=%.0f%%, %s)", alpha*100, p.Name),
+		"estimator", "avg read k", "stale reads", "throughput(op/s)", "level changes")
+	for i, name := range []string{"aggregate (paper)", "per-key (refined)"} {
+		r := results[i]
+		t.Add(name, fmt.Sprintf("%.2f", r.AvgReadK), pct(r.Metrics.StaleRate()),
+			fmt.Sprintf("%.0f", r.Metrics.Throughput()), r.LevelChanges)
+	}
+	return results, t
+}
+
+// RunAblationTargetPolicy compares snitch-like closest-replica reads with
+// uniform random replica choice.
+func RunAblationTargetPolicy(p Platform, seed uint64) *Table {
+	t := NewTable("Ablation: read target policy (level ONE, "+p.Name+")",
+		"targets", "read mean", "throughput(op/s)", "stale reads")
+	for _, pol := range []kv.TargetPolicy{kv.TargetClosest, kv.TargetRandom} {
+		pol := pol
+		res := Run(RunSpec{
+			Platform: p,
+			Tuner:    core.StaticTuner{Read: kv.One, Write: kv.One},
+			Seed:     seed,
+			Mutate:   func(c *kv.Config) { c.ReadTargets = pol },
+		})
+		name := "closest (snitch)"
+		if pol == kv.TargetRandom {
+			name = "uniform random"
+		}
+		t.Add(name, res.Metrics.ReadLat.Mean().Round(10*time.Microsecond),
+			fmt.Sprintf("%.0f", res.Metrics.Throughput()), pct(res.Metrics.StaleRate()))
+	}
+	return t
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ycsb"
+)
+
+// ExpB2Sample is one (access pattern, level) measurement of the
+// consistency-cost efficiency metric.
+type ExpB2Sample struct {
+	Pattern    string
+	Level      string
+	StaleRate  float64
+	CostPM     float64
+	NormCost   float64
+	Efficiency float64
+	Best       bool
+}
+
+// RunExpB2Metric reproduces the metric-validation samples of §IV-B: the
+// same workload run with different access patterns and every consistency
+// level, each sample scored with eff = fresh / (cost/cost_ALL) from
+// measured staleness and measured cost. The paper's finding: the most
+// efficient levels are those whose staleness stays below ~20%.
+func RunExpB2Metric(p Platform, seed uint64) ([]ExpB2Sample, *Table) {
+	pricing := Pricing().PerSecond()
+	patterns := []struct {
+		name string
+		w    ycsb.Workload
+	}{
+		{"read-mostly r=0.95 θ=0.90", ycsb.Mix(p.Records, 0.95, ycsb.DistZipfian, 0.90)},
+		{"mixed r=0.75 θ=0.99", ycsb.Mix(p.Records, 0.75, ycsb.DistZipfian, 0.99)},
+		{"update-heavy r=0.50 θ=0.99", ycsb.Mix(p.Records, 0.50, ycsb.DistZipfian, 0.99)},
+	}
+
+	var samples []ExpB2Sample
+	t := NewTable(
+		fmt.Sprintf("Exp B2 (§IV-B): consistency-cost efficiency samples — %s", p.Name),
+		"access pattern", "level", "stale reads", "$/M ops", "norm cost", "efficiency", "")
+	for _, pat := range patterns {
+		w := pat.w
+		w.ValueSize = p.ValueBytes
+		levels := symmetricLevels(p.RF)
+		row := make([]ExpB2Sample, 0, len(levels))
+		for _, lvl := range levels {
+			res := Run(RunSpec{
+				Platform: p,
+				Tuner:    core.StaticTuner{Read: lvl, Write: lvl},
+				Workload: w,
+				Seed:     seed,
+			})
+			bill, _ := BillAtPaperScale(p, pricing, res, p.Ops)
+			row = append(row, ExpB2Sample{
+				Pattern:   pat.name,
+				Level:     lvl.String(),
+				StaleRate: res.Metrics.StaleRate(),
+				CostPM:    bill.Total() / float64(p.Ops) * 1e6,
+			})
+		}
+		all := row[len(row)-1].CostPM
+		bestIdx, bestEff := 0, -1.0
+		for i := range row {
+			if all > 0 {
+				row[i].NormCost = row[i].CostPM / all
+			}
+			if row[i].NormCost > 0 {
+				row[i].Efficiency = (1 - row[i].StaleRate) / row[i].NormCost
+			}
+			if row[i].Efficiency > bestEff {
+				bestIdx, bestEff = i, row[i].Efficiency
+			}
+		}
+		row[bestIdx].Best = true
+		for _, s := range row {
+			mark := ""
+			if s.Best {
+				mark = "← most efficient"
+			}
+			t.Add(s.Pattern, s.Level, pct(s.StaleRate), fmt.Sprintf("%.4f", s.CostPM),
+				fmt.Sprintf("%.3f", s.NormCost), fmt.Sprintf("%.3f", s.Efficiency), mark)
+		}
+		samples = append(samples, row...)
+	}
+
+	worstBestStale := 0.0
+	for _, s := range samples {
+		if s.Best && s.StaleRate > worstBestStale {
+			worstBestStale = s.StaleRate
+		}
+	}
+	t.Note("highest staleness among most-efficient levels: %s (paper: efficient levels stay below 20%%)",
+		pct(worstBestStale))
+	return samples, t
+}

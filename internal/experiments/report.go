@@ -1,0 +1,74 @@
+// Package experiments reproduces every result of the paper's evaluation
+// (§IV): the Harmony performance/staleness comparison on the EC2 and
+// Grid'5000 platforms (Exp A), the consistency-vs-monetary-cost study and
+// the Bismar evaluation (Exp B), the Figure-1 model validation, and the
+// ablations DESIGN.md calls out. Each experiment builds its platform
+// preset, drives the scaled workload in virtual time and prints the same
+// rows the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table accumulates rows and renders them aligned; every experiment
+// reports through it so cmd tools and benches print identically.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a footnote line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Headers, "\t"))
+	sep := make([]string, len(t.Headers))
+	for i, h := range t.Headers {
+		sep[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(tw, strings.Join(sep, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// pct formats a ratio as a percentage string.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

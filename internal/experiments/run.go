@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/kv"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/ycsb"
+)
+
+// RunSpec describes one experimental run: a platform, a tuner (static or
+// adaptive) and a workload.
+type RunSpec struct {
+	Platform Platform
+	Tuner    core.Tuner
+	Workload ycsb.Workload // zero value: heavy read-update over Platform.Records
+	Seed     uint64
+	Interval time.Duration // control period; 0 → 250 ms
+	WarmupPc float64       // fraction of ops treated as warmup; 0 → 0.1
+	Mutate   func(*kv.Config)
+	// MonitorOpts overrides the monitor configuration (ablations).
+	MonitorOpts *monitor.Options
+	// Wrap, when set, wraps the session the workload drives (freshness
+	// enforcement and similar middleware layers).
+	Wrap func(sess kv.Session, cl *kv.Cluster, clock ycsb.Clock) kv.Session
+}
+
+// RunResult carries everything the experiment tables need.
+type RunResult struct {
+	Spec         RunSpec
+	Metrics      *ycsb.Metrics
+	Journal      []core.JournalEntry
+	LevelChanges int
+	AvgReadK     float64
+	Usage        kv.Usage
+	Traffic      netsim.TrafficMeter
+	Cluster      *kv.Cluster
+	Monitor      *monitor.Monitor
+}
+
+// Run executes the spec in virtual time to completion.
+func Run(spec RunSpec) RunResult {
+	p := spec.Platform
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	w := spec.Workload
+	if w.RecordCount == 0 {
+		w = ycsb.HeavyReadUpdate(p.Records)
+		w.ValueSize = p.ValueBytes
+	}
+	cfg := p.Config(spec.Seed)
+	if spec.Mutate != nil {
+		spec.Mutate(&cfg)
+	}
+	eng := sim.New(spec.Seed)
+	topo := p.Build()
+	tr := netsim.NewTransport(eng, topo)
+	cl := kv.New(topo, tr, cfg)
+
+	mopts := monitor.DefaultOptions()
+	if spec.MonitorOpts != nil {
+		mopts = *spec.MonitorOpts
+	}
+	mon := monitor.New(cl.RF(), tr, mopts)
+	cl.AddHooks(mon.Hooks())
+	interval := spec.Interval
+	if interval <= 0 {
+		// Re-evaluate often relative to run length so scaled-down runs
+		// still exercise the control loop many times.
+		interval = 250 * time.Millisecond
+	}
+	ctl := core.NewController(mon, spec.Tuner, tr, interval)
+
+	sess := ctl.Session(cl)
+	if spec.Wrap != nil {
+		sess = spec.Wrap(sess, cl, tr)
+	}
+	runner, err := ycsb.NewRunner(sess, w, tr, spec.Seed)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	runner.OpCount = p.Ops
+	runner.Threads = p.Threads
+	warm := spec.WarmupPc
+	if warm <= 0 {
+		warm = 0.1
+	}
+	runner.WarmupOps = uint64(float64(p.Ops) * warm)
+
+	cl.Preload(w.RecordCount, runner.Keys, runner.Value())
+	ctl.Start()
+	runner.Start()
+	for !runner.Finished() && eng.Step() {
+	}
+	if !runner.Finished() {
+		panic("experiments: workload stalled before completion")
+	}
+	ctl.Stop()
+
+	res := RunResult{
+		Spec:         spec,
+		Metrics:      runner.Metrics(),
+		Journal:      ctl.Journal(),
+		LevelChanges: ctl.LevelChanges(),
+		Usage:        cl.Usage(),
+		Traffic:      tr.Meter(),
+		Cluster:      cl,
+		Monitor:      mon,
+	}
+	res.AvgReadK = avgReadK(res.Journal, runner.Metrics().End, cl.RF())
+	return res
+}
+
+// avgReadK time-weights the read level held across the run.
+func avgReadK(journal []core.JournalEntry, end time.Duration, rf int) float64 {
+	if len(journal) == 0 {
+		return 0
+	}
+	var weighted, total float64
+	for i, e := range journal {
+		until := end
+		if i+1 < len(journal) {
+			until = journal[i+1].At
+		}
+		if until <= e.At {
+			continue
+		}
+		span := (until - e.At).Seconds()
+		weighted += span * float64(e.Decision.ReadLevel.Replicas(rf))
+		total += span
+	}
+	if total == 0 {
+		return float64(journal[len(journal)-1].Decision.ReadLevel.Replicas(rf))
+	}
+	return weighted / total
+}
+
+// BillAtPaperScale extrapolates a measured run to the paper's operation
+// count: the workload's duration at the measured throughput, the metered
+// billed traffic scaled per-op, and the paper's dataset (replicated)
+// prorated over that duration.
+func BillAtPaperScale(p Platform, pricing cost.Pricing, res RunResult, paperOps uint64) (cost.Bill, cost.Usage) {
+	thr := res.Metrics.Throughput()
+	if thr <= 0 {
+		return cost.Bill{}, cost.Usage{}
+	}
+	duration := time.Duration(float64(paperOps) / thr * float64(time.Second))
+	perOpDC := float64(res.Traffic.Bytes[netsim.InterDC]) / float64(res.Metrics.Ops)
+	perOpRegion := float64(res.Traffic.Bytes[netsim.InterRegion]) / float64(res.Metrics.Ops)
+	u := cost.Usage{
+		Nodes:            p.Nodes,
+		Duration:         duration,
+		StoredBytes:      p.DatasetGB * cost.GB * float64(p.RF),
+		InterDCBytes:     perOpDC * float64(paperOps),
+		InterRegionBytes: perOpRegion * float64(paperOps),
+	}
+	return pricing.BillFor(u), u
+}

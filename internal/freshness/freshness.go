@@ -1,0 +1,187 @@
+// Package freshness implements the paper's third future-work direction
+// (§V): an eventually-consistent mode with guarantees on data freshness.
+// Two mechanisms are provided:
+//
+//   - Deadline enforcement: every write is audited with a background
+//     read at level ALL shortly before its convergence deadline; the
+//     audit piggybacks on the store's read-repair machinery, pushing the
+//     write to any replica that still misses it. Compliance is the
+//     fraction of writes fully propagated within the deadline.
+//
+//   - Bounded-staleness reads: a session whose reads choose the smallest
+//     level that keeps the estimated stale-read probability under the
+//     session's bound, given the current monitor snapshot — per-read
+//     freshness rather than per-period tuning.
+//
+// Guarantee tiers (gold/silver/bronze) map deadlines to what the network
+// topology can deliver.
+package freshness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/harmony"
+	"repro/internal/kv"
+	"repro/internal/monitor"
+)
+
+// Guarantee is a named convergence deadline.
+type Guarantee struct {
+	Name     string
+	Deadline time.Duration
+}
+
+// The standard tiers. Gold is only achievable on low-latency topologies;
+// Tiers reports which tiers a deployment can honor.
+var (
+	Gold   = Guarantee{Name: "gold", Deadline: 150 * time.Millisecond}
+	Silver = Guarantee{Name: "silver", Deadline: 500 * time.Millisecond}
+	Bronze = Guarantee{Name: "bronze", Deadline: 2 * time.Second}
+)
+
+// Tiers reports the guarantees a deployment can plausibly honor given
+// its observed propagation time: the deadline must exceed twice the
+// current T_p estimate.
+func Tiers(snap monitor.Snapshot) []Guarantee {
+	var out []Guarantee
+	for _, g := range []Guarantee{Gold, Silver, Bronze} {
+		if g.Deadline > 2*snap.PropagationTime() {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Clock is the scheduling surface the enforcer needs.
+type Clock interface {
+	Now() time.Duration
+	Schedule(d time.Duration, fn func())
+}
+
+// Enforcer wraps a session so every write is audited against a
+// convergence deadline.
+type Enforcer struct {
+	Inner     kv.Session
+	Cluster   *kv.Cluster
+	Clock     Clock
+	Guarantee Guarantee
+	// AuditMargin is how long before the deadline the audit read fires,
+	// leaving time for the repair to land.
+	AuditMargin time.Duration
+
+	writes  uint64
+	audits  uint64
+	repairs uint64 // audits that found at least one divergent replica
+}
+
+// NewEnforcer wraps inner with deadline auditing.
+func NewEnforcer(inner kv.Session, cluster *kv.Cluster, clock Clock, g Guarantee) *Enforcer {
+	return &Enforcer{
+		Inner: inner, Cluster: cluster, Clock: clock, Guarantee: g,
+		AuditMargin: g.Deadline / 4,
+	}
+}
+
+// Read implements kv.Session.
+func (e *Enforcer) Read(key string, cb func(kv.ReadResult)) { e.Inner.Read(key, cb) }
+
+// Write implements kv.Session: the write proceeds normally and an audit
+// read at ALL fires before the deadline, repairing laggard replicas.
+func (e *Enforcer) Write(key string, value []byte, cb func(kv.WriteResult)) {
+	e.writes++
+	e.Inner.Write(key, value, func(res kv.WriteResult) {
+		if res.Err == nil {
+			delay := e.Guarantee.Deadline - e.AuditMargin - res.Latency
+			if delay < 0 {
+				delay = 0
+			}
+			e.Clock.Schedule(delay, func() { e.audit(key, res) })
+		}
+		cb(res)
+	})
+}
+
+func (e *Enforcer) audit(key string, w kv.WriteResult) {
+	e.audits++
+	e.Cluster.Read(key, kv.All, func(res kv.ReadResult) {
+		// The ALL read compared every replica's version; read repair
+		// (always on for contacted replicas) pushed the freshest cell to
+		// any replica that answered with an older one. A version still
+		// older than the audited write means some replica lagged.
+		if res.Err == nil && w.Version.After(res.Version) {
+			e.repairs++
+		}
+	})
+}
+
+// Stats reports enforcement counters.
+func (e *Enforcer) Stats() (writes, audits, lagging uint64) {
+	return e.writes, e.audits, e.repairs
+}
+
+// Compliance measures deadline compliance from the oracle's propagation
+// histogram: the fraction of writes whose full propagation finished
+// within the deadline.
+func Compliance(o *kv.Oracle, g Guarantee) float64 {
+	h := o.Propagation()
+	if h.Count() == 0 {
+		return 1
+	}
+	// Binary-search the quantile whose value is the deadline.
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 20; i++ {
+		mid := (lo + hi) / 2
+		if h.Quantile(mid) <= g.Deadline {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// BoundedSession is a session whose reads pick, per operation, the
+// smallest level whose estimated stale probability stays under Bound.
+type BoundedSession struct {
+	Cluster    *kv.Cluster
+	Monitor    *monitor.Monitor
+	Estimator  harmony.Estimator
+	Bound      float64
+	WriteLevel kv.Level
+}
+
+// NewBoundedSession builds a bounded-staleness session over a monitored
+// cluster.
+func NewBoundedSession(cl *kv.Cluster, mon *monitor.Monitor, bound float64) *BoundedSession {
+	return &BoundedSession{
+		Cluster:    cl,
+		Monitor:    mon,
+		Estimator:  harmony.Estimator{RF: cl.RF(), WriteK: 1},
+		Bound:      bound,
+		WriteLevel: kv.One,
+	}
+}
+
+// Read implements kv.Session.
+func (s *BoundedSession) Read(key string, cb func(kv.ReadResult)) {
+	snap := s.Monitor.Snapshot()
+	k := s.Estimator.RF
+	for cand := 1; cand <= s.Estimator.RF; cand++ {
+		if s.Estimator.StaleRate(cand, snap) <= s.Bound {
+			k = cand
+			break
+		}
+	}
+	s.Cluster.Read(key, kv.Count(k), cb)
+}
+
+// Write implements kv.Session.
+func (s *BoundedSession) Write(key string, value []byte, cb func(kv.WriteResult)) {
+	s.Cluster.Write(key, value, s.WriteLevel, cb)
+}
+
+// String describes the guarantee.
+func (g Guarantee) String() string {
+	return fmt.Sprintf("%s(≤%v)", g.Name, g.Deadline)
+}

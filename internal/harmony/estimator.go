@@ -1,0 +1,133 @@
+// Package harmony implements the paper's primary contribution (§III-A):
+// the probabilistic stale-read estimator built on Figure 1's model, and
+// the Harmony tuner that keeps the estimated stale-read rate under the
+// application-tolerated threshold α while involving as few replicas as
+// possible.
+package harmony
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/monitor"
+)
+
+// StaleProb estimates the probability that a read at level readK returns
+// stale data, under Figure 1's model:
+//
+//   - Writes to the key arrive as a Poisson process with rate lambda.
+//   - A write becomes client-visible once writeK replicas acknowledged;
+//     ackDelays[i] is the measured delay until the (i+1)-th replica holds
+//     it (sorted non-decreasing, length rf).
+//   - A read is stale when it starts inside a propagation window — after
+//     the write is visible but before all replicas hold it — and all
+//     readK replicas it contacts (chosen uniformly) miss the fresh copy.
+//
+// P(read in window) = 1 − exp(−lambda·W) with W the window length
+// (PASTA); inside the window at uniform offset u, j(u) replicas are
+// fresh, and the miss probability is C(rf−j, readK)/C(rf, readK).
+// Integrating over the window's rank segments gives the estimate.
+// Ack delays overstate apply delays: an acknowledgement travels back to
+// the coordinator over the same link the mutation went out on, so for
+// symmetric links the replica actually held the data halfway through the
+// measured extra delay. StaleProb corrects for this by halving each
+// rank's delay beyond the first acknowledgement before integrating.
+func StaleProb(rf, readK, writeK int, ackDelays []time.Duration, lambda float64) float64 {
+	if rf <= 0 || len(ackDelays) < rf || lambda <= 0 {
+		return 0
+	}
+	readK = clamp(readK, 1, rf)
+	writeK = clamp(writeK, 1, rf)
+	if readK == rf {
+		return 0 // reads touch every replica: one of them is fresh
+	}
+	// Symmetric-link correction: apply_j ≈ d_1 + (d_j − d_1)/2.
+	applied := make([]time.Duration, rf)
+	applied[0] = ackDelays[0]
+	for j := 1; j < rf; j++ {
+		applied[j] = ackDelays[0] + (ackDelays[j]-ackDelays[0])/2
+	}
+	ackDelays = applied
+
+	base := ackDelays[writeK-1]
+	window := ackDelays[rf-1] - base
+	if window <= 0 {
+		return 0
+	}
+	pWindow := 1 - math.Exp(-lambda*window.Seconds())
+
+	// Expected miss probability across the window: segment j covers
+	// offsets where exactly j replicas are fresh (j = writeK..rf−1).
+	var miss float64
+	prev := base
+	for j := writeK; j < rf; j++ {
+		segEnd := ackDelays[j]
+		seg := segEnd - prev
+		prev = segEnd
+		if seg <= 0 {
+			continue
+		}
+		frac := float64(seg) / float64(window)
+		miss += frac * hyperMiss(rf, j, readK)
+	}
+	return pWindow * miss
+}
+
+// hyperMiss is C(rf−fresh, k) / C(rf, k): the probability that k
+// uniformly chosen replicas all miss the fresh copies.
+func hyperMiss(rf, fresh, k int) float64 {
+	stale := rf - fresh
+	if k > stale {
+		return 0
+	}
+	// Product form avoids large factorials: Π_{i=0..k-1} (stale−i)/(rf−i).
+	p := 1.0
+	for i := 0; i < k; i++ {
+		p *= float64(stale-i) / float64(rf-i)
+	}
+	return p
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Estimator predicts system-wide stale-read rates from monitor snapshots.
+type Estimator struct {
+	// RF is the replication factor.
+	RF int
+	// WriteK is how many replicas the write level blocks for.
+	WriteK int
+	// PerKey enables the per-key refinement: instead of feeding the
+	// global write rate into the model (the conservative aggregate mode
+	// of the original Harmony), the estimate is averaged over the
+	// monitored per-key profile — reads of rarely-written keys stop
+	// inheriting the hot keys' staleness.
+	PerKey bool
+}
+
+// StaleRate estimates the fraction of stale reads at read level readK
+// under the access profile of snap.
+func (e Estimator) StaleRate(readK int, snap monitor.Snapshot) float64 {
+	if !e.PerKey {
+		return StaleProb(e.RF, readK, e.WriteK, snap.RankDelays, snap.WriteRate)
+	}
+	var p float64
+	for _, k := range snap.TopKeys {
+		if k.ReadShare <= 0 {
+			continue
+		}
+		p += k.ReadShare * StaleProb(e.RF, readK, e.WriteK, snap.RankDelays, k.WriteRate)
+	}
+	if snap.TailReadShr > 0 && snap.TailKeys > 0 {
+		perKeyRate := snap.TailWriteRte / snap.TailKeys
+		p += snap.TailReadShr * StaleProb(e.RF, readK, e.WriteK, snap.RankDelays, perKeyRate)
+	}
+	return p
+}

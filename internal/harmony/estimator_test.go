@@ -1,0 +1,192 @@
+package harmony
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/monitor"
+)
+
+func delays(ms ...int) []time.Duration {
+	out := make([]time.Duration, len(ms))
+	for i, m := range ms {
+		out[i] = time.Duration(m) * time.Millisecond
+	}
+	return out
+}
+
+func TestStaleProbBoundaries(t *testing.T) {
+	d := delays(1, 5, 20)
+	if got := StaleProb(3, 3, 1, d, 100); got != 0 {
+		t.Errorf("k=RF must be 0, got %f", got)
+	}
+	if got := StaleProb(3, 1, 1, d, 0); got != 0 {
+		t.Errorf("zero write rate must be 0, got %f", got)
+	}
+	if got := StaleProb(0, 1, 1, nil, 100); got != 0 {
+		t.Errorf("degenerate rf must be 0, got %f", got)
+	}
+	if got := StaleProb(3, 1, 3, d, 100); got != 0 {
+		t.Errorf("writeK=RF leaves no window, got %f", got)
+	}
+	// Equal delays mean no window.
+	if got := StaleProb(3, 1, 1, delays(5, 5, 5), 100); got != 0 {
+		t.Errorf("zero-width window must be 0, got %f", got)
+	}
+}
+
+func TestStaleProbInRangeProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(func(seed uint64, rfRaw, kRaw, wRaw uint8, lambda float64) bool {
+		rf := int(rfRaw%7) + 1
+		k := int(kRaw%uint8(rf)) + 1
+		w := int(wRaw%uint8(rf)) + 1
+		if lambda < 0 {
+			lambda = -lambda
+		}
+		rng := rand.New(rand.NewPCG(seed, 1))
+		d := make([]time.Duration, rf)
+		cur := time.Duration(0)
+		for i := range d {
+			cur += time.Duration(rng.IntN(10)) * time.Millisecond
+			d[i] = cur
+		}
+		p := StaleProb(rf, k, w, d, lambda)
+		return p >= 0 && p <= 1
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStaleProbMonotoneInK: involving more replicas can only lower the
+// stale probability.
+func TestStaleProbMonotoneInK(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(func(seed uint64, rfRaw uint8, lambda float64) bool {
+		rf := int(rfRaw%6) + 2
+		if lambda < 0 {
+			lambda = -lambda
+		}
+		lambda = 1 + lambda/1e300
+		rng := rand.New(rand.NewPCG(seed, 2))
+		d := make([]time.Duration, rf)
+		cur := time.Duration(rng.IntN(5)+1) * time.Millisecond
+		for i := range d {
+			d[i] = cur
+			cur += time.Duration(rng.IntN(20)) * time.Millisecond
+		}
+		prev := 2.0
+		for k := 1; k <= rf; k++ {
+			p := StaleProb(rf, k, 1, d, lambda)
+			if p > prev+1e-12 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaleProbIncreasingInLambdaAndWindow(t *testing.T) {
+	d := delays(1, 5, 30)
+	p10 := StaleProb(3, 1, 1, d, 10)
+	p100 := StaleProb(3, 1, 1, d, 100)
+	if p100 <= p10 {
+		t.Errorf("more writes must mean more staleness: %f vs %f", p10, p100)
+	}
+	wider := delays(1, 5, 300)
+	pWide := StaleProb(3, 1, 1, wider, 10)
+	if pWide <= p10 {
+		t.Errorf("longer propagation must mean more staleness: %f vs %f", p10, pWide)
+	}
+}
+
+func TestStaleProbHigherWriteLevelShrinksWindow(t *testing.T) {
+	d := delays(1, 10, 40)
+	w1 := StaleProb(3, 1, 1, d, 50)
+	w2 := StaleProb(3, 1, 2, d, 50)
+	if w2 >= w1 {
+		t.Errorf("writeK=2 must shrink the window: %f vs %f", w2, w1)
+	}
+}
+
+func TestHyperMiss(t *testing.T) {
+	cases := []struct {
+		rf, fresh, k int
+		want         float64
+	}{
+		{3, 1, 1, 2.0 / 3},
+		{3, 2, 1, 1.0 / 3},
+		{3, 1, 2, 1.0 / 3},
+		{3, 2, 2, 0},
+		{5, 1, 2, 6.0 / 10},
+	}
+	for _, c := range cases {
+		got := hyperMiss(c.rf, c.fresh, c.k)
+		if diff := got - c.want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("hyperMiss(%d,%d,%d) = %f, want %f", c.rf, c.fresh, c.k, got, c.want)
+		}
+	}
+}
+
+func snapshotWith(delaysV []time.Duration, writeRate float64, top []monitor.KeyRate,
+	tailKeys, tailShare, tailRate float64) monitor.Snapshot {
+	return monitor.Snapshot{
+		RankDelays:   delaysV,
+		WriteRate:    writeRate,
+		ReadRate:     writeRate,
+		TopKeys:      top,
+		TailKeys:     tailKeys,
+		TailReadShr:  tailShare,
+		TailWriteRte: tailRate,
+	}
+}
+
+func TestPerKeyEstimatorLessConservative(t *testing.T) {
+	d := delays(1, 10, 40)
+	// 1000 writes/s total, spread evenly over 1000 keys; reads spread too.
+	snap := snapshotWith(d, 1000,
+		[]monitor.KeyRate{{Key: "a", ReadShare: 0.01, WriteRate: 10}},
+		999, 0.99, 990)
+	agg := Estimator{RF: 3, WriteK: 1}
+	ref := Estimator{RF: 3, WriteK: 1, PerKey: true}
+	pAgg := agg.StaleRate(1, snap)
+	pRef := ref.StaleRate(1, snap)
+	if pRef >= pAgg {
+		t.Errorf("per-key estimate %f should undercut aggregate %f for spread keys", pRef, pAgg)
+	}
+}
+
+func TestTunerPicksMinimalLevel(t *testing.T) {
+	d := delays(1, 10, 40)
+	// Heavy writes: k=1 unacceptable for small alpha.
+	snap := snapshotWith(d, 500, nil, 1, 1, 500)
+	tight := New(0.01, 3)
+	loose := New(0.99, 3)
+	dt := tight.Decide(snap)
+	dl := loose.Decide(snap)
+	if dl.ReadLevel.Replicas(3) != 1 {
+		t.Errorf("loose tolerance should pick ONE, got %v", dl.ReadLevel)
+	}
+	if dt.ReadLevel.Replicas(3) <= dl.ReadLevel.Replicas(3) {
+		t.Errorf("tight tolerance should pick a higher level: %v vs %v", dt.ReadLevel, dl.ReadLevel)
+	}
+	if dt.EstimatedStaleRate > 0.01 {
+		t.Errorf("decision exceeds tolerance: %f", dt.EstimatedStaleRate)
+	}
+}
+
+func TestTunerQuiescentPicksOne(t *testing.T) {
+	tuner := New(0.05, 3)
+	d := tuner.Decide(monitor.Snapshot{RankDelays: delays(0, 0, 0)})
+	if d.ReadLevel.Replicas(3) != 1 {
+		t.Errorf("quiescent system should pick ONE, got %v", d.ReadLevel)
+	}
+	if tuner.Name() == "" || tuner.PerKey().Name() == "" {
+		t.Error("names empty")
+	}
+}

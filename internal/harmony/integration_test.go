@@ -1,0 +1,82 @@
+package harmony_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harmony"
+	"repro/internal/kv"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/ycsb"
+)
+
+// runAdaptive drives a YCSB workload through a controller-managed session
+// and returns the metrics and the controller.
+func runAdaptive(t *testing.T, tuner core.Tuner, ops uint64) (*ycsb.Metrics, *core.Controller) {
+	t.Helper()
+	topo := netsim.G5KTwoSites(12)
+	cfg := kv.DefaultConfig()
+	cfg.RF = 3
+	cfg.Seed = 7
+	eng := sim.New(cfg.Seed)
+	tr := netsim.NewTransport(eng, topo)
+	cl := kv.New(topo, tr, cfg)
+
+	mon := monitor.New(cl.RF(), tr, monitor.DefaultOptions())
+	cl.AddHooks(mon.Hooks())
+	ctl := core.NewController(mon, tuner, tr, 500*time.Millisecond)
+
+	w := ycsb.HeavyReadUpdate(2000)
+	r, err := ycsb.NewRunner(ctl.Session(cl), w, tr, cfg.Seed)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	r.OpCount = ops
+	r.Threads = 48
+	r.WarmupOps = ops / 10
+	cl.Preload(w.RecordCount, r.Keys, r.Value())
+	ctl.Start()
+	r.Start()
+	for !r.Finished() && eng.Step() {
+	}
+	if !r.Finished() {
+		t.Fatal("workload stalled")
+	}
+	return r.Metrics(), ctl
+}
+
+func TestHarmonyKeepsStaleRateUnderAlpha(t *testing.T) {
+	const alpha = 0.05
+	m, ctl := runAdaptive(t, harmony.New(alpha, 3), 30000)
+	t.Logf("harmony: %s", m.String())
+	t.Logf("level changes: %d over %d decisions", ctl.LevelChanges(), len(ctl.Journal()))
+	if got := m.StaleRate(); got > alpha*1.5 {
+		t.Errorf("stale rate %.3f exceeds tolerated %.3f (with 50%% margin)", got, alpha)
+	}
+	if len(ctl.Journal()) < 10 {
+		t.Errorf("controller barely ran: %d decisions", len(ctl.Journal()))
+	}
+}
+
+func TestHarmonyBeatsStaticBaselines(t *testing.T) {
+	const alpha = 0.10
+	hm, _ := runAdaptive(t, harmony.New(alpha, 3), 30000)
+	ev, _ := runAdaptive(t, core.StaticTuner{Read: kv.One, Write: kv.One}, 30000)
+	st, _ := runAdaptive(t, core.StaticTuner{Read: kv.All, Write: kv.One}, 30000)
+	t.Logf("harmony : %s", hm.String())
+	t.Logf("eventual: %s", ev.String())
+	t.Logf("strong  : %s", st.String())
+
+	if hm.StaleRate() >= ev.StaleRate() {
+		t.Errorf("harmony stale %.3f should be below eventual %.3f", hm.StaleRate(), ev.StaleRate())
+	}
+	if hm.Throughput() <= st.Throughput() {
+		t.Errorf("harmony throughput %.0f should beat strong %.0f", hm.Throughput(), st.Throughput())
+	}
+	if st.StaleReads != 0 {
+		t.Errorf("strong baseline must read fresh, saw %d stale", st.StaleReads)
+	}
+}

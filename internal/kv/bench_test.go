@@ -1,0 +1,52 @@
+package kv_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kv"
+	"repro/internal/netsim"
+	"repro/internal/ycsb"
+)
+
+// BenchmarkSimulatedOps measures simulator throughput (virtual operations
+// per wall second) for the full read/write path at level ONE.
+func BenchmarkSimulatedOps(b *testing.B) {
+	topo := netsim.G5KTwoSites(12)
+	cfg := kv.DefaultConfig()
+	cfg.Seed = 1
+	h := newHarness(topo, cfg)
+	w := ycsb.HeavyReadUpdate(1000)
+	r, err := ycsb.NewRunner(kv.StaticSession{Cluster: h.cluster, ReadLevel: kv.One, WriteLevel: kv.One},
+		w, h.tr, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.OpCount = uint64(b.N)
+	r.Threads = 64
+	h.cluster.Preload(w.RecordCount, r.Keys, r.Value())
+	b.ResetTimer()
+	r.Start()
+	for !r.Finished() && h.eng.Step() {
+	}
+	b.StopTimer()
+	if !r.Finished() {
+		b.Fatal("stalled")
+	}
+	b.ReportMetric(float64(h.eng.Events())/float64(b.N), "events/op")
+}
+
+// BenchmarkReplicaPlacement measures ring lookups.
+func BenchmarkReplicaPlacement(b *testing.B) {
+	topo := netsim.G5KTwoSites(84)
+	cfg := kv.DefaultConfig()
+	h := newHarness(topo, cfg)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("user%012d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.cluster.Strategy().Replicas(keys[i%len(keys)])
+	}
+}

@@ -1,0 +1,442 @@
+package kv
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/ring"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// Network is what the store needs from its runtime: a clock, message
+// delivery between nodes, timer self-messages and deferred function
+// scheduling. netsim.Transport implements it over the discrete-event
+// engine; the live engine implements it over goroutines and wall time.
+type Network interface {
+	Now() time.Duration
+	Send(from, to netsim.NodeID, payload any, size int)
+	SendLocal(id netsim.NodeID, payload any, delay time.Duration)
+	Register(id netsim.NodeID, h netsim.Handler)
+	Schedule(d time.Duration, fn func())
+}
+
+// failer is the optional failure-injection surface of a Network.
+type failer interface {
+	Fail(id netsim.NodeID)
+	Recover(id netsim.NodeID)
+}
+
+// CoordPolicy selects how clients pick coordinators.
+type CoordPolicy int
+
+// Coordinator policies.
+const (
+	// CoordRoundRobin rotates through live nodes (YCSB's default
+	// client behaviour with a node list).
+	CoordRoundRobin CoordPolicy = iota
+	// CoordRandom picks a uniformly random live node per operation.
+	CoordRandom
+	// CoordLocalDC rotates through live nodes of Config.CoordDC only.
+	CoordLocalDC
+)
+
+// TargetPolicy selects which replicas serve a read.
+type TargetPolicy int
+
+// Read target policies.
+const (
+	// TargetClosest prefers the replicas nearest the coordinator —
+	// Cassandra's snitch behaviour and the default. Because write
+	// coordinators are themselves spread over the cluster, the replicas
+	// a read contacts remain approximately uniform with respect to a
+	// write's propagation order, which is what the Harmony estimator
+	// assumes.
+	TargetClosest TargetPolicy = iota
+	// TargetRandom contacts a uniform random subset of live replicas
+	// (load-spreading ablation).
+	TargetRandom
+)
+
+// Config parameterizes a Cluster. DefaultConfig supplies working values
+// for every knob.
+type Config struct {
+	// Placement.
+	RF     int            // replication factor for SimpleStrategy
+	PerDC  map[string]int // when set, NetworkTopologyStrategy with these per-DC counts
+	VNodes int            // virtual nodes per node on the ring
+
+	// Node performance profile (homogeneous cluster, as in the paper).
+	ReadService   netsim.Law // replica-side service time of one read
+	WriteService  netsim.Law // replica-side service time of one write
+	CoordOverhead netsim.Law // coordinator admission work per operation
+	Concurrency   int        // parallel work slots per node (thread pool)
+	FlushLimit    int64      // memtable flush threshold in bytes
+
+	// Read path.
+	DigestReads        bool
+	ReadRepair         bool
+	GlobalRepairChance float64
+	ReadTargets        TargetPolicy
+
+	// Client routing.
+	Coordinator CoordPolicy
+	CoordDC     string // for CoordLocalDC
+
+	// Fault handling.
+	// MutationShed drops replica mutations that waited in the mutation
+	// stage beyond this threshold (Cassandra's dropped-mutation
+	// overload behaviour); 0 disables shedding.
+	MutationShed        time.Duration
+	Timeout             time.Duration
+	DetectionDelay      time.Duration // failure-detector convergence time
+	HintReplayInterval  time.Duration
+	MaxHintsPerNode     int
+	AntiEntropyInterval time.Duration // 0 disables anti-entropy
+	AntiEntropySample   int           // keys sampled per round
+
+	// Seed for all store-side randomness.
+	Seed uint64
+
+	seedSource *stats.Source
+}
+
+// DefaultConfig returns a workable configuration: RF 3, digest reads and
+// read repair on, 100 ms timeout, Cassandra-flavoured service times.
+func DefaultConfig() Config {
+	return Config{
+		RF:                  3,
+		VNodes:              32,
+		ReadService:         stats.NewLogNormal(800*time.Microsecond, 0.5),
+		WriteService:        stats.NewLogNormal(500*time.Microsecond, 0.5),
+		CoordOverhead:       stats.NewLogNormal(80*time.Microsecond, 0.3),
+		Concurrency:         4,
+		FlushLimit:          64 << 20,
+		DigestReads:         true,
+		ReadRepair:          true,
+		GlobalRepairChance:  0.1,
+		ReadTargets:         TargetClosest,
+		Coordinator:         CoordRoundRobin,
+		MutationShed:        2 * time.Second,
+		Timeout:             2 * time.Second,
+		DetectionDelay:      1 * time.Second,
+		HintReplayInterval:  5 * time.Second,
+		MaxHintsPerNode:     200_000,
+		AntiEntropyInterval: 0,
+		AntiEntropySample:   256,
+		Seed:                1,
+	}
+}
+
+// Cluster is the replicated store: a set of node actors over a Network,
+// plus the client entry points. In simulation all methods must be called
+// from engine events (the simulation is single-threaded); live, the
+// engine serializes access.
+type Cluster struct {
+	cfg      Config
+	topo     *netsim.Topology
+	net      Network
+	nodes    map[netsim.NodeID]*Node
+	order    []netsim.NodeID // deterministic node order
+	strategy ring.Strategy
+	oracle   *Oracle
+	hooks    hookSet
+
+	seq    uint64
+	nextID reqID
+	down   map[netsim.NodeID]bool
+	rr     int
+	rng    *stats.Source
+}
+
+// New assembles a cluster over the given topology and network.
+func New(topo *netsim.Topology, net Network, cfg Config) *Cluster {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = 32
+	}
+	cfg.seedSource = stats.NewSource(cfg.Seed).Stream("kv")
+	c := &Cluster{
+		cfg:   cfg,
+		topo:  topo,
+		net:   net,
+		nodes: make(map[netsim.NodeID]*Node, topo.N()),
+		down:  make(map[netsim.NodeID]bool),
+		rng:   stats.NewSource(cfg.Seed).Stream("kv.cluster"),
+	}
+
+	rg := ring.New(topo.Nodes(), cfg.VNodes, cfg.Seed)
+	if len(cfg.PerDC) > 0 {
+		c.strategy = ring.NewNetworkTopologyStrategy(rg, topo, cfg.PerDC)
+	} else {
+		rf := cfg.RF
+		if rf <= 0 {
+			rf = 3
+		}
+		if rf > topo.N() {
+			panic(fmt.Sprintf("kv: RF %d exceeds cluster size %d", rf, topo.N()))
+		}
+		c.strategy = ring.SimpleStrategy{Ring: rg, Factor: rf}
+	}
+	c.oracle = NewOracle(c.strategy.RF())
+
+	for _, id := range topo.Nodes() {
+		n := newNode(id, c)
+		c.nodes[id] = n
+		c.order = append(c.order, id)
+		net.Register(id, n.Handle)
+	}
+	net.Register(netsim.ClientID, c.handleClientReply)
+
+	// Stagger background tasks so they do not synchronize.
+	for i, id := range c.order {
+		n := c.nodes[id]
+		if cfg.AntiEntropyInterval > 0 {
+			net.SendLocal(id, aeTick{}, cfg.AntiEntropyInterval*time.Duration(i+1)/time.Duration(len(c.order)))
+		}
+		if cfg.HintReplayInterval > 0 {
+			net.SendLocal(id, hintTick{}, cfg.HintReplayInterval*time.Duration(i+1)/time.Duration(len(c.order)))
+		}
+		_ = n
+	}
+	return c
+}
+
+// handleClientReply runs result callbacks when replies reach the client
+// endpoint.
+func (c *Cluster) handleClientReply(_ netsim.NodeID, payload any) {
+	switch m := payload.(type) {
+	case clientReadReply:
+		m.cb(m.res)
+	case clientWriteReply:
+		m.cb(m.res)
+	}
+}
+
+// Read issues an asynchronous read at the given consistency level; cb
+// runs when the client-side reply arrives. A client-side timer (twice the
+// request timeout) guarantees cb fires even when the chosen coordinator
+// silently dies with the request.
+func (c *Cluster) Read(key string, lvl Level, cb func(ReadResult)) {
+	id := c.nextReqID()
+	coord := c.pickCoordinator()
+	if coord < 0 {
+		cb(ReadResult{Err: ErrUnavailable, Key: key, Level: lvl})
+		return
+	}
+	done := false
+	once := func(r ReadResult) {
+		if !done {
+			done = true
+			cb(r)
+		}
+	}
+	c.net.Send(netsim.ClientID, coord, clientRead{ID: id, Key: key, Level: lvl, cb: once},
+		msgOverhead+len(key))
+	c.net.Schedule(2*c.cfg.Timeout, func() {
+		once(ReadResult{Err: ErrTimeout, Key: key, Level: lvl, Latency: 2 * c.cfg.Timeout})
+	})
+}
+
+// Write issues an asynchronous write at the given consistency level; the
+// same client-side timeout guarantee as Read applies.
+func (c *Cluster) Write(key string, value []byte, lvl Level, cb func(WriteResult)) {
+	id := c.nextReqID()
+	coord := c.pickCoordinator()
+	if coord < 0 {
+		cb(WriteResult{Err: ErrUnavailable, Key: key, Level: lvl})
+		return
+	}
+	done := false
+	once := func(r WriteResult) {
+		if !done {
+			done = true
+			cb(r)
+		}
+	}
+	c.net.Send(netsim.ClientID, coord, clientWrite{ID: id, Key: key, Value: value, Level: lvl, cb: once},
+		msgOverhead+len(key)+len(value))
+	c.net.Schedule(2*c.cfg.Timeout, func() {
+		once(WriteResult{Err: ErrTimeout, Key: key, Level: lvl, Latency: 2 * c.cfg.Timeout})
+	})
+}
+
+// Delete issues a tombstone write at the given consistency level:
+// Cassandra-style deletion, reconciled by last-write-wins like any other
+// mutation (so late replicas converge on the deletion too).
+func (c *Cluster) Delete(key string, lvl Level, cb func(WriteResult)) {
+	id := c.nextReqID()
+	coord := c.pickCoordinator()
+	if coord < 0 {
+		cb(WriteResult{Err: ErrUnavailable, Key: key, Level: lvl})
+		return
+	}
+	done := false
+	once := func(r WriteResult) {
+		if !done {
+			done = true
+			cb(r)
+		}
+	}
+	c.net.Send(netsim.ClientID, coord,
+		clientWrite{ID: id, Key: key, Level: lvl, cb: once, tombstone: true},
+		msgOverhead+len(key))
+	c.net.Schedule(2*c.cfg.Timeout, func() {
+		once(WriteResult{Err: ErrTimeout, Key: key, Level: lvl, Latency: 2 * c.cfg.Timeout})
+	})
+}
+
+func (c *Cluster) nextReqID() reqID {
+	c.nextID++
+	return c.nextID
+}
+
+func (c *Cluster) nextSeq() uint64 {
+	c.seq++
+	return c.seq
+}
+
+// pickCoordinator returns the next coordinator per policy, or -1 when no
+// node is live.
+func (c *Cluster) pickCoordinator() netsim.NodeID {
+	candidates := c.order
+	if c.cfg.Coordinator == CoordLocalDC && c.cfg.CoordDC != "" {
+		candidates = c.topo.NodesInDC(c.cfg.CoordDC)
+	}
+	n := len(candidates)
+	if n == 0 {
+		return -1
+	}
+	if c.cfg.Coordinator == CoordRandom {
+		for tries := 0; tries < n*2; tries++ {
+			id := candidates[c.rng.IntN(n)]
+			if !c.down[id] {
+				return id
+			}
+		}
+		return -1
+	}
+	for tries := 0; tries < n; tries++ {
+		id := candidates[c.rr%n]
+		c.rr++
+		if !c.down[id] {
+			return id
+		}
+	}
+	return -1
+}
+
+// levelReachable reports whether enough replicas are live to possibly
+// satisfy req.
+func (c *Cluster) levelReachable(replicas []netsim.NodeID, req requirement) bool {
+	alive := make(map[string]int)
+	for _, r := range replicas {
+		if !c.down[r] {
+			alive[c.topo.DCOf(r)]++
+		}
+	}
+	return req.satisfied(alive)
+}
+
+func (c *Cluster) isDown(id netsim.NodeID) bool { return c.down[id] }
+
+// Fail injects a node failure: the transport drops its traffic at once
+// and the cluster-wide failure detector marks it down after the
+// configured detection delay.
+func (c *Cluster) Fail(id netsim.NodeID) {
+	if f, ok := c.net.(failer); ok {
+		f.Fail(id)
+	}
+	c.net.Schedule(c.cfg.DetectionDelay, func() { c.down[id] = true })
+}
+
+// Recover reverses Fail after the detection delay.
+func (c *Cluster) Recover(id netsim.NodeID) {
+	if f, ok := c.net.(failer); ok {
+		f.Recover(id)
+	}
+	c.net.Schedule(c.cfg.DetectionDelay, func() { delete(c.down, id) })
+}
+
+// Oracle exposes the staleness oracle (experiments and tests).
+func (c *Cluster) Oracle() *Oracle { return c.oracle }
+
+// Topology exposes the cluster topology.
+func (c *Cluster) Topology() *netsim.Topology { return c.topo }
+
+// Strategy exposes the placement strategy.
+func (c *Cluster) Strategy() ring.Strategy { return c.strategy }
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// RF reports the total replication factor.
+func (c *Cluster) RF() int { return c.strategy.RF() }
+
+// Node exposes a node (tests and experiments).
+func (c *Cluster) Node(id netsim.NodeID) *Node { return c.nodes[id] }
+
+// AddHooks registers an instrumentation listener.
+func (c *Cluster) AddHooks(h *Hooks) { c.hooks = append(c.hooks, h) }
+
+// Preload seeds n records directly into every replica's engine, bypassing
+// the network: the equivalent of YCSB's load phase followed by full
+// quiescence. Records get version timestamps of zero so every subsequent
+// write supersedes them, and the oracle ledgers them as fully propagated.
+func (c *Cluster) Preload(n uint64, key func(uint64) string, value []byte) {
+	now := c.net.Now()
+	for i := uint64(0); i < n; i++ {
+		k := key(i)
+		v := storage.Version{Timestamp: 0, Seq: c.nextSeq()}
+		replicas := c.strategy.Replicas(k)
+		c.oracle.WriteStarted(k, v, len(replicas), now)
+		c.oracle.WriteVisible(k, v)
+		cell := storage.Cell{Version: v, Value: value}
+		for _, r := range replicas {
+			if c.nodes[r].engine.Apply(k, cell) {
+				c.oracle.Applied(r, v, now)
+			}
+		}
+	}
+}
+
+// Usage summarizes the cluster's resource consumption so far; the cost
+// model combines it with the transport's traffic meter.
+type Usage struct {
+	Nodes         int
+	BusyTime      time.Duration // summed service time across nodes
+	StoredBytes   int64
+	ReplicaReads  uint64
+	ReplicaWrites uint64
+	CoordOps      uint64
+	ReadRepairs   uint64
+	HintsReplayed uint64
+	HintsDropped  uint64
+	AERounds      uint64
+	FlushedBytes  uint64
+	DroppedMuts   uint64
+}
+
+// Usage gathers the resource usage snapshot.
+func (c *Cluster) Usage() Usage {
+	var u Usage
+	u.Nodes = len(c.order)
+	for _, id := range c.order {
+		n := c.nodes[id]
+		u.BusyTime += n.BusyTime()
+		u.StoredBytes += n.engine.Bytes()
+		u.ReplicaReads += n.repReads
+		u.ReplicaWrites += n.repWrites
+		u.CoordOps += n.coordOps
+		u.ReadRepairs += n.readRepairs
+		u.HintsReplayed += n.hintsReplayed
+		u.HintsDropped += n.hintsDropped
+		u.AERounds += n.aeRounds
+		u.FlushedBytes += n.engine.FlushedBytes()
+		u.DroppedMuts += n.writeStage.dropped
+	}
+	return u
+}

@@ -1,0 +1,390 @@
+package kv
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/storage"
+)
+
+// readCtx tracks one coordinated read until every contacted replica
+// responded (or the timeout fired), so that read repair can compare all
+// versions even after the client reply went out.
+type readCtx struct {
+	id             reqID
+	key            string
+	level          Level
+	req            requirement
+	start          time.Duration
+	cb             func(ReadResult)
+	visibleAtStart storage.Version
+	issuedAtStart  storage.Version
+
+	targets   []netsim.NodeID
+	acks      map[string]int
+	responses map[netsim.NodeID]replicaReadResp
+
+	best      replicaReadResp // freshest version seen (data or digest)
+	bestData  replicaReadResp // freshest response carrying the value
+	haveBest  bool
+	haveData  bool
+	completed bool // the consistency level was satisfied
+	delivered bool // the client received a reply
+	awaitData bool
+}
+
+// writeCtx tracks one coordinated write; it lives until the timeout event
+// fires so that post-completion replica acks are still observed (they are
+// the monitor's propagation-time signal).
+type writeCtx struct {
+	id        reqID
+	key       string
+	level     Level
+	req       requirement
+	start     time.Duration
+	cb        func(WriteResult)
+	version   storage.Version
+	replicas  int
+	acks      map[string]int
+	ackCount  int
+	completed bool
+}
+
+// coordRead admits a client read on this coordinator.
+func (n *Node) coordRead(m clientRead) {
+	n.coordWork(func() {
+		now := n.cluster.net.Now()
+		n.coordOps++
+		n.cluster.hooks.readStarted(now, m.Key)
+
+		replicas := n.cluster.strategy.Replicas(m.Key)
+		req := m.Level.resolve(replicas, n.cluster.topo, n.cluster.topo.DCOf(n.id))
+		targets, ok := n.pickTargets(replicas, req)
+		if !ok {
+			n.replyRead(m.cb, ReadResult{
+				Err: ErrUnavailable, Key: m.Key, Level: m.Level,
+				Latency: 0,
+			})
+			n.cluster.oracle.ReadFailed()
+			return
+		}
+
+		ctx := &readCtx{
+			id: m.ID, key: m.Key, level: m.Level, req: req,
+			start: now, cb: m.cb,
+			visibleAtStart: n.cluster.oracle.LatestVisible(m.Key),
+			issuedAtStart:  n.cluster.oracle.LatestIssued(m.Key),
+			targets:        targets,
+			acks:           make(map[string]int),
+			responses:      make(map[netsim.NodeID]replicaReadResp, len(targets)),
+		}
+		n.reads[m.ID] = ctx
+
+		for i, t := range targets {
+			digest := n.cluster.cfg.DigestReads && i > 0
+			rr := replicaRead{ID: m.ID, Key: m.Key, Digest: digest, Coord: n.id}
+			n.cluster.net.Send(n.id, t, rr, msgOverhead+len(m.Key))
+		}
+		n.cluster.net.SendLocal(n.id, coordTimeout{ID: m.ID}, n.cluster.cfg.Timeout)
+	})
+}
+
+// onReadResp folds one replica response into the read context.
+func (n *Node) onReadResp(m replicaReadResp) {
+	ctx, ok := n.reads[m.ID]
+	if !ok {
+		return
+	}
+	if _, dup := ctx.responses[m.From]; dup {
+		return
+	}
+	ctx.responses[m.From] = m
+	ctx.acks[n.cluster.topo.DCOf(m.From)]++
+
+	if m.Exists {
+		if !ctx.haveBest || m.Cell.Version.After(ctx.best.Cell.Version) {
+			ctx.best = m
+			ctx.haveBest = true
+		}
+		if !m.Digest && (!ctx.haveData || m.Cell.Version.After(ctx.bestData.Cell.Version)) {
+			ctx.bestData = m
+			ctx.haveData = true
+		}
+	}
+
+	if !ctx.completed && ctx.req.satisfied(ctx.acks) {
+		n.tryCompleteRead(ctx)
+	} else if ctx.completed && ctx.awaitData && ctx.haveData &&
+		!ctx.best.Cell.Version.After(ctx.bestData.Cell.Version) {
+		// The data fetch for a newer digest arrived.
+		ctx.awaitData = false
+		n.deliverRead(ctx)
+	}
+
+	if len(ctx.responses) >= len(ctx.targets) && !ctx.awaitData && ctx.delivered {
+		n.finalizeRead(ctx)
+	}
+}
+
+// tryCompleteRead completes the client-visible read once the level is
+// satisfied, fetching full data when only a digest of the freshest
+// version is at hand (the digest-mismatch path).
+func (n *Node) tryCompleteRead(ctx *readCtx) {
+	ctx.completed = true
+	if ctx.haveBest && (!ctx.haveData || ctx.best.Cell.Version.After(ctx.bestData.Cell.Version)) {
+		if ctx.best.Digest {
+			// Freshest version known only by digest: fetch its data.
+			ctx.awaitData = true
+			rr := replicaRead{ID: ctx.id, Key: ctx.key, Digest: false, Coord: n.id}
+			delete(ctx.responses, ctx.best.From) // allow the refetch response in
+			ctx.acks[n.cluster.topo.DCOf(ctx.best.From)]--
+			n.cluster.net.Send(n.id, ctx.best.From, rr, msgOverhead+len(ctx.key))
+			return
+		}
+		ctx.bestData = ctx.best
+		ctx.haveData = true
+	}
+	n.deliverRead(ctx)
+}
+
+// deliverRead sends the final result to the client.
+func (n *Node) deliverRead(ctx *readCtx) {
+	if ctx.delivered {
+		return
+	}
+	ctx.delivered = true
+	now := n.cluster.net.Now()
+	res := ReadResult{
+		Key:      ctx.key,
+		Level:    ctx.level,
+		Latency:  now - ctx.start,
+		Replicas: len(ctx.targets),
+	}
+	if ctx.haveData && !ctx.bestData.Cell.Tombstone {
+		res.Exists = true
+		res.Value = ctx.bestData.Cell.Value
+		res.Version = ctx.bestData.Cell.Version
+	}
+	res.Stale = n.cluster.oracle.Judge(ctx.visibleAtStart, ctx.issuedAtStart, res.Version)
+	n.cluster.hooks.readCompleted(now, res)
+	n.replyRead(ctx.cb, res)
+}
+
+// finalizeRead performs read repair and discards the context.
+func (n *Node) finalizeRead(ctx *readCtx) {
+	delete(n.reads, ctx.id)
+	if !n.cluster.cfg.ReadRepair || !ctx.haveData {
+		return
+	}
+	best := ctx.bestData.Cell
+	// Repair contacted replicas that answered with an older version.
+	froms := make([]netsim.NodeID, 0, len(ctx.responses))
+	for from := range ctx.responses {
+		froms = append(froms, from)
+	}
+	sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
+	for _, from := range froms {
+		r := ctx.responses[from]
+		if r.From == ctx.bestData.From {
+			continue
+		}
+		if !r.Exists || best.Version.After(r.Cell.Version) {
+			n.sendRepair(r.From, ctx.key, best)
+		}
+	}
+	// With the configured probability, extend repair to the replicas
+	// that were not contacted (Cassandra's global read_repair_chance).
+	if p := n.cluster.cfg.GlobalRepairChance; p > 0 && n.rng.Float64() < p {
+		contacted := make(map[netsim.NodeID]bool, len(ctx.targets))
+		for _, t := range ctx.targets {
+			contacted[t] = true
+		}
+		for _, rep := range n.cluster.strategy.Replicas(ctx.key) {
+			if !contacted[rep] && !n.cluster.isDown(rep) {
+				n.sendRepair(rep, ctx.key, best)
+			}
+		}
+	}
+}
+
+func (n *Node) sendRepair(to netsim.NodeID, key string, cell storage.Cell) {
+	msg := replicaWrite{Key: key, Cell: cell, Coord: n.id, Repair: true}
+	n.cluster.net.Send(n.id, to, msg, msgOverhead+len(key)+len(cell.Value))
+}
+
+// coordWrite admits a client write on this coordinator.
+func (n *Node) coordWrite(m clientWrite) {
+	n.coordWork(func() {
+		now := n.cluster.net.Now()
+		n.coordOps++
+
+		replicas := n.cluster.strategy.Replicas(m.Key)
+		req := m.Level.resolve(replicas, n.cluster.topo, n.cluster.topo.DCOf(n.id))
+		if !n.cluster.levelReachable(replicas, req) {
+			n.replyWrite(m.cb, WriteResult{Err: ErrUnavailable, Key: m.Key, Level: m.Level})
+			return
+		}
+
+		version := storage.Version{Timestamp: now, Seq: n.cluster.nextSeq()}
+		cell := storage.Cell{Version: version, Value: m.Value, Tombstone: m.tombstone}
+		n.cluster.oracle.WriteStarted(m.Key, version, len(replicas), now)
+		n.cluster.hooks.writeStarted(now, m.Key, version, len(replicas))
+
+		ctx := &writeCtx{
+			id: m.ID, key: m.Key, level: m.Level, req: req,
+			start: now, cb: m.cb, version: version,
+			replicas: len(replicas),
+			acks:     make(map[string]int),
+		}
+		n.writes[m.ID] = ctx
+
+		// The coordinator always sends the mutation to every replica;
+		// the level only controls how many acknowledgements it blocks
+		// for. Down replicas get a hint instead.
+		for _, r := range replicas {
+			if n.cluster.isDown(r) {
+				n.storeHint(r, m.Key, cell)
+				continue
+			}
+			w := replicaWrite{ID: m.ID, Key: m.Key, Cell: cell, Coord: n.id}
+			n.cluster.net.Send(n.id, r, w, msgOverhead+len(m.Key)+len(m.Value))
+		}
+		n.cluster.net.SendLocal(n.id, coordTimeout{ID: m.ID, Write: true}, n.cluster.cfg.Timeout)
+	})
+}
+
+// onWriteAck folds one replica acknowledgement into the write context.
+func (n *Node) onWriteAck(m replicaWriteAck) {
+	ctx, ok := n.writes[m.ID]
+	if !ok {
+		return
+	}
+	now := n.cluster.net.Now()
+	ctx.ackCount++
+	ctx.acks[n.cluster.topo.DCOf(m.From)]++
+	n.cluster.hooks.writeAck(now, ctx.key, ctx.ackCount, now-ctx.start)
+
+	if !ctx.completed && ctx.req.satisfied(ctx.acks) {
+		ctx.completed = true
+		n.cluster.oracle.WriteVisible(ctx.key, ctx.version)
+		res := WriteResult{
+			Key: ctx.key, Version: ctx.version, Level: ctx.level,
+			Latency: now - ctx.start, Acked: ctx.ackCount,
+		}
+		n.cluster.hooks.writeCompleted(now, res)
+		n.replyWrite(ctx.cb, res)
+	}
+}
+
+// onTimeout fires for both reads and writes; contexts still incomplete
+// fail with ErrTimeout, completed ones are finalized.
+func (n *Node) onTimeout(m coordTimeout) {
+	if m.Write {
+		ctx, ok := n.writes[m.ID]
+		if !ok {
+			return
+		}
+		if !ctx.completed {
+			ctx.completed = true
+			res := WriteResult{
+				Err: ErrTimeout, Key: ctx.key, Level: ctx.level,
+				Latency: n.cluster.cfg.Timeout, Acked: ctx.ackCount,
+			}
+			n.cluster.hooks.writeCompleted(n.cluster.net.Now(), res)
+			n.replyWrite(ctx.cb, res)
+		}
+		delete(n.writes, m.ID)
+		return
+	}
+	ctx, ok := n.reads[m.ID]
+	if !ok {
+		return
+	}
+	if !ctx.delivered {
+		ctx.completed = true
+		ctx.delivered = true
+		res := ReadResult{
+			Err: ErrTimeout, Key: ctx.key, Level: ctx.level,
+			Latency: n.cluster.cfg.Timeout, Replicas: len(ctx.targets),
+		}
+		n.cluster.oracle.ReadFailed()
+		n.cluster.hooks.readCompleted(n.cluster.net.Now(), res)
+		n.replyRead(ctx.cb, res)
+	}
+	ctx.awaitData = false
+	n.finalizeRead(ctx)
+}
+
+// replyRead ships the result back to the client endpoint over the
+// network, so client-visible latency includes the return hop.
+func (n *Node) replyRead(cb func(ReadResult), res ReadResult) {
+	n.cluster.net.Send(n.id, netsim.ClientID, clientReadReply{cb: cb, res: res},
+		msgOverhead+len(res.Value))
+}
+
+func (n *Node) replyWrite(cb func(WriteResult), res WriteResult) {
+	n.cluster.net.Send(n.id, netsim.ClientID, clientWriteReply{cb: cb, res: res}, msgOverhead)
+}
+
+// pickTargets selects which replicas a read contacts: enough to satisfy
+// req, chosen among live replicas by the configured target policy. It
+// reports ok=false when the level is unreachable.
+func (n *Node) pickTargets(replicas []netsim.NodeID, req requirement) ([]netsim.NodeID, bool) {
+	alive := make([]netsim.NodeID, 0, len(replicas))
+	for _, r := range replicas {
+		if !n.cluster.isDown(r) {
+			alive = append(alive, r)
+		}
+	}
+	n.orderByPolicy(alive)
+
+	if req.perDC == nil {
+		if len(alive) < req.total {
+			return nil, false
+		}
+		return alive[:req.total], true
+	}
+
+	byDC := make(map[string][]netsim.NodeID)
+	for _, r := range alive {
+		dc := n.cluster.topo.DCOf(r)
+		byDC[dc] = append(byDC[dc], r)
+	}
+	dcs := make([]string, 0, len(req.perDC))
+	for dc := range req.perDC {
+		dcs = append(dcs, dc)
+	}
+	sort.Strings(dcs)
+	targets := make([]netsim.NodeID, 0, req.needed())
+	for _, dc := range dcs {
+		need := req.perDC[dc]
+		if len(byDC[dc]) < need {
+			return nil, false
+		}
+		targets = append(targets, byDC[dc][:need]...)
+	}
+	return targets, true
+}
+
+// orderByPolicy orders candidate replicas either by proximity to this
+// coordinator (deterministic) or uniformly at random (spreads read load,
+// and matches the uniform-choice assumption of the Harmony estimator).
+func (n *Node) orderByPolicy(nodes []netsim.NodeID) {
+	switch n.cluster.cfg.ReadTargets {
+	case TargetClosest:
+		sort.Slice(nodes, func(i, j int) bool {
+			ci := n.cluster.topo.Class(n.id, nodes[i])
+			cj := n.cluster.topo.Class(n.id, nodes[j])
+			if ci != cj {
+				return ci < cj
+			}
+			return nodes[i] < nodes[j]
+		})
+	default: // TargetRandom
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		n.rng.Shuffle(len(nodes), func(i, j int) {
+			nodes[i], nodes[j] = nodes[j], nodes[i]
+		})
+	}
+}

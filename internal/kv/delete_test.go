@@ -1,0 +1,70 @@
+package kv_test
+
+import (
+	"testing"
+
+	"repro/internal/kv"
+	"repro/internal/netsim"
+)
+
+func (h *harness) del(key string, lvl kv.Level) kv.WriteResult {
+	var out kv.WriteResult
+	done := false
+	h.cluster.Delete(key, lvl, func(r kv.WriteResult) { out = r; done = true })
+	for !done && h.eng.Step() {
+	}
+	return out
+}
+
+func TestDeleteHidesKey(t *testing.T) {
+	h := newHarness(netsim.SingleDC(3), quietConfig(20))
+	h.write("k", []byte("v"), kv.Quorum)
+	d := h.del("k", kv.Quorum)
+	if d.Err != nil {
+		t.Fatalf("delete: %v", d.Err)
+	}
+	r := h.read("k", kv.Quorum)
+	if r.Err != nil {
+		t.Fatalf("read after delete: %v", r.Err)
+	}
+	if r.Exists || r.Value != nil {
+		t.Errorf("deleted key still visible: %+v", r)
+	}
+}
+
+func TestDeleteThenRewriteResurrects(t *testing.T) {
+	h := newHarness(netsim.SingleDC(3), quietConfig(21))
+	h.write("k", []byte("v1"), kv.Quorum)
+	h.del("k", kv.Quorum)
+	w := h.write("k", []byte("v2"), kv.Quorum)
+	if w.Err != nil {
+		t.Fatal(w.Err)
+	}
+	r := h.read("k", kv.Quorum)
+	if !r.Exists || string(r.Value) != "v2" {
+		t.Errorf("rewrite after delete: %+v", r)
+	}
+}
+
+func TestDeleteTombstonePropagatesToAllReplicas(t *testing.T) {
+	h := newHarness(netsim.G5KTwoSites(6), quietConfig(22))
+	h.write("k", []byte("v"), kv.All)
+	d := h.del("k", kv.One) // async tombstone propagation
+	h.eng.Run()             // quiesce
+	for _, id := range h.cluster.Strategy().Replicas("k") {
+		cell, ok := h.cluster.Node(id).Engine().Peek("k")
+		if !ok || !cell.Tombstone || cell.Version != d.Version {
+			t.Errorf("replica %d tombstone state: %+v", id, cell)
+		}
+	}
+}
+
+func TestDeleteOfMissingKeySucceeds(t *testing.T) {
+	h := newHarness(netsim.SingleDC(3), quietConfig(23))
+	if d := h.del("nope", kv.Quorum); d.Err != nil {
+		t.Errorf("delete of missing key: %v", d.Err)
+	}
+	if r := h.read("nope", kv.One); r.Exists {
+		t.Error("missing key exists after delete")
+	}
+}

@@ -1,0 +1,190 @@
+// Package kv implements the replicated quorum key-value store the
+// adaptive consistency middleware operates on. It reproduces Cassandra's
+// consistency machinery: per-operation tunable consistency levels,
+// coordinators that block for the required replica acknowledgements while
+// the remaining replicas are updated asynchronously, read repair, hinted
+// handoff and anti-entropy. Staleness ground truth is provided by an
+// oracle that ledgers every write.
+//
+// Node logic is a message-driven state machine, so the same nodes run
+// under the deterministic discrete-event engine (package sim/netsim) and
+// under the real-time goroutine engine (package live).
+package kv
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// LevelKind enumerates the consistency levels of the store.
+type LevelKind int
+
+// The supported kinds. KindCount is the generalized "k replicas" level
+// the Harmony tuner emits.
+const (
+	KindOne LevelKind = iota
+	KindTwo
+	KindThree
+	KindQuorum
+	KindAll
+	KindLocalQuorum
+	KindEachQuorum
+	KindCount
+)
+
+// Level is a per-operation consistency level.
+type Level struct {
+	Kind LevelKind
+	K    int // replica count for KindCount
+}
+
+// The fixed levels.
+var (
+	One         = Level{Kind: KindOne}
+	Two         = Level{Kind: KindTwo}
+	Three       = Level{Kind: KindThree}
+	Quorum      = Level{Kind: KindQuorum}
+	All         = Level{Kind: KindAll}
+	LocalQuorum = Level{Kind: KindLocalQuorum}
+	EachQuorum  = Level{Kind: KindEachQuorum}
+)
+
+// Count returns the generalized level that blocks for k replicas; k is
+// clamped to at least 1.
+func Count(k int) Level {
+	if k <= 1 {
+		return One
+	}
+	return Level{Kind: KindCount, K: k}
+}
+
+// String names the level as Cassandra does.
+func (l Level) String() string {
+	switch l.Kind {
+	case KindOne:
+		return "ONE"
+	case KindTwo:
+		return "TWO"
+	case KindThree:
+		return "THREE"
+	case KindQuorum:
+		return "QUORUM"
+	case KindAll:
+		return "ALL"
+	case KindLocalQuorum:
+		return "LOCAL_QUORUM"
+	case KindEachQuorum:
+		return "EACH_QUORUM"
+	case KindCount:
+		return fmt.Sprintf("K(%d)", l.K)
+	}
+	return fmt.Sprintf("Level(%d)", int(l.Kind))
+}
+
+// requirement is the acknowledgement condition a coordinator blocks for.
+// When perDC is nil the condition is "total acks ≥ total"; otherwise every
+// datacenter must reach its own count.
+type requirement struct {
+	total int
+	perDC map[string]int
+}
+
+func quorumOf(n int) int { return n/2 + 1 }
+
+// resolve computes the requirement of level l for a key replicated on
+// replicas, with localDC the coordinator's datacenter.
+func (l Level) resolve(replicas []netsim.NodeID, topo *netsim.Topology, localDC string) requirement {
+	rf := len(replicas)
+	switch l.Kind {
+	case KindOne:
+		return requirement{total: 1}
+	case KindTwo:
+		return requirement{total: min(2, rf)}
+	case KindThree:
+		return requirement{total: min(3, rf)}
+	case KindQuorum:
+		return requirement{total: quorumOf(rf)}
+	case KindAll:
+		return requirement{total: rf}
+	case KindCount:
+		return requirement{total: min(max(l.K, 1), rf)}
+	case KindLocalQuorum:
+		local := 0
+		for _, r := range replicas {
+			if topo.DCOf(r) == localDC {
+				local++
+			}
+		}
+		if local == 0 {
+			// No replica in the coordinator's DC: degrade to plain
+			// quorum, which is what a misconfigured Cassandra client
+			// effectively experiences.
+			return requirement{total: quorumOf(rf)}
+		}
+		return requirement{perDC: map[string]int{localDC: quorumOf(local)}}
+	case KindEachQuorum:
+		per := make(map[string]int)
+		for _, r := range replicas {
+			per[topo.DCOf(r)]++
+		}
+		for dc, n := range per {
+			per[dc] = quorumOf(n)
+		}
+		return requirement{perDC: per}
+	}
+	return requirement{total: 1}
+}
+
+// needed reports the total number of replica responses the requirement
+// blocks for (an upper bound used to size read fan-out).
+func (r requirement) needed() int {
+	if r.perDC == nil {
+		return r.total
+	}
+	sum := 0
+	for _, n := range r.perDC {
+		sum += n
+	}
+	return sum
+}
+
+// satisfied reports whether the collected per-DC ack counts meet the
+// requirement.
+func (r requirement) satisfied(acks map[string]int) bool {
+	if r.perDC == nil {
+		total := 0
+		for _, n := range acks {
+			total += n
+		}
+		return total >= r.total
+	}
+	for dc, need := range r.perDC {
+		if acks[dc] < need {
+			return false
+		}
+	}
+	return true
+}
+
+// Replicas reports how many replica responses level l blocks for with
+// replication factor rf in a single-DC interpretation; tuners use it to
+// reason about levels numerically (LOCAL_QUORUM and EACH_QUORUM are
+// approximated by their single-DC quorum count).
+func (l Level) Replicas(rf int) int {
+	switch l.Kind {
+	case KindOne:
+		return 1
+	case KindTwo:
+		return min(2, rf)
+	case KindThree:
+		return min(3, rf)
+	case KindQuorum, KindLocalQuorum, KindEachQuorum:
+		return quorumOf(rf)
+	case KindAll:
+		return rf
+	case KindCount:
+		return min(max(l.K, 1), rf)
+	}
+	return 1
+}

@@ -1,0 +1,112 @@
+package kv
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func levelTopo() (*netsim.Topology, []netsim.NodeID) {
+	topo := netsim.NewTopology()
+	topo.AddDC("dc1", "r", 3)
+	topo.AddDC("dc2", "r", 3)
+	// Replicas: 2 in dc1 (0,1), 1 in dc2 (3).
+	return topo, []netsim.NodeID{0, 1, 3}
+}
+
+func TestLevelResolveTotals(t *testing.T) {
+	topo, reps := levelTopo()
+	cases := []struct {
+		lvl  Level
+		want int
+	}{
+		{One, 1}, {Two, 2}, {Three, 3}, {Quorum, 2}, {All, 3},
+		{Count(2), 2}, {Count(99), 3}, {Count(0), 1},
+	}
+	for _, c := range cases {
+		req := c.lvl.resolve(reps, topo, "dc1")
+		if req.perDC != nil {
+			t.Errorf("%v: unexpected per-DC requirement", c.lvl)
+			continue
+		}
+		if req.total != c.want {
+			t.Errorf("%v: total = %d, want %d", c.lvl, req.total, c.want)
+		}
+	}
+}
+
+func TestLevelResolveLocalQuorum(t *testing.T) {
+	topo, reps := levelTopo()
+	req := LocalQuorum.resolve(reps, topo, "dc1")
+	if req.perDC == nil || req.perDC["dc1"] != 2 {
+		t.Errorf("LOCAL_QUORUM in dc1 = %+v, want dc1:2", req.perDC)
+	}
+	// Coordinator in a DC without replicas degrades to plain quorum.
+	topo2 := netsim.NewTopology()
+	topo2.AddDC("dc1", "r", 3)
+	topo2.AddDC("dc3", "r", 1)
+	req2 := LocalQuorum.resolve([]netsim.NodeID{0, 1, 2}, topo2, "dc3")
+	if req2.perDC != nil || req2.total != 2 {
+		t.Errorf("degraded LOCAL_QUORUM = %+v", req2)
+	}
+}
+
+func TestLevelResolveEachQuorum(t *testing.T) {
+	topo, reps := levelTopo()
+	req := EachQuorum.resolve(reps, topo, "dc1")
+	if req.perDC["dc1"] != 2 || req.perDC["dc2"] != 1 {
+		t.Errorf("EACH_QUORUM = %+v", req.perDC)
+	}
+	if req.needed() != 3 {
+		t.Errorf("needed = %d", req.needed())
+	}
+}
+
+func TestRequirementSatisfied(t *testing.T) {
+	total := requirement{total: 2}
+	if total.satisfied(map[string]int{"a": 1}) {
+		t.Error("1 ack satisfied total 2")
+	}
+	if !total.satisfied(map[string]int{"a": 1, "b": 1}) {
+		t.Error("2 acks did not satisfy total 2")
+	}
+	per := requirement{perDC: map[string]int{"a": 2, "b": 1}}
+	if per.satisfied(map[string]int{"a": 2}) {
+		t.Error("missing DC satisfied per-DC requirement")
+	}
+	if !per.satisfied(map[string]int{"a": 2, "b": 1}) {
+		t.Error("complete per-DC acks not satisfied")
+	}
+}
+
+func TestLevelReplicasNumeric(t *testing.T) {
+	cases := []struct {
+		lvl  Level
+		rf   int
+		want int
+	}{
+		{One, 5, 1}, {Two, 5, 2}, {Three, 5, 3},
+		{Quorum, 5, 3}, {Quorum, 3, 2}, {All, 5, 5},
+		{LocalQuorum, 5, 3}, {EachQuorum, 5, 3},
+		{Count(4), 5, 4}, {Count(9), 5, 5},
+		{Two, 1, 1},
+	}
+	for _, c := range cases {
+		if got := c.lvl.Replicas(c.rf); got != c.want {
+			t.Errorf("%v.Replicas(%d) = %d, want %d", c.lvl, c.rf, got, c.want)
+		}
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	names := map[string]Level{
+		"ONE": One, "TWO": Two, "THREE": Three, "QUORUM": Quorum,
+		"ALL": All, "LOCAL_QUORUM": LocalQuorum, "EACH_QUORUM": EachQuorum,
+		"K(4)": Count(4),
+	}
+	for want, lvl := range names {
+		if lvl.String() != want {
+			t.Errorf("%v.String() = %s", lvl, lvl.String())
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package kv
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/storage"
+)
+
+// reqID identifies one client operation across the cluster.
+type reqID uint64
+
+// msgOverhead approximates the wire framing of every message in bytes.
+const msgOverhead = 64
+
+// digestSize approximates a read digest (version + checksum) in bytes.
+const digestSize = 16
+
+// clientRead enters the cluster from a client and is handled by the
+// coordinator node it is addressed to.
+type clientRead struct {
+	ID    reqID
+	Key   string
+	Level Level
+	cb    func(ReadResult)
+}
+
+// clientWrite is the write counterpart of clientRead; with tombstone set
+// it deletes the key instead of storing a value.
+type clientWrite struct {
+	ID        reqID
+	Key       string
+	Value     []byte
+	Level     Level
+	tombstone bool
+	cb        func(WriteResult)
+}
+
+// clientReadReply carries the result back to the client endpoint.
+type clientReadReply struct {
+	cb  func(ReadResult)
+	res ReadResult
+}
+
+// clientWriteReply carries the result back to the client endpoint.
+type clientWriteReply struct {
+	cb  func(WriteResult)
+	res WriteResult
+}
+
+// replicaWrite asks a replica to apply a cell. Repair and hint replays
+// reuse it with Repair/Hint set, which keeps replica application uniform.
+type replicaWrite struct {
+	ID     reqID
+	Key    string
+	Cell   storage.Cell
+	Coord  netsim.NodeID
+	Repair bool // read-repair or anti-entropy write: no ack expected
+	Hint   bool // replayed hint: ack expected by nobody, but applied
+}
+
+// replicaWriteAck acknowledges a replicaWrite to its coordinator.
+type replicaWriteAck struct {
+	ID      reqID
+	Key     string
+	Version storage.Version
+	From    netsim.NodeID
+}
+
+// replicaRead asks a replica for its resident cell; when Digest is set
+// only the version travels back.
+type replicaRead struct {
+	ID     reqID
+	Key    string
+	Digest bool
+	Coord  netsim.NodeID
+}
+
+// replicaReadResp answers a replicaRead.
+type replicaReadResp struct {
+	ID     reqID
+	Key    string
+	Cell   storage.Cell
+	Exists bool
+	Digest bool
+	From   netsim.NodeID
+}
+
+// coordTimeout fires on the coordinator when a request exceeded the
+// cluster timeout.
+type coordTimeout struct {
+	ID    reqID
+	Write bool
+}
+
+// aeTick triggers one anti-entropy round on a node.
+type aeTick struct{}
+
+// hintTick triggers hint replay attempts on a node.
+type hintTick struct{}
+
+// aeOffer opens an anti-entropy exchange: the initiator offers the
+// versions of a sample of its keys.
+type aeOffer struct {
+	Keys     []string
+	Versions []storage.Version
+	From     netsim.NodeID
+}
+
+// aeReply answers an offer with cells newer on the responder and the list
+// of keys where the initiator was newer.
+type aeReply struct {
+	Updates []aeCell
+	Want    []string
+	From    netsim.NodeID
+}
+
+// aePush closes the exchange: the initiator pushes the requested cells.
+type aePush struct {
+	Updates []aeCell
+}
+
+// aeCell pairs a key with its cell for anti-entropy transfer.
+type aeCell struct {
+	Key  string
+	Cell storage.Cell
+}
+
+// ReadResult reports the outcome of a read operation.
+type ReadResult struct {
+	Err     error
+	Key     string
+	Value   []byte
+	Version storage.Version
+	Exists  bool
+	// Stale is the staleness oracle's ground-truth verdict: the value
+	// returned was older than the latest write issued before the read
+	// started. It is measurement infrastructure, not something a real
+	// client could observe.
+	Stale    bool
+	Level    Level
+	Latency  time.Duration
+	Replicas int // replicas contacted
+}
+
+// WriteResult reports the outcome of a write operation.
+type WriteResult struct {
+	Err     error
+	Key     string
+	Version storage.Version
+	Level   Level
+	Latency time.Duration
+	Acked   int // replica acks received by completion time
+}
+
+// Error values the store reports. They mirror Cassandra's exceptions.
+type storeError string
+
+func (e storeError) Error() string { return string(e) }
+
+// Store-level failures.
+const (
+	// ErrTimeout: the coordinator did not assemble the required
+	// acknowledgements within the request timeout.
+	ErrTimeout = storeError("kv: operation timed out")
+	// ErrUnavailable: fewer live replicas than the level requires.
+	ErrUnavailable = storeError("kv: not enough live replicas for level")
+)

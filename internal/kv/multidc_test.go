@@ -1,0 +1,106 @@
+package kv_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/kv"
+	"repro/internal/netsim"
+)
+
+// multiDCConfig builds a two-DC cluster with explicit per-DC replica
+// placement (NetworkTopologyStrategy) and LOCAL_QUORUM-friendly routing.
+func multiDCHarness(seed uint64, localDC string) *harness {
+	topo := netsim.G5KTwoSites(8)
+	cfg := quietConfig(seed)
+	cfg.RF = 0
+	cfg.PerDC = map[string]int{topo.DCOf(0): 2, topo.DCOf(netsim.NodeID(topo.N() - 1)): 2}
+	cfg.Coordinator = kv.CoordLocalDC
+	cfg.CoordDC = localDC
+	return newHarness(topo, cfg)
+}
+
+func TestNetworkTopologyPlacementInCluster(t *testing.T) {
+	h := multiDCHarness(30, "")
+	if h.cluster.RF() != 4 {
+		t.Fatalf("RF = %d", h.cluster.RF())
+	}
+	for _, key := range []string{"a", "b", "c", "d"} {
+		perDC := map[string]int{}
+		for _, id := range h.cluster.Strategy().Replicas(key) {
+			perDC[h.topo.DCOf(id)]++
+		}
+		for dc, n := range perDC {
+			if n != 2 {
+				t.Errorf("key %s: %d replicas in %s, want 2", key, n, dc)
+			}
+		}
+	}
+}
+
+func TestLocalQuorumStaysLocal(t *testing.T) {
+	topo := netsim.G5KTwoSites(8)
+	local := topo.DCOf(0)
+	h := multiDCHarness(31, local)
+
+	w := h.write("k", []byte("v"), kv.LocalQuorum)
+	if w.Err != nil {
+		t.Fatalf("LOCAL_QUORUM write: %v", w.Err)
+	}
+	r := h.read("k", kv.LocalQuorum)
+	if r.Err != nil || !r.Exists {
+		t.Fatalf("LOCAL_QUORUM read: %+v", r)
+	}
+	// Local quorum never waits on the remote site: latency stays well
+	// under the ~20 ms inter-site round trip.
+	if r.Latency > 15*time.Millisecond {
+		t.Errorf("LOCAL_QUORUM read crossed sites: %v", r.Latency)
+	}
+	if w.Latency > 15*time.Millisecond {
+		t.Errorf("LOCAL_QUORUM write crossed sites: %v", w.Latency)
+	}
+}
+
+func TestLocalQuorumReadYourWritesWithinDC(t *testing.T) {
+	topo := netsim.G5KTwoSites(8)
+	local := topo.DCOf(0)
+	h := multiDCHarness(32, local)
+	for i := 0; i < 30; i++ {
+		w := h.write("k", []byte{byte(i)}, kv.LocalQuorum)
+		r := h.read("k", kv.LocalQuorum)
+		if r.Stale {
+			t.Fatalf("iteration %d: LOCAL_QUORUM read-your-writes violated (v=%v, got %v)",
+				i, w.Version, r.Version)
+		}
+	}
+}
+
+func TestEachQuorumRequiresEveryDC(t *testing.T) {
+	h := multiDCHarness(33, "")
+	w := h.write("k", []byte("v"), kv.EachQuorum)
+	if w.Err != nil {
+		t.Fatalf("EACH_QUORUM write: %v", w.Err)
+	}
+	// EACH_QUORUM waits for the remote site: latency at least one
+	// inter-site trip.
+	if w.Latency < 5*time.Millisecond {
+		t.Errorf("EACH_QUORUM too fast to have crossed sites: %v", w.Latency)
+	}
+
+	// Kill one DC entirely: EACH_QUORUM becomes unavailable, LOCAL_QUORUM
+	// (from the surviving DC) keeps working.
+	remote := h.topo.DCOf(netsim.NodeID(h.topo.N() - 1))
+	for _, id := range h.topo.NodesInDC(remote) {
+		h.cluster.Fail(id)
+	}
+	h.eng.RunFor(3 * time.Second)
+
+	w = h.write("k", []byte("v2"), kv.EachQuorum)
+	if w.Err == nil {
+		t.Error("EACH_QUORUM succeeded with a dead DC")
+	}
+	w = h.write("k", []byte("v3"), kv.LocalQuorum)
+	if w.Err != nil {
+		t.Errorf("LOCAL_QUORUM should survive a remote-DC outage: %v", w.Err)
+	}
+}

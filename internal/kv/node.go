@@ -1,0 +1,313 @@
+package kv
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// work is a unit of node CPU/disk work waiting for an execution slot.
+type work struct {
+	cost     time.Duration
+	enqueued time.Duration
+	fn       func()
+}
+
+// stage is one of the node's SEDA thread pools. Cassandra runs reads and
+// mutations in separate stages; a replica whose mutation stage is backed
+// up still answers reads promptly from its current (stale) state — the
+// mechanism behind the high stale-read rates the paper observes under
+// heavy load. shed, when positive, drops work that waited longer than the
+// threshold (Cassandra's dropped-mutation load shedding).
+type stage struct {
+	busy     int
+	conc     int
+	queue    []work
+	shed     time.Duration
+	busyTime time.Duration
+	done     uint64
+	dropped  uint64
+	peak     int
+}
+
+// Node is one storage server: a message-driven actor owning a storage
+// engine, a bounded-concurrency work queue (the thread-pool model that
+// produces realistic saturation), coordinator state for the requests it
+// coordinates, and a hint buffer for handoff. All methods run serialized —
+// by the event loop in simulation, by the actor goroutine live.
+type Node struct {
+	id      netsim.NodeID
+	cluster *Cluster
+	engine  *storage.Engine
+	rng     *stats.Source
+
+	// SEDA stages: reads and mutations contend for separate slots.
+	readStage  stage
+	writeStage stage
+
+	// Service accounting for utilization, cost and power models.
+	coordBusy   time.Duration
+	repWrites   uint64
+	repReads    uint64
+	coordOps    uint64
+	readRepairs uint64
+
+	// Coordinator state.
+	reads  map[reqID]*readCtx
+	writes map[reqID]*writeCtx
+
+	// Hinted handoff: writes buffered for down replicas.
+	hints         map[netsim.NodeID][]hintEntry
+	hintCount     int
+	hintsDropped  uint64
+	hintsReplayed uint64
+
+	aeRounds uint64
+}
+
+type hintEntry struct {
+	key  string
+	cell storage.Cell
+}
+
+func newNode(id netsim.NodeID, c *Cluster) *Node {
+	n := &Node{
+		id:      id,
+		cluster: c,
+		engine:  storage.NewEngine(c.cfg.FlushLimit),
+		rng:     c.cfg.seedSource.StreamN("kv.node", int(id)),
+		reads:   make(map[reqID]*readCtx),
+		writes:  make(map[reqID]*writeCtx),
+		hints:   make(map[netsim.NodeID][]hintEntry),
+	}
+	n.readStage.conc = c.cfg.Concurrency
+	n.writeStage.conc = c.cfg.Concurrency
+	n.writeStage.shed = c.cfg.MutationShed
+	return n
+}
+
+// Engine exposes the node's storage engine (tests and anti-entropy).
+func (n *Node) Engine() *storage.Engine { return n.engine }
+
+// submitRead enqueues read-stage work; submitWrite enqueues
+// mutation-stage work.
+func (n *Node) submitRead(cost time.Duration, fn func()) {
+	n.submit(&n.readStage, cost, fn)
+}
+
+func (n *Node) submitWrite(cost time.Duration, fn func()) {
+	n.submit(&n.writeStage, cost, fn)
+}
+
+func (n *Node) submit(st *stage, cost time.Duration, fn func()) {
+	w := work{cost: cost, enqueued: n.cluster.net.Now(), fn: fn}
+	if st.busy >= st.conc {
+		st.queue = append(st.queue, w)
+		if len(st.queue) > st.peak {
+			st.peak = len(st.queue)
+		}
+		return
+	}
+	n.run(st, w)
+}
+
+func (n *Node) run(st *stage, w work) {
+	st.busy++
+	st.busyTime += w.cost
+	st.done++
+	n.cluster.net.SendLocal(n.id, workDone{st: st, w: w}, w.cost)
+}
+
+// workDone is the self-message marking completion of a work unit.
+type workDone struct {
+	st *stage
+	w  work
+}
+
+// coordExec is the self-message completing coordinator admission work.
+type coordExec struct{ fn func() }
+
+// coordWork models the request-stage overhead of coordinating an
+// operation: it delays the continuation by a sampled admission cost
+// without contending for read/mutation slots (Cassandra's request stage
+// is rarely the bottleneck).
+func (n *Node) coordWork(fn func()) {
+	cost := n.cluster.cfg.CoordOverhead.Sample(n.rng)
+	n.coordBusy += cost
+	n.cluster.net.SendLocal(n.id, coordExec{fn: fn}, cost)
+}
+
+func (n *Node) finishWork(st *stage, w work) {
+	w.fn()
+	st.busy--
+	for len(st.queue) > 0 && st.busy < st.conc {
+		next := st.queue[0]
+		st.queue = st.queue[1:]
+		// Load shedding: drop work that sat in the queue beyond the
+		// shed threshold instead of executing it (Cassandra's dropped
+		// mutations under overload; repair and anti-entropy heal the
+		// divergence later).
+		if st.shed > 0 && n.cluster.net.Now()-next.enqueued > st.shed {
+			st.dropped++
+			continue
+		}
+		n.run(st, next)
+		return
+	}
+}
+
+// Utilization reports the fraction of elapsed time the node's stage slots
+// were busy, given the elapsed duration of the measurement.
+func (n *Node) Utilization(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	busy := n.readStage.busyTime + n.writeStage.busyTime
+	return float64(busy) / (float64(elapsed) * float64(n.readStage.conc+n.writeStage.conc))
+}
+
+// BusyTime reports the cumulative service time executed by the node.
+func (n *Node) BusyTime() time.Duration {
+	return n.readStage.busyTime + n.writeStage.busyTime + n.coordBusy
+}
+
+// DroppedMutations reports mutations shed under overload.
+func (n *Node) DroppedMutations() uint64 { return n.writeStage.dropped }
+
+// CoordOps reports how many client operations this node coordinated.
+func (n *Node) CoordOps() uint64 { return n.coordOps }
+
+// Handle dispatches one message; it is the single entry point of the
+// actor.
+func (n *Node) Handle(from netsim.NodeID, payload any) {
+	switch m := payload.(type) {
+	case workDone:
+		n.finishWork(m.st, m.w)
+	case coordExec:
+		m.fn()
+
+	case clientRead:
+		n.coordRead(m)
+	case clientWrite:
+		n.coordWrite(m)
+	case coordTimeout:
+		n.onTimeout(m)
+
+	case replicaWrite:
+		n.onReplicaWrite(m)
+	case replicaWriteAck:
+		n.onWriteAck(m)
+	case replicaRead:
+		n.onReplicaRead(m)
+	case replicaReadResp:
+		n.onReadResp(m)
+
+	case aeTick:
+		n.antiEntropyRound()
+		n.scheduleAE()
+	case aeOffer:
+		n.onAEOffer(m)
+	case aeReply:
+		n.onAEReply(m)
+	case aePush:
+		n.onAEPush(m)
+
+	case hintTick:
+		n.replayHints()
+		n.scheduleHintTick()
+	}
+}
+
+// onReplicaWrite applies a cell after write service time and acks the
+// coordinator unless the write is a repair.
+func (n *Node) onReplicaWrite(m replicaWrite) {
+	cost := n.cluster.cfg.WriteService.Sample(n.rng)
+	n.submitWrite(cost, func() {
+		n.repWrites++
+		if n.engine.Apply(m.Key, m.Cell) {
+			n.cluster.oracle.Applied(n.id, m.Cell.Version, n.cluster.net.Now())
+		}
+		if m.Repair {
+			n.readRepairs++
+			return
+		}
+		ack := replicaWriteAck{ID: m.ID, Key: m.Key, Version: m.Cell.Version, From: n.id}
+		n.cluster.net.Send(n.id, m.Coord, ack, msgOverhead)
+	})
+}
+
+// onReplicaRead serves a read after read service time.
+func (n *Node) onReplicaRead(m replicaRead) {
+	cost := n.cluster.cfg.ReadService.Sample(n.rng)
+	n.submitRead(cost, func() {
+		n.repReads++
+		cell, ok := n.engine.Get(m.Key)
+		resp := replicaReadResp{
+			ID: m.ID, Key: m.Key, Cell: cell, Exists: ok,
+			Digest: m.Digest, From: n.id,
+		}
+		size := msgOverhead + digestSize
+		if !m.Digest {
+			size = msgOverhead + len(cell.Value)
+			// Full data responses carry the value; digests only the
+			// version. The coordinator re-fetches data when the digest
+			// turns out newer.
+		} else {
+			resp.Cell.Value = nil
+		}
+		n.cluster.net.Send(n.id, m.Coord, resp, size)
+	})
+}
+
+// storeHint buffers a write for a down replica, to be replayed when it
+// recovers.
+func (n *Node) storeHint(target netsim.NodeID, key string, cell storage.Cell) {
+	if n.hintCount >= n.cluster.cfg.MaxHintsPerNode {
+		n.hintsDropped++
+		return
+	}
+	n.hints[target] = append(n.hints[target], hintEntry{key: key, cell: cell})
+	n.hintCount++
+}
+
+// replayHints pushes buffered hints to recovered targets. Targets are
+// visited in sorted order so replay is deterministic (map iteration order
+// is not).
+func (n *Node) replayHints() {
+	targets := make([]netsim.NodeID, 0, len(n.hints))
+	for t := range n.hints {
+		targets = append(targets, t)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	for _, target := range targets {
+		entries := n.hints[target]
+		if n.cluster.isDown(target) {
+			continue
+		}
+		for _, h := range entries {
+			msg := replicaWrite{Key: h.key, Cell: h.cell, Coord: n.id, Repair: false, Hint: true}
+			n.cluster.net.Send(n.id, target, msg, msgOverhead+len(h.key)+len(h.cell.Value))
+			n.hintsReplayed++
+		}
+		n.hintCount -= len(entries)
+		delete(n.hints, target)
+	}
+}
+
+func (n *Node) scheduleHintTick() {
+	if n.cluster.cfg.HintReplayInterval > 0 {
+		n.cluster.net.SendLocal(n.id, hintTick{}, n.cluster.cfg.HintReplayInterval)
+	}
+}
+
+func (n *Node) scheduleAE() {
+	if n.cluster.cfg.AntiEntropyInterval > 0 {
+		// Jitter the period ±25% so rounds don't synchronize.
+		base := n.cluster.cfg.AntiEntropyInterval
+		jitter := time.Duration((n.rng.Float64() - 0.5) * 0.5 * float64(base))
+		n.cluster.net.SendLocal(n.id, aeTick{}, base+jitter)
+	}
+}

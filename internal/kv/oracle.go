@@ -1,0 +1,156 @@
+package kv
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// Oracle is the staleness ground truth: it ledgers every write the moment
+// a coordinator accepts it and every replica application, so experiments
+// can judge whether a read returned the latest data (Figure 1 semantics: a
+// read started at X_r is stale when it returns a version older than the
+// newest write with X_w ≤ X_r). It also measures true propagation times,
+// which the model-validation experiment compares against Harmony's
+// monitor-based estimates.
+//
+// The oracle is measurement infrastructure with global knowledge; nothing
+// in the adaptive tuners reads it.
+type Oracle struct {
+	issued  map[string]storage.Version // newest write accepted by a coordinator
+	visible map[string]storage.Version // newest write acknowledged to a client
+	pending map[storage.Version]*pendingWrite
+
+	propagation stats.Histogram   // full-propagation times T_p
+	rankDelays  []stats.Histogram // delay until the i-th replica applied
+
+	writes       uint64
+	staleReads   uint64
+	freshReads   uint64
+	overlapReads uint64
+	failedReads  uint64
+}
+
+type pendingWrite struct {
+	key      string
+	start    time.Duration
+	replicas int
+	applied  map[netsim.NodeID]bool
+}
+
+// NewOracle returns an oracle for a store with replication factor rf.
+func NewOracle(rf int) *Oracle {
+	return &Oracle{
+		issued:     make(map[string]storage.Version),
+		visible:    make(map[string]storage.Version),
+		pending:    make(map[storage.Version]*pendingWrite),
+		rankDelays: make([]stats.Histogram, rf),
+	}
+}
+
+// WriteStarted ledgers a write accepted by a coordinator at time now.
+func (o *Oracle) WriteStarted(key string, v storage.Version, replicas int, now time.Duration) {
+	o.writes++
+	if v.After(o.issued[key]) {
+		o.issued[key] = v
+	}
+	o.pending[v] = &pendingWrite{
+		key:      key,
+		start:    now,
+		replicas: replicas,
+		applied:  make(map[netsim.NodeID]bool, replicas),
+	}
+}
+
+// WriteVisible ledgers that the write was acknowledged to its client: it
+// is now part of the data a user expects subsequent reads to return.
+func (o *Oracle) WriteVisible(key string, v storage.Version) {
+	if v.After(o.visible[key]) {
+		o.visible[key] = v
+	}
+}
+
+// Applied ledgers replica node applying version v of key at time now.
+func (o *Oracle) Applied(node netsim.NodeID, v storage.Version, now time.Duration) {
+	p, ok := o.pending[v]
+	if !ok || p.applied[node] {
+		return
+	}
+	p.applied[node] = true
+	rank := len(p.applied)
+	if rank <= len(o.rankDelays) {
+		o.rankDelays[rank-1].Record(now - p.start)
+	}
+	if rank >= p.replicas {
+		o.propagation.Record(now - p.start)
+		delete(o.pending, v)
+	}
+}
+
+// LatestVisible reports the newest client-acknowledged version of key;
+// coordinators snapshot it when a read starts.
+func (o *Oracle) LatestVisible(key string) storage.Version { return o.visible[key] }
+
+// LatestIssued reports the newest coordinator-accepted version of key
+// (Figure 1's X_w, which may not be client-visible yet).
+func (o *Oracle) LatestIssued(key string) storage.Version { return o.issued[key] }
+
+// Judge decides whether a read got stale data and tallies the verdict.
+// A read is stale when it returned a version older than the newest write
+// acknowledged before the read started (user-expected data). Reads that
+// are fresh by that standard but missed a still-in-flight overlapping
+// write are tallied separately as overlap reads — Figure 1's wider
+// "possibly stale" window.
+func (o *Oracle) Judge(visibleAtStart, issuedAtStart, returned storage.Version) bool {
+	stale := visibleAtStart.After(returned)
+	if stale {
+		o.staleReads++
+	} else {
+		o.freshReads++
+		if issuedAtStart.After(returned) {
+			o.overlapReads++
+		}
+	}
+	return stale
+}
+
+// ReadFailed tallies a read that returned an error (not judged for
+// staleness).
+func (o *Oracle) ReadFailed() { o.failedReads++ }
+
+// StaleRate reports the fraction of judged reads that were stale.
+func (o *Oracle) StaleRate() float64 {
+	total := o.staleReads + o.freshReads
+	if total == 0 {
+		return 0
+	}
+	return float64(o.staleReads) / float64(total)
+}
+
+// Counts reports the raw verdict tallies.
+func (o *Oracle) Counts() (stale, fresh, failed uint64) {
+	return o.staleReads, o.freshReads, o.failedReads
+}
+
+// OverlapReads reports reads that were fresh against acknowledged writes
+// but missed an overlapping in-flight write.
+func (o *Oracle) OverlapReads() uint64 { return o.overlapReads }
+
+// Propagation returns the histogram of full-propagation times (write
+// start to last replica application).
+func (o *Oracle) Propagation() *stats.Histogram { return &o.propagation }
+
+// RankDelay returns the histogram of delays until the rank-th replica
+// (1-based) applied a write.
+func (o *Oracle) RankDelay(rank int) *stats.Histogram { return &o.rankDelays[rank-1] }
+
+// InFlight reports how many writes have not reached all their replicas.
+func (o *Oracle) InFlight() int { return len(o.pending) }
+
+// ResetVerdicts clears the stale/fresh tallies (the ledger itself is
+// kept); experiments call it between measurement phases.
+func (o *Oracle) ResetVerdicts() {
+	o.staleReads, o.freshReads, o.failedReads, o.overlapReads = 0, 0, 0, 0
+}

@@ -1,0 +1,30 @@
+package kv
+
+// Session is the client-facing surface workloads drive: a read/write
+// session whose consistency levels are chosen by the implementation. The
+// static session pins levels; the adaptive sessions in internal/core
+// re-tune them at runtime — this interface is exactly the seam where the
+// paper's middleware sits.
+type Session interface {
+	Read(key string, cb func(ReadResult))
+	Write(key string, value []byte, cb func(WriteResult))
+}
+
+// StaticSession issues every operation at fixed levels (the paper's
+// "static eventual" and "static strong" baselines, and any fixed level in
+// between).
+type StaticSession struct {
+	Cluster    *Cluster
+	ReadLevel  Level
+	WriteLevel Level
+}
+
+// Read implements Session.
+func (s StaticSession) Read(key string, cb func(ReadResult)) {
+	s.Cluster.Read(key, s.ReadLevel, cb)
+}
+
+// Write implements Session.
+func (s StaticSession) Write(key string, value []byte, cb func(WriteResult)) {
+	s.Cluster.Write(key, value, s.WriteLevel, cb)
+}

@@ -1,0 +1,135 @@
+// Package live runs the same store nodes as the discrete-event simulator
+// but over wall-clock time and goroutines: message delivery uses real
+// timers, and a cluster-wide mutex serializes handler execution (node
+// logic is written for serialized delivery). It exists to demonstrate —
+// and race-test — that the adaptive middleware is engine-agnostic: the
+// monitor, controllers and tuners run unchanged against a live cluster.
+package live
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/stats"
+)
+
+// Engine implements kv.Network over real time.
+type Engine struct {
+	mu       sync.Mutex
+	start    time.Time
+	topo     *netsim.Topology
+	rng      *stats.Source
+	handlers map[netsim.NodeID]netsim.Handler
+	meter    netsim.TrafficMeter
+	down     map[netsim.NodeID]bool
+	closed   bool
+
+	// Scale compresses sampled network latencies (0.1 runs a WAN
+	// topology ten times faster); 0 defaults to 1.
+	Scale float64
+}
+
+// New returns a live engine over topo.
+func New(topo *netsim.Topology, seed uint64) *Engine {
+	return &Engine{
+		start:    time.Now(),
+		topo:     topo,
+		rng:      stats.NewSource(seed).Stream("live"),
+		handlers: make(map[netsim.NodeID]netsim.Handler),
+		down:     make(map[netsim.NodeID]bool),
+		Scale:    1,
+	}
+}
+
+// Now reports time since engine start.
+func (e *Engine) Now() time.Duration { return time.Since(e.start) }
+
+// Register installs a node handler. It must run under the engine lock:
+// cluster construction happens inside Do, so this does not lock itself
+// (the mutex is not reentrant).
+func (e *Engine) Register(id netsim.NodeID, h netsim.Handler) {
+	e.handlers[id] = h
+}
+
+// Do runs fn holding the engine lock; external drivers (workloads, tests)
+// use it to interact with cluster state safely.
+func (e *Engine) Do(fn func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fn()
+}
+
+func (e *Engine) scale(d time.Duration) time.Duration {
+	s := e.Scale
+	if s <= 0 {
+		s = 1
+	}
+	return time.Duration(float64(d) * s)
+}
+
+// Send delivers payload after a sampled network delay. The caller must
+// hold the engine lock (it always does: sends originate inside handlers
+// or Do blocks).
+func (e *Engine) Send(from, to netsim.NodeID, payload any, size int) {
+	class := e.topo.Class(from, to)
+	e.meter.Count(class, size)
+	if e.down[from] || e.down[to] {
+		e.meter.Dropped++
+		return
+	}
+	delay := e.scale(e.topo.Latency.Law(class).Sample(e.rng))
+	e.deliverAfter(delay, to, from, payload)
+}
+
+// SendLocal schedules a self-message (timer) on id.
+func (e *Engine) SendLocal(id netsim.NodeID, payload any, delay time.Duration) {
+	e.deliverAfter(e.scale(delay), id, id, payload)
+}
+
+func (e *Engine) deliverAfter(delay time.Duration, to, from netsim.NodeID, payload any) {
+	time.AfterFunc(delay, func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if e.closed || e.down[to] {
+			return
+		}
+		if h, ok := e.handlers[to]; ok {
+			h(from, payload)
+		}
+	})
+}
+
+// Schedule runs fn under the engine lock after delay.
+func (e *Engine) Schedule(d time.Duration, fn func()) {
+	time.AfterFunc(e.scale(d), func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if e.closed {
+			return
+		}
+		fn()
+	})
+}
+
+// Fail drops traffic to and from id (kv.Cluster's failure injection uses
+// it through the failer interface). Like all cluster interactions it must
+// run under the engine lock (inside Do or a handler).
+func (e *Engine) Fail(id netsim.NodeID) { e.down[id] = true }
+
+// Recover reverses Fail; same locking contract as Fail.
+func (e *Engine) Recover(id netsim.NodeID) { delete(e.down, id) }
+
+// Meter snapshots the traffic meter.
+func (e *Engine) Meter() netsim.TrafficMeter {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.meter.Snapshot()
+}
+
+// Close stops delivering; in-flight timers become no-ops.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+}

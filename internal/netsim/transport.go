@@ -1,0 +1,136 @@
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Handler receives messages addressed to a node. Handlers run one at a
+// time per transport (the simulation is single-threaded), so node state
+// needs no locking.
+type Handler func(from NodeID, payload any)
+
+// Transport delivers messages between topology nodes over the
+// discrete-event engine, sampling per-class latency laws, applying
+// partitions, loss and node failures, and metering traffic for the cost
+// model.
+type Transport struct {
+	eng      *sim.Engine
+	topo     *Topology
+	rng      *stats.Source
+	handlers map[NodeID]Handler
+	meter    TrafficMeter
+
+	// Bandwidth in bytes/second per class; zero means unlimited. The
+	// transfer time size/bandwidth is added to the sampled latency.
+	Bandwidth [4]float64
+
+	lossProb  float64
+	down      map[NodeID]bool
+	partition map[[2]NodeID]bool
+}
+
+// NewTransport wires a transport for topo over eng.
+func NewTransport(eng *sim.Engine, topo *Topology) *Transport {
+	return &Transport{
+		eng:       eng,
+		topo:      topo,
+		rng:       eng.RNG().Stream("netsim.transport"),
+		handlers:  make(map[NodeID]Handler),
+		down:      make(map[NodeID]bool),
+		partition: make(map[[2]NodeID]bool),
+	}
+}
+
+// Register installs the message handler for a node (or for ClientID).
+func (t *Transport) Register(id NodeID, h Handler) { t.handlers[id] = h }
+
+// Topology returns the topology the transport runs over.
+func (t *Transport) Topology() *Topology { return t.topo }
+
+// Meter returns a snapshot of the traffic meter.
+func (t *Transport) Meter() TrafficMeter { return t.meter.Snapshot() }
+
+// SetLossProbability makes every non-loopback message independently drop
+// with probability p.
+func (t *Transport) SetLossProbability(p float64) { t.lossProb = p }
+
+// Fail marks a node down: messages to and from it are dropped until
+// Recover. The node's local timers keep firing (its clock is alive, its
+// network is not), which models a network-isolated rather than crashed
+// machine; crashed machines are modeled at the store layer.
+func (t *Transport) Fail(id NodeID) { t.down[id] = true }
+
+// Recover clears the failure of id.
+func (t *Transport) Recover(id NodeID) { delete(t.down, id) }
+
+// Down reports whether id is marked failed.
+func (t *Transport) Down(id NodeID) bool { return t.down[id] }
+
+// Partition blocks traffic between every pair in a × b (both ways).
+func (t *Transport) Partition(a, b []NodeID) {
+	for _, x := range a {
+		for _, y := range b {
+			t.partition[[2]NodeID{x, y}] = true
+			t.partition[[2]NodeID{y, x}] = true
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (t *Transport) Heal() { t.partition = make(map[[2]NodeID]bool) }
+
+// Send delivers payload from → to after a sampled network delay. size is
+// the wire size in bytes, used for metering and serialization delay.
+// Messages to unregistered or failed endpoints are counted as dropped.
+func (t *Transport) Send(from, to NodeID, payload any, size int) {
+	class := t.topo.Class(from, to)
+	t.meter.Count(class, size)
+	if t.down[from] || t.down[to] || t.partition[[2]NodeID{from, to}] {
+		t.meter.Dropped++
+		return
+	}
+	if class != Loopback && t.lossProb > 0 && t.rng.Float64() < t.lossProb {
+		t.meter.Dropped++
+		return
+	}
+	delay := t.topo.Latency.Law(class).Sample(t.rng)
+	if bw := t.Bandwidth[class]; bw > 0 && size > 0 {
+		delay += time.Duration(float64(size) / bw * float64(time.Second))
+	}
+	t.eng.Schedule(delay, func() {
+		// Re-check failure at delivery: a node that died mid-flight
+		// does not receive the message.
+		if t.down[to] {
+			t.meter.Dropped++
+			return
+		}
+		if h, ok := t.handlers[to]; ok {
+			h(from, payload)
+		} else {
+			t.meter.Dropped++
+		}
+	})
+}
+
+// SendLocal schedules a self-message on node id after delay, bypassing
+// the network (no metering, no loss). It is the timer primitive node
+// logic uses; cancellation is expressed by the receiver ignoring stale
+// generations.
+func (t *Transport) SendLocal(id NodeID, payload any, delay time.Duration) {
+	t.eng.Schedule(delay, func() {
+		if h, ok := t.handlers[id]; ok {
+			h(id, payload)
+		}
+	})
+}
+
+// Now reports the engine's virtual time.
+func (t *Transport) Now() time.Duration { return t.eng.Now() }
+
+// Schedule runs fn after d of virtual time; it lets store-level
+// components (failure detector updates, experiment phases) defer work
+// without owning the engine.
+func (t *Transport) Schedule(d time.Duration, fn func()) { t.eng.Schedule(d, fn) }

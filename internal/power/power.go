@@ -1,0 +1,132 @@
+// Package power implements the paper's first future-work direction (§V):
+// the power-consumption behaviour of consistency levels. It models node
+// power as an affine function of utilization scaled by the CPU frequency
+// governor, integrates energy over a run from the cluster's metered busy
+// time, and reports per-level energy and energy-per-operation — the
+// series of the Ext-1 bench.
+package power
+
+import (
+	"fmt"
+	"time"
+)
+
+// Governor is a CPU frequency policy.
+type Governor int
+
+// The governors the study sweeps.
+const (
+	// Performance pins the maximum frequency.
+	Performance Governor = iota
+	// Powersave pins the minimum frequency.
+	Powersave
+	// OnDemand scales frequency with utilization.
+	OnDemand
+)
+
+// String names the governor.
+func (g Governor) String() string {
+	switch g {
+	case Performance:
+		return "performance"
+	case Powersave:
+		return "powersave"
+	case OnDemand:
+		return "ondemand"
+	}
+	return fmt.Sprintf("Governor(%d)", int(g))
+}
+
+// Model is a node power model: P(u, f) = Idle·(0.6 + 0.4·f) +
+// (Peak−Idle)·u·f³, the standard affine-idle/cubic-dynamic approximation.
+// Frequencies are expressed as fractions of nominal.
+type Model struct {
+	IdleWatts float64
+	PeakWatts float64
+	FMin      float64 // minimum frequency fraction (powersave)
+}
+
+// DefaultModel resembles a 2013 dual-socket server: 95 W idle, 210 W
+// peak, minimum frequency at 55% of nominal.
+func DefaultModel() Model {
+	return Model{IdleWatts: 95, PeakWatts: 210, FMin: 0.55}
+}
+
+// Frequency reports the frequency fraction the governor runs at for a
+// given utilization.
+func (m Model) Frequency(g Governor, util float64) float64 {
+	switch g {
+	case Powersave:
+		return m.FMin
+	case OnDemand:
+		f := m.FMin + (1-m.FMin)*clamp01(util/0.7) // ramp to full by 70% load
+		return f
+	default:
+		return 1.0
+	}
+}
+
+// ServiceSlowdown reports how much slower service times run at the
+// governor's frequency (inverse of frequency for CPU-bound work).
+func (m Model) ServiceSlowdown(g Governor, util float64) float64 {
+	return 1 / m.Frequency(g, util)
+}
+
+// Watts reports instantaneous power at utilization util under governor g.
+func (m Model) Watts(g Governor, util float64) float64 {
+	f := m.Frequency(g, util)
+	util = clamp01(util)
+	return m.IdleWatts*(0.6+0.4*f) + (m.PeakWatts-m.IdleWatts)*util*f*f*f
+}
+
+// Energy integrates power over elapsed at a constant utilization and
+// reports joules.
+func (m Model) Energy(g Governor, util float64, elapsed time.Duration) float64 {
+	return m.Watts(g, util) * elapsed.Seconds()
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// NodeUsage is one node's measured activity over a run.
+type NodeUsage struct {
+	Utilization float64
+	Elapsed     time.Duration
+}
+
+// Report aggregates a cluster's energy for one run.
+type Report struct {
+	Governor  Governor
+	Nodes     int
+	Elapsed   time.Duration
+	Joules    float64
+	AvgWatts  float64
+	JoulesPer float64 // joules per operation
+}
+
+// ClusterEnergy sums node energies and normalizes per operation.
+func ClusterEnergy(m Model, g Governor, nodes []NodeUsage, ops uint64) Report {
+	var joules float64
+	var elapsed time.Duration
+	for _, n := range nodes {
+		joules += m.Energy(g, n.Utilization, n.Elapsed)
+		if n.Elapsed > elapsed {
+			elapsed = n.Elapsed
+		}
+	}
+	r := Report{Governor: g, Nodes: len(nodes), Elapsed: elapsed, Joules: joules}
+	if elapsed > 0 && len(nodes) > 0 {
+		r.AvgWatts = joules / elapsed.Seconds() / float64(len(nodes))
+	}
+	if ops > 0 {
+		r.JoulesPer = joules / float64(ops)
+	}
+	return r
+}

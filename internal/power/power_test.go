@@ -1,0 +1,110 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWattsMonotoneInUtilization(t *testing.T) {
+	m := DefaultModel()
+	for _, g := range []Governor{Performance, OnDemand, Powersave} {
+		prev := -1.0
+		for u := 0.0; u <= 1.0; u += 0.05 {
+			w := m.Watts(g, u)
+			if w < prev {
+				t.Errorf("%v: watts not monotone at util %.2f", g, u)
+			}
+			prev = w
+		}
+	}
+}
+
+func TestGovernorPowerOrdering(t *testing.T) {
+	m := DefaultModel()
+	// At equal utilization, powersave draws the least, performance the
+	// most.
+	for _, u := range []float64{0.2, 0.5, 0.9} {
+		ps := m.Watts(Powersave, u)
+		od := m.Watts(OnDemand, u)
+		pf := m.Watts(Performance, u)
+		if !(ps <= od && od <= pf) {
+			t.Errorf("util %.1f: power ordering broken: %f %f %f", u, ps, od, pf)
+		}
+	}
+}
+
+func TestFrequencyBounds(t *testing.T) {
+	m := DefaultModel()
+	if err := quick.Check(func(u float64) bool {
+		u = math.Abs(u)
+		for _, g := range []Governor{Performance, OnDemand, Powersave} {
+			f := m.Frequency(g, u)
+			if f < m.FMin-1e-9 || f > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	if m.Frequency(Performance, 0.5) != 1 {
+		t.Error("performance must pin max frequency")
+	}
+	if m.Frequency(Powersave, 0.9) != m.FMin {
+		t.Error("powersave must pin min frequency")
+	}
+}
+
+func TestServiceSlowdownInverse(t *testing.T) {
+	m := DefaultModel()
+	if m.ServiceSlowdown(Performance, 0.5) != 1 {
+		t.Error("no slowdown at full frequency")
+	}
+	if s := m.ServiceSlowdown(Powersave, 0.5); math.Abs(s-1/m.FMin) > 1e-9 {
+		t.Errorf("powersave slowdown = %f", s)
+	}
+}
+
+func TestEnergyIntegration(t *testing.T) {
+	m := DefaultModel()
+	j := m.Energy(Performance, 0, time.Hour)
+	wantIdle := m.IdleWatts * 3600
+	if math.Abs(j-wantIdle) > 1 {
+		t.Errorf("idle hour = %f J, want %f", j, wantIdle)
+	}
+	jFull := m.Energy(Performance, 1, time.Hour)
+	if math.Abs(jFull-m.PeakWatts*3600) > 1 {
+		t.Errorf("full hour = %f J", jFull)
+	}
+}
+
+func TestClusterEnergyAggregation(t *testing.T) {
+	m := DefaultModel()
+	nodes := []NodeUsage{
+		{Utilization: 0.5, Elapsed: time.Hour},
+		{Utilization: 0.5, Elapsed: time.Hour},
+	}
+	rep := ClusterEnergy(m, Performance, nodes, 1_000_000)
+	if rep.Nodes != 2 || rep.Elapsed != time.Hour {
+		t.Errorf("report meta: %+v", rep)
+	}
+	perNode := m.Energy(Performance, 0.5, time.Hour)
+	if math.Abs(rep.Joules-2*perNode) > 1 {
+		t.Errorf("joules = %f", rep.Joules)
+	}
+	if math.Abs(rep.AvgWatts-perNode/3600) > 0.5 {
+		t.Errorf("avg watts = %f", rep.AvgWatts)
+	}
+	if math.Abs(rep.JoulesPer-rep.Joules/1e6) > 1e-9 {
+		t.Errorf("J/op = %f", rep.JoulesPer)
+	}
+}
+
+func TestGovernorString(t *testing.T) {
+	if Performance.String() != "performance" || Powersave.String() != "powersave" ||
+		OnDemand.String() != "ondemand" {
+		t.Error("governor names")
+	}
+}

@@ -1,0 +1,164 @@
+// Package provision implements the paper's second future-work direction
+// (§V): cost-efficient storage provisioning under consistency,
+// performance and failure constraints. Given a workload profile, a
+// consistency requirement and a node-failure budget, it searches instance
+// types and cluster sizes for the cheapest deployment whose predicted
+// throughput, staleness and availability meet the constraints. The
+// predictions reuse the Bismar capacity model and the Harmony stale-read
+// estimator over an M/M/c-flavoured queueing approximation of
+// propagation delays.
+package provision
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/harmony"
+)
+
+// NodeType is a leasable instance profile.
+type NodeType struct {
+	Name             string
+	HourlyCost       float64
+	Concurrency      int
+	ReadServiceMean  time.Duration
+	WriteServiceMean time.Duration
+}
+
+// DefaultCatalog is a 2013-flavoured EC2 menu.
+func DefaultCatalog() []NodeType {
+	return []NodeType{
+		{Name: "m1.medium", HourlyCost: 0.12, Concurrency: 1,
+			ReadServiceMean: 10 * time.Millisecond, WriteServiceMean: 7 * time.Millisecond},
+		{Name: "m1.large", HourlyCost: 0.24, Concurrency: 2,
+			ReadServiceMean: 8 * time.Millisecond, WriteServiceMean: 6 * time.Millisecond},
+		{Name: "m1.xlarge", HourlyCost: 0.48, Concurrency: 4,
+			ReadServiceMean: 7 * time.Millisecond, WriteServiceMean: 5 * time.Millisecond},
+	}
+}
+
+// Workload is the offered load the deployment must sustain.
+type Workload struct {
+	OpsPerSecond float64
+	ReadFraction float64
+	WriteRate    float64 // writes/s relevant to a read's key (stale model input)
+	BaseLatency  time.Duration
+}
+
+// Constraints bound acceptable deployments.
+type Constraints struct {
+	RF             int
+	ReadLevel      int // replicas a read involves
+	WriteLevel     int
+	MaxStaleRate   float64
+	MinThroughput  float64 // ops/s the cluster must sustain
+	FailureBudget  int     // node failures to survive while meeting the level
+	MaxUtilization float64 // headroom cap, default 0.85
+}
+
+// Plan is one candidate deployment with its predictions.
+type Plan struct {
+	Type            NodeType
+	Nodes           int
+	HourlyCost      float64
+	PredThroughput  float64
+	PredStaleRate   float64
+	PredUtilization float64
+	Feasible        bool
+	Reason          string
+}
+
+// String renders the plan.
+func (p Plan) String() string {
+	return fmt.Sprintf("%d × %s ($%.2f/h): thr=%.0f/s stale=%.1f%% util=%.0f%%",
+		p.Nodes, p.Type.Name, p.HourlyCost, p.PredThroughput, 100*p.PredStaleRate, 100*p.PredUtilization)
+}
+
+// Evaluate predicts one candidate's behaviour against the constraints.
+func Evaluate(t NodeType, nodes int, w Workload, c Constraints) Plan {
+	p := Plan{Type: t, Nodes: nodes, HourlyCost: float64(nodes) * t.HourlyCost}
+	if nodes < c.RF+c.FailureBudget {
+		p.Reason = fmt.Sprintf("needs ≥ RF+failures = %d nodes", c.RF+c.FailureBudget)
+		return p
+	}
+	if c.RF-c.FailureBudget < c.ReadLevel || c.RF-c.FailureBudget < c.WriteLevel {
+		p.Reason = "level unreachable after tolerated failures"
+		return p
+	}
+	maxUtil := c.MaxUtilization
+	if maxUtil <= 0 {
+		maxUtil = 0.85
+	}
+
+	// Capacity model: read and mutation stages, as in the store.
+	slots := float64(nodes * t.Concurrency)
+	readWork := w.ReadFraction * float64(c.ReadLevel) * t.ReadServiceMean.Seconds()
+	writeWork := (1 - w.ReadFraction) * float64(c.RF) * t.WriteServiceMean.Seconds()
+	capOps := math.Inf(1)
+	if readWork > 0 {
+		capOps = math.Min(capOps, slots*maxUtil/readWork)
+	}
+	if writeWork > 0 {
+		capOps = math.Min(capOps, slots*maxUtil/writeWork)
+	}
+	p.PredThroughput = math.Min(capOps, math.Max(w.OpsPerSecond, c.MinThroughput))
+	offered := math.Max(w.OpsPerSecond, c.MinThroughput)
+	util := offered * (readWork + writeWork) / slots
+	p.PredUtilization = util
+
+	// Propagation model: base network delay inflated by M/M/1-style
+	// queueing at the mutation stage.
+	rho := math.Min(util, 0.98)
+	queueFactor := 1 / (1 - rho)
+	delays := make([]time.Duration, c.RF)
+	for i := range delays {
+		frac := float64(i) / float64(max(1, c.RF-1))
+		net := time.Duration(float64(w.BaseLatency) * (0.2 + 0.8*frac))
+		delays[i] = time.Duration(float64(net+t.WriteServiceMean) * queueFactor)
+		if i > 0 && delays[i] < delays[i-1] {
+			delays[i] = delays[i-1]
+		}
+	}
+	p.PredStaleRate = harmony.StaleProb(c.RF, c.ReadLevel, c.WriteLevel, delays, w.WriteRate)
+
+	switch {
+	case capOps < c.MinThroughput:
+		p.Reason = fmt.Sprintf("capacity %.0f/s below required %.0f/s", capOps, c.MinThroughput)
+	case util > maxUtil:
+		p.Reason = fmt.Sprintf("utilization %.0f%% above cap %.0f%%", 100*util, 100*maxUtil)
+	case p.PredStaleRate > c.MaxStaleRate:
+		p.Reason = fmt.Sprintf("predicted stale %.1f%% above tolerated %.1f%%",
+			100*p.PredStaleRate, 100*c.MaxStaleRate)
+	default:
+		p.Feasible = true
+		p.Reason = "ok"
+	}
+	return p
+}
+
+// Optimize searches the catalog for the cheapest feasible plan; maxNodes
+// bounds the search (default 200).
+func Optimize(catalog []NodeType, w Workload, c Constraints, maxNodes int) (Plan, []Plan) {
+	if maxNodes <= 0 {
+		maxNodes = 200
+	}
+	var best Plan
+	var considered []Plan
+	bestSet := false
+	for _, t := range catalog {
+		for n := c.RF + c.FailureBudget; n <= maxNodes; n++ {
+			p := Evaluate(t, n, w, c)
+			considered = append(considered, p)
+			if !p.Feasible {
+				continue
+			}
+			if !bestSet || p.HourlyCost < best.HourlyCost {
+				best = p
+				bestSet = true
+			}
+			break // larger n of the same type only costs more
+		}
+	}
+	return best, considered
+}

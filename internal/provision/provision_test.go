@@ -1,0 +1,118 @@
+package provision
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func testWorkload() Workload {
+	return Workload{
+		OpsPerSecond: 3000,
+		ReadFraction: 0.8,
+		WriteRate:    20,
+		BaseLatency:  2 * time.Millisecond,
+	}
+}
+
+func TestEvaluateRejectsTooFewNodes(t *testing.T) {
+	c := Constraints{RF: 3, ReadLevel: 1, WriteLevel: 1, MaxStaleRate: 1, FailureBudget: 2}
+	p := Evaluate(DefaultCatalog()[1], 4, testWorkload(), c)
+	if p.Feasible {
+		t.Error("4 nodes cannot host RF3 with 2 tolerated failures")
+	}
+	if !strings.Contains(p.Reason, "RF+failures") {
+		t.Errorf("reason: %s", p.Reason)
+	}
+}
+
+func TestEvaluateRejectsUnreachableLevel(t *testing.T) {
+	c := Constraints{RF: 3, ReadLevel: 3, WriteLevel: 1, MaxStaleRate: 1, FailureBudget: 1}
+	p := Evaluate(DefaultCatalog()[1], 10, testWorkload(), c)
+	if p.Feasible {
+		t.Error("read ALL cannot survive a failure at RF3")
+	}
+}
+
+func TestEvaluateCapacityConstraint(t *testing.T) {
+	c := Constraints{RF: 3, ReadLevel: 1, WriteLevel: 1, MaxStaleRate: 1, MinThroughput: 50000}
+	p := Evaluate(DefaultCatalog()[0], 4, testWorkload(), c)
+	if p.Feasible {
+		t.Error("4 m1.medium cannot serve 50k ops/s")
+	}
+	if !strings.Contains(p.Reason, "capacity") {
+		t.Errorf("reason: %s", p.Reason)
+	}
+}
+
+func TestEvaluateStalenessConstraint(t *testing.T) {
+	w := testWorkload()
+	w.WriteRate = 500 // very hot key
+	loose := Constraints{RF: 3, ReadLevel: 1, WriteLevel: 1, MaxStaleRate: 1, MinThroughput: 3000}
+	tight := loose
+	tight.MaxStaleRate = 0.0001
+	nodeType := DefaultCatalog()[2]
+	pl := Evaluate(nodeType, 20, w, loose)
+	pt := Evaluate(nodeType, 20, w, tight)
+	if !pl.Feasible {
+		t.Fatalf("loose constraint infeasible: %s", pl.Reason)
+	}
+	if pt.Feasible {
+		t.Error("0.01% staleness should be infeasible at read ONE under hot writes")
+	}
+	if pl.PredStaleRate <= 0 {
+		t.Error("no staleness predicted under hot writes")
+	}
+}
+
+func TestOptimizePicksCheapestFeasible(t *testing.T) {
+	c := Constraints{RF: 3, ReadLevel: 1, WriteLevel: 1, MaxStaleRate: 0.5, MinThroughput: 2000}
+	best, considered := Optimize(DefaultCatalog(), testWorkload(), c, 100)
+	if !best.Feasible {
+		t.Fatal("no feasible plan found")
+	}
+	if len(considered) == 0 {
+		t.Fatal("no candidates considered")
+	}
+	for _, p := range considered {
+		if p.Feasible && p.HourlyCost < best.HourlyCost-1e-9 {
+			t.Errorf("cheaper feasible plan missed: %s vs best %s", p.String(), best.String())
+		}
+	}
+}
+
+func TestOptimizeMonotoneInConstraints(t *testing.T) {
+	loose := Constraints{RF: 3, ReadLevel: 1, WriteLevel: 1, MaxStaleRate: 0.5, MinThroughput: 2000}
+	tight := loose
+	tight.MinThroughput = 12000
+	bl, _ := Optimize(DefaultCatalog(), testWorkload(), loose, 200)
+	bt, _ := Optimize(DefaultCatalog(), testWorkload(), tight, 200)
+	if !bl.Feasible || !bt.Feasible {
+		t.Fatalf("plans infeasible: %v %v", bl.Feasible, bt.Feasible)
+	}
+	if bt.HourlyCost < bl.HourlyCost {
+		t.Errorf("tighter constraints got cheaper: $%.2f < $%.2f", bt.HourlyCost, bl.HourlyCost)
+	}
+}
+
+func TestMoreNodesLowerStaleness(t *testing.T) {
+	c := Constraints{RF: 3, ReadLevel: 1, WriteLevel: 1, MaxStaleRate: 1, MinThroughput: 3000}
+	w := testWorkload()
+	small := Evaluate(DefaultCatalog()[1], 8, w, c)
+	big := Evaluate(DefaultCatalog()[1], 40, w, c)
+	if big.PredStaleRate > small.PredStaleRate+1e-9 {
+		t.Errorf("more nodes increased predicted staleness: %f vs %f",
+			big.PredStaleRate, small.PredStaleRate)
+	}
+	if big.PredUtilization >= small.PredUtilization {
+		t.Error("more nodes must lower utilization")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := Evaluate(DefaultCatalog()[1], 10, testWorkload(),
+		Constraints{RF: 3, ReadLevel: 1, WriteLevel: 1, MaxStaleRate: 1, MinThroughput: 100})
+	if !strings.Contains(p.String(), "m1.large") {
+		t.Errorf("plan string: %s", p.String())
+	}
+}

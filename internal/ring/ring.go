@@ -1,0 +1,185 @@
+// Package ring implements the consistent-hash token ring and the replica
+// placement strategies of the replicated store: SimpleStrategy (first RF
+// distinct nodes clockwise) and NetworkTopologyStrategy (per-datacenter
+// replica counts), mirroring Cassandra's partitioners.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/netsim"
+	"repro/internal/stats"
+)
+
+// Token is a position on the hash ring.
+type Token uint64
+
+// KeyToken maps a key to its ring position (FNV-1a, uniform enough for
+// simulation purposes and fully deterministic).
+func KeyToken(key string) Token {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return Token(h.Sum64())
+}
+
+type vnode struct {
+	token Token
+	node  netsim.NodeID
+}
+
+// Ring is an immutable token ring with virtual nodes.
+type Ring struct {
+	vnodes []vnode
+	nodes  []netsim.NodeID
+}
+
+// New builds a ring for the given nodes with vnodesPerNode virtual nodes
+// each. Virtual node tokens are derived deterministically from the seed,
+// so the same (nodes, vnodes, seed) triple always produces the same
+// placement.
+func New(nodes []netsim.NodeID, vnodesPerNode int, seed uint64) *Ring {
+	if vnodesPerNode <= 0 {
+		vnodesPerNode = 1
+	}
+	r := &Ring{nodes: append([]netsim.NodeID(nil), nodes...)}
+	r.vnodes = make([]vnode, 0, len(nodes)*vnodesPerNode)
+	for _, n := range nodes {
+		for v := 0; v < vnodesPerNode; v++ {
+			tok := Token(stats.FNVHash64(seed ^ stats.FNVHash64(uint64(n)<<20|uint64(v))))
+			r.vnodes = append(r.vnodes, vnode{token: tok, node: n})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		if r.vnodes[i].token != r.vnodes[j].token {
+			return r.vnodes[i].token < r.vnodes[j].token
+		}
+		return r.vnodes[i].node < r.vnodes[j].node
+	})
+	return r
+}
+
+// Nodes returns the ring members.
+func (r *Ring) Nodes() []netsim.NodeID { return r.nodes }
+
+// N reports the number of distinct nodes on the ring.
+func (r *Ring) N() int { return len(r.nodes) }
+
+// search returns the index of the first vnode with token ≥ t (wrapping).
+func (r *Ring) search(t Token) int {
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].token >= t })
+	if i == len(r.vnodes) {
+		return 0
+	}
+	return i
+}
+
+// Walk visits distinct nodes clockwise from the key's token until visit
+// returns false or all nodes have been seen.
+func (r *Ring) Walk(key string, visit func(netsim.NodeID) bool) {
+	if len(r.vnodes) == 0 {
+		return
+	}
+	start := r.search(KeyToken(key))
+	seen := make(map[netsim.NodeID]bool, len(r.nodes))
+	for i := 0; i < len(r.vnodes); i++ {
+		vn := r.vnodes[(start+i)%len(r.vnodes)]
+		if seen[vn.node] {
+			continue
+		}
+		seen[vn.node] = true
+		if !visit(vn.node) {
+			return
+		}
+		if len(seen) == len(r.nodes) {
+			return
+		}
+	}
+}
+
+// Primary returns the first node clockwise from the key's token.
+func (r *Ring) Primary(key string) netsim.NodeID {
+	var p netsim.NodeID = -1
+	r.Walk(key, func(n netsim.NodeID) bool { p = n; return false })
+	return p
+}
+
+// Strategy chooses the replica set of a key. Implementations must be
+// deterministic: the same key always maps to the same ordered replica
+// list.
+type Strategy interface {
+	// Replicas returns the replica nodes of key in preference order
+	// (the first entry is the primary).
+	Replicas(key string) []netsim.NodeID
+	// RF reports the total replication factor.
+	RF() int
+}
+
+// SimpleStrategy places replicas on the first RF distinct nodes clockwise
+// from the key's token, ignoring topology.
+type SimpleStrategy struct {
+	Ring   *Ring
+	Factor int
+}
+
+// Replicas implements Strategy.
+func (s SimpleStrategy) Replicas(key string) []netsim.NodeID {
+	out := make([]netsim.NodeID, 0, s.Factor)
+	s.Ring.Walk(key, func(n netsim.NodeID) bool {
+		out = append(out, n)
+		return len(out) < s.Factor
+	})
+	return out
+}
+
+// RF implements Strategy.
+func (s SimpleStrategy) RF() int { return s.Factor }
+
+// NetworkTopologyStrategy places a configured number of replicas in each
+// datacenter: it walks the ring clockwise and takes nodes whose DC still
+// has unfilled quota, Cassandra's multi-DC placement.
+type NetworkTopologyStrategy struct {
+	Ring    *Ring
+	Topo    *netsim.Topology
+	PerDC   map[string]int
+	factor  int
+	factSet bool
+}
+
+// NewNetworkTopologyStrategy builds the strategy; perDC maps datacenter
+// name to replica count.
+func NewNetworkTopologyStrategy(r *Ring, topo *netsim.Topology, perDC map[string]int) *NetworkTopologyStrategy {
+	total := 0
+	for dc, n := range perDC {
+		if len(topo.NodesInDC(dc)) < n {
+			panic(fmt.Sprintf("ring: DC %q has fewer nodes than replicas (%d < %d)",
+				dc, len(topo.NodesInDC(dc)), n))
+		}
+		total += n
+	}
+	return &NetworkTopologyStrategy{Ring: r, Topo: topo, PerDC: perDC, factor: total, factSet: true}
+}
+
+// Replicas implements Strategy.
+func (s *NetworkTopologyStrategy) Replicas(key string) []netsim.NodeID {
+	need := make(map[string]int, len(s.PerDC))
+	for dc, n := range s.PerDC {
+		need[dc] = n
+	}
+	remaining := s.factor
+	out := make([]netsim.NodeID, 0, s.factor)
+	s.Ring.Walk(key, func(n netsim.NodeID) bool {
+		dc := s.Topo.DCOf(n)
+		if need[dc] > 0 {
+			need[dc]--
+			remaining--
+			out = append(out, n)
+		}
+		return remaining > 0
+	})
+	return out
+}
+
+// RF implements Strategy.
+func (s *NetworkTopologyStrategy) RF() int { return s.factor }

@@ -1,0 +1,167 @@
+// Package sim implements the deterministic discrete-event engine that
+// drives all simulated experiments. Virtual time is a time.Duration since
+// the start of the simulation; events scheduled at equal times fire in
+// scheduling order, so a run is a pure function of the seed and the
+// initial event set.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at       time.Duration
+	seq      uint64 // tie-breaker: FIFO among equal times
+	fn       func()
+	index    int // heap index, -1 once popped
+	canceled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled event that can be stopped before it
+// fires.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer; it reports whether the callback had not yet run
+// (and now never will).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index == -1 {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Engine is a discrete-event scheduler. It is not safe for concurrent use;
+// all interaction happens from event callbacks or from the goroutine
+// calling Run.
+type Engine struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	rng     *stats.Source
+	stopped bool
+	fired   uint64
+}
+
+// New returns an engine whose randomness derives entirely from seed.
+func New(seed uint64) *Engine {
+	return &Engine{rng: stats.NewSource(seed)}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// RNG returns the engine's root random source; components should derive
+// their own sub-streams from it.
+func (e *Engine) RNG() *stats.Source { return e.rng }
+
+// Events reports how many events have fired so far.
+func (e *Engine) Events() uint64 { return e.fired }
+
+// Pending reports how many events are queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn after delay of virtual time and returns a stoppable
+// handle. A negative delay panics: the past is immutable in a
+// discrete-event world.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: scheduling %v in the past", delay))
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time t.
+func (e *Engine) ScheduleAt(t time.Duration, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// Step fires the next event; it reports false when the queue is empty or
+// the engine is stopped.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with time ≤ t, then advances the clock to t.
+// Events scheduled for later remain queued.
+func (e *Engine) RunUntil(t time.Duration) {
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
+
+// Stop halts the engine; Run and RunUntil return after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i%1000) * time.Microsecond)
+	}
+}
+
+func BenchmarkHistogramQuantile(b *testing.B) {
+	var h Histogram
+	for i := 0; i < 100000; i++ {
+		h.Record(time.Duration(i%5000) * time.Microsecond)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Quantile(0.99)
+	}
+}
+
+func BenchmarkZipfianNext(b *testing.B) {
+	z := NewZipfian(1_000_000, ZipfTheta)
+	src := NewSource(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Next(src)
+	}
+}
+
+func BenchmarkScrambledZipfianNext(b *testing.B) {
+	z := NewScrambledZipfian(1_000_000, ZipfTheta)
+	src := NewSource(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Next(src)
+	}
+}
+
+func BenchmarkRateEstimatorAdd(b *testing.B) {
+	r := NewRateEstimator(10*time.Second, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Add(time.Duration(i)*time.Microsecond, 1)
+	}
+}
+
+func BenchmarkHeavyHittersObserve(b *testing.B) {
+	h := NewHeavyHitters(128)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(keys[i%len(keys)])
+	}
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestUniformRange(t *testing.T) {
+	src := NewSource(1)
+	u := Uniform{N: 10}
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := u.Next(src)
+		if v >= 10 {
+			t.Fatalf("uniform out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("uniform bucket %d wildly off: %d/10000", i, c)
+		}
+	}
+}
+
+func TestZipfianRangeProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(func(items uint64, seed uint64) bool {
+		n := items%10000 + 1
+		z := NewZipfian(n, ZipfTheta)
+		src := NewSource(seed)
+		for i := 0; i < 50; i++ {
+			if z.Next(src) >= n {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	z := NewZipfian(1000, 0.99)
+	src := NewSource(3)
+	counts := make(map[uint64]int)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Next(src)]++
+	}
+	// Rank 0 must dominate and ranks must be roughly ordered.
+	if counts[0] < counts[1] || counts[1] < counts[5] {
+		t.Errorf("zipfian ranks not ordered: c0=%d c1=%d c5=%d", counts[0], counts[1], counts[5])
+	}
+	p0 := float64(counts[0]) / draws
+	// For theta .99 over 1000 items, p0 ≈ 1/zeta ≈ 0.13.
+	if p0 < 0.08 || p0 > 0.20 {
+		t.Errorf("hot-item probability %f outside expected band", p0)
+	}
+}
+
+func TestZipfianZeroItemsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero items")
+		}
+	}()
+	NewZipfian(0, 0.99)
+}
+
+func TestScrambledZipfianSpreadsHotKeys(t *testing.T) {
+	s := NewScrambledZipfian(10000, 0.99)
+	src := NewSource(5)
+	counts := make(map[uint64]int)
+	for i := 0; i < 100000; i++ {
+		v := s.Next(src)
+		if v >= 10000 {
+			t.Fatalf("scrambled zipfian out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// The hottest item should not be item 0 systematically (hashing
+	// spreads ranks), and skew must persist.
+	hot, hotCount := uint64(0), 0
+	for k, c := range counts {
+		if c > hotCount {
+			hot, hotCount = k, c
+		}
+	}
+	if hotCount < 5000 {
+		t.Errorf("scrambling destroyed skew: hottest has %d/100000", hotCount)
+	}
+	_ = hot
+}
+
+func TestLatestFavorsRecent(t *testing.T) {
+	l := NewLatest(1000, 0.99)
+	src := NewSource(7)
+	var recent int
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		v := l.Next(src)
+		if v >= 1000 {
+			t.Fatalf("latest out of range: %d", v)
+		}
+		if v >= 990 {
+			recent++
+		}
+	}
+	if float64(recent)/draws < 0.2 {
+		t.Errorf("latest distribution not favoring recent items: %d/%d in top 1%%", recent, draws)
+	}
+	l.Advance(100)
+	for i := 0; i < 1000; i++ {
+		if v := l.Next(src); v >= 1100 {
+			t.Fatalf("latest ignored advanced horizon: %d", v)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	src := NewSource(11)
+	var sum time.Duration
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += Exponential(src, 10*time.Millisecond)
+	}
+	mean := sum / n
+	if mean < 9*time.Millisecond || mean > 11*time.Millisecond {
+		t.Errorf("exponential mean %v far from 10ms", mean)
+	}
+	if Exponential(src, 0) != 0 {
+		t.Error("zero mean must yield zero")
+	}
+}
+
+func TestLogNormalMedianAndMean(t *testing.T) {
+	l := NewLogNormal(10*time.Millisecond, 0.5)
+	src := NewSource(13)
+	var samples []time.Duration
+	var sum float64
+	const n = 100000
+	below := 0
+	for i := 0; i < n; i++ {
+		s := l.Sample(src)
+		if s < 10*time.Millisecond {
+			below++
+		}
+		sum += float64(s)
+		samples = append(samples, s)
+	}
+	if math.Abs(float64(below)/n-0.5) > 0.02 {
+		t.Errorf("median off: %f below the configured median", float64(below)/n)
+	}
+	empMean := time.Duration(sum / n)
+	anaMean := l.Mean()
+	ratio := float64(empMean) / float64(anaMean)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("empirical mean %v vs analytic %v", empMean, anaMean)
+	}
+	_ = samples
+}

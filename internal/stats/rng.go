@@ -1,0 +1,61 @@
+// Package stats provides the numerical substrate shared by the simulator,
+// the workload generator and the adaptive tuners: deterministic splittable
+// random sources, the YCSB key-popularity distributions, latency histograms
+// and windowed rate estimators.
+//
+// Everything in this package is driven by explicit clocks and explicit
+// random sources so that simulations are bit-reproducible: no calls to
+// time.Now and no global rand state.
+package stats
+
+import (
+	"hash/fnv"
+	"math/rand/v2"
+)
+
+// Source is a deterministic random source that can be split into
+// independent named sub-streams. Splitting lets every simulated component
+// (each node, each client, the network) own its own stream so that adding
+// a consumer does not perturb the draws seen by the others.
+type Source struct {
+	*rand.Rand
+	seed uint64
+}
+
+// NewSource returns a Source rooted at seed.
+func NewSource(seed uint64) *Source {
+	return &Source{
+		Rand: rand.New(rand.NewPCG(seed, splitmix64(seed))),
+		seed: seed,
+	}
+}
+
+// Stream derives an independent sub-source identified by name. The same
+// (seed, name) pair always yields the same stream.
+func (s *Source) Stream(name string) *Source {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	child := splitmix64(s.seed ^ h.Sum64())
+	return NewSource(child)
+}
+
+// StreamN derives an independent sub-source identified by name and an
+// index, for per-instance streams such as "node" 0..N-1.
+func (s *Source) StreamN(name string, n int) *Source {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	child := splitmix64(s.seed ^ h.Sum64() ^ splitmix64(uint64(n)+0x9e3779b97f4a7c15))
+	return NewSource(child)
+}
+
+// Seed reports the seed this source was rooted at.
+func (s *Source) Seed() uint64 { return s.seed }
+
+// splitmix64 is the finalizer of the SplitMix64 generator; it is used to
+// decorrelate derived seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceDeterminism(t *testing.T) {
+	a := NewSource(42)
+	b := NewSource(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSourceSeedsDiffer(t *testing.T) {
+	a := NewSource(1)
+	b := NewSource(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	root := NewSource(7)
+	s1 := root.Stream("alpha")
+	s2 := root.Stream("beta")
+	s1again := NewSource(7).Stream("alpha")
+
+	if s1.Uint64() != s1again.Uint64() {
+		t.Error("same (seed, name) stream not reproducible")
+	}
+	if s1.Seed() == s2.Seed() {
+		t.Error("different stream names produced the same derived seed")
+	}
+}
+
+func TestStreamNDistinct(t *testing.T) {
+	root := NewSource(9)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		s := root.StreamN("node", i)
+		if seen[s.Seed()] {
+			t.Fatalf("StreamN collision at index %d", i)
+		}
+		seen[s.Seed()] = true
+	}
+}
+
+func TestStreamDoesNotPerturbParent(t *testing.T) {
+	a := NewSource(11)
+	b := NewSource(11)
+	_ = a.Stream("whatever") // deriving a stream must not consume parent draws
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Stream() perturbed the parent source")
+		}
+	}
+}
+
+func TestSplitmix64Bijective(t *testing.T) {
+	// splitmix64 must not collapse nearby inputs.
+	seen := make(map[uint64]bool)
+	for i := uint64(0); i < 10000; i++ {
+		v := splitmix64(i)
+		if seen[v] {
+			t.Fatalf("collision at input %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFNVHash64Deterministic(t *testing.T) {
+	if err := quick.Check(func(v uint64) bool {
+		return FNVHash64(v) == FNVHash64(v)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if FNVHash64(1) == FNVHash64(2) {
+		t.Error("trivial collision")
+	}
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"hash/fnv"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// HeavyHitters is the space-saving algorithm of Metwally et al.: it tracks
+// the approximately most frequent keys of a stream in bounded space. The
+// monitor uses it to learn which keys absorb most writes and reads, the
+// input of the per-key stale-rate refinement.
+type HeavyHitters struct {
+	capacity int
+	entries  map[string]*hhEntry
+	total    uint64
+	seq      uint64
+}
+
+type hhEntry struct {
+	count uint64
+	err   uint64 // overestimation bound
+	seq   uint64 // insertion order, deterministic eviction tie-break
+}
+
+// NewHeavyHitters returns a sketch tracking up to capacity keys.
+func NewHeavyHitters(capacity int) *HeavyHitters {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &HeavyHitters{
+		capacity: capacity,
+		entries:  make(map[string]*hhEntry, capacity),
+	}
+}
+
+// Observe feeds one occurrence of key.
+func (h *HeavyHitters) Observe(key string) {
+	h.total++
+	if e, ok := h.entries[key]; ok {
+		e.count++
+		return
+	}
+	h.seq++
+	if len(h.entries) < h.capacity {
+		h.entries[key] = &hhEntry{count: 1, seq: h.seq}
+		return
+	}
+	// Evict the minimum-count key (oldest wins ties, which keeps the
+	// scan free of string comparisons and the result deterministic);
+	// the newcomer inherits its count as the standard space-saving
+	// overestimation.
+	var minKey string
+	minCount, minSeq := uint64(math.MaxUint64), uint64(math.MaxUint64)
+	for k, e := range h.entries {
+		if e.count < minCount || (e.count == minCount && e.seq < minSeq) {
+			minKey, minCount, minSeq = k, e.count, e.seq
+		}
+	}
+	delete(h.entries, minKey)
+	h.entries[key] = &hhEntry{count: minCount + 1, err: minCount, seq: h.seq}
+}
+
+// Total reports the stream length observed.
+func (h *HeavyHitters) Total() uint64 { return h.total }
+
+// KeyCount is one ranked entry of the sketch.
+type KeyCount struct {
+	Key   string
+	Count uint64 // upper-bound estimate of occurrences
+	Err   uint64 // maximum overestimation
+}
+
+// Top returns up to n entries by descending count (ties broken by key for
+// determinism).
+func (h *HeavyHitters) Top(n int) []KeyCount {
+	out := make([]KeyCount, 0, len(h.entries))
+	for k, e := range h.entries {
+		out = append(out, KeyCount{Key: k, Count: e.count, Err: e.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Reset clears the sketch.
+func (h *HeavyHitters) Reset() {
+	h.entries = make(map[string]*hhEntry, h.capacity)
+	h.total = 0
+}
+
+// DistinctCounter estimates the number of distinct keys in a stream with
+// linear counting over a fixed bitmap: distinct ≈ -m·ln(V) where V is the
+// fraction of zero bits. A 64 Ki-bit map stays within a few percent up to
+// roughly 100k distinct keys and degrades gracefully beyond.
+type DistinctCounter struct {
+	bits []uint64
+	m    uint64
+}
+
+// NewDistinctCounter returns a counter with 2^logBits bits (logBits ≤ 24).
+func NewDistinctCounter(logBits int) *DistinctCounter {
+	if logBits <= 0 || logBits > 24 {
+		logBits = 16
+	}
+	m := uint64(1) << logBits
+	return &DistinctCounter{bits: make([]uint64, m/64), m: m}
+}
+
+// Observe feeds one key occurrence.
+func (d *DistinctCounter) Observe(key string) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	b := h.Sum64() & (d.m - 1)
+	d.bits[b/64] |= 1 << (b % 64)
+}
+
+// Estimate reports the approximate number of distinct keys observed.
+func (d *DistinctCounter) Estimate() float64 {
+	var ones uint64
+	for _, w := range d.bits {
+		ones += uint64(bits.OnesCount64(w))
+	}
+	zero := d.m - ones
+	if zero == 0 {
+		return float64(d.m) * math.Log(float64(d.m)) // saturated
+	}
+	return -float64(d.m) * math.Log(float64(zero)/float64(d.m))
+}
+
+// Reset clears the counter.
+func (d *DistinctCounter) Reset() {
+	for i := range d.bits {
+		d.bits[i] = 0
+	}
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestHeavyHittersExactWhenSmall(t *testing.T) {
+	h := NewHeavyHitters(16)
+	for i := 0; i < 10; i++ {
+		h.Observe("a")
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe("b")
+	}
+	h.Observe("c")
+	top := h.Top(2)
+	if top[0].Key != "a" || top[0].Count != 10 {
+		t.Errorf("top[0] = %+v", top[0])
+	}
+	if top[1].Key != "b" || top[1].Count != 5 {
+		t.Errorf("top[1] = %+v", top[1])
+	}
+	if h.Total() != 16 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestHeavyHittersFindsHotKeysUnderEviction(t *testing.T) {
+	h := NewHeavyHitters(8)
+	src := NewSource(1)
+	z := NewZipfian(1000, 0.99)
+	truth := make(map[string]int)
+	for i := 0; i < 50000; i++ {
+		k := fmt.Sprintf("k%d", z.Next(src))
+		truth[k]++
+		h.Observe(k)
+	}
+	// The true hottest key must be tracked and ranked first.
+	hot, hotCount := "", 0
+	for k, c := range truth {
+		if c > hotCount {
+			hot, hotCount = k, c
+		}
+	}
+	top := h.Top(1)
+	if top[0].Key != hot {
+		t.Errorf("hottest key %s not found, got %s", hot, top[0].Key)
+	}
+	// Space-saving overestimates: estimate ≥ true count, bounded by err.
+	if top[0].Count < uint64(hotCount) {
+		t.Errorf("count underestimated: %d < %d", top[0].Count, hotCount)
+	}
+	if top[0].Count-top[0].Err > uint64(hotCount) {
+		t.Errorf("count minus error bound exceeds truth: %d−%d > %d",
+			top[0].Count, top[0].Err, hotCount)
+	}
+}
+
+func TestHeavyHittersDeterministicTop(t *testing.T) {
+	build := func() []KeyCount {
+		h := NewHeavyHitters(4)
+		for _, k := range []string{"x", "y", "z", "w", "v", "x", "y"} {
+			h.Observe(k)
+		}
+		return h.Top(0)
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic top: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestHeavyHittersReset(t *testing.T) {
+	h := NewHeavyHitters(4)
+	h.Observe("a")
+	h.Reset()
+	if h.Total() != 0 || len(h.Top(0)) != 0 {
+		t.Error("reset did not clear sketch")
+	}
+}
+
+func TestDistinctCounterAccuracy(t *testing.T) {
+	for _, n := range []int{100, 1000, 20000} {
+		d := NewDistinctCounter(16)
+		for i := 0; i < n; i++ {
+			d.Observe(fmt.Sprintf("key-%d", i))
+			d.Observe(fmt.Sprintf("key-%d", i)) // duplicates must not count
+		}
+		est := d.Estimate()
+		if math.Abs(est-float64(n))/float64(n) > 0.1 {
+			t.Errorf("n=%d estimate %.0f off by more than 10%%", n, est)
+		}
+	}
+}
+
+func TestDistinctCounterReset(t *testing.T) {
+	d := NewDistinctCounter(12)
+	d.Observe("a")
+	d.Reset()
+	if d.Estimate() != 0 {
+		t.Error("reset did not clear counter")
+	}
+}

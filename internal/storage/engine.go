@@ -1,0 +1,170 @@
+// Package storage implements the per-node storage engine of the
+// replicated store: versioned last-write-wins cells held in a memtable
+// with flush and size accounting. Conflict resolution follows Cassandra's
+// model: the cell with the highest (timestamp, sequence) wins regardless
+// of arrival order, which makes replica application commutative and
+// idempotent — the property anti-entropy and hinted handoff rely on.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Version orders writes. Timestamp is the coordinator's clock when the
+// write was accepted; Seq is a cluster-unique sequence number breaking
+// ties deterministically.
+type Version struct {
+	Timestamp time.Duration
+	Seq       uint64
+}
+
+// Zero reports whether v is the zero version (no write).
+func (v Version) Zero() bool { return v.Timestamp == 0 && v.Seq == 0 }
+
+// After reports whether v supersedes o under last-write-wins.
+func (v Version) After(o Version) bool {
+	if v.Timestamp != o.Timestamp {
+		return v.Timestamp > o.Timestamp
+	}
+	return v.Seq > o.Seq
+}
+
+// Compare returns -1, 0 or 1 as v is older than, equal to or newer than o.
+func (v Version) Compare(o Version) int {
+	switch {
+	case v == o:
+		return 0
+	case v.After(o):
+		return 1
+	default:
+		return -1
+	}
+}
+
+// String formats the version for logs.
+func (v Version) String() string { return fmt.Sprintf("v(%v#%d)", v.Timestamp, v.Seq) }
+
+// Cell is one versioned value. A tombstone marks a deletion that still
+// participates in last-write-wins reconciliation.
+type Cell struct {
+	Version   Version
+	Value     []byte
+	Tombstone bool
+}
+
+// Size reports the approximate resident bytes of the cell.
+func (c Cell) Size() int { return len(c.Value) + 24 }
+
+// Engine is a single node's key-value storage. It is not safe for
+// concurrent use; node actors access it from one goroutine/event at a
+// time.
+type Engine struct {
+	cells   map[string]Cell
+	keyList []string // keys in first-insertion order, for deterministic sampling
+
+	memBytes      int64 // bytes resident in the memtable since last flush
+	totalBytes    int64 // bytes resident overall (live data size)
+	flushLimit    int64 // flush threshold; 0 disables flush accounting
+	flushes       uint64
+	flushedBytes  uint64
+	reads, writes uint64
+	rejected      uint64 // writes dropped as older than the resident cell
+}
+
+// NewEngine returns an empty engine with the given memtable flush
+// threshold (0 disables flush accounting).
+func NewEngine(flushLimit int64) *Engine {
+	return &Engine{cells: make(map[string]Cell), flushLimit: flushLimit}
+}
+
+// Get returns the resident cell for key.
+func (e *Engine) Get(key string) (Cell, bool) {
+	e.reads++
+	c, ok := e.cells[key]
+	return c, ok
+}
+
+// Peek is Get without touching the read counters (used by repair and
+// anti-entropy bookkeeping).
+func (e *Engine) Peek(key string) (Cell, bool) {
+	c, ok := e.cells[key]
+	return c, ok
+}
+
+// Apply merges cell into the engine under last-write-wins and reports
+// whether it became the resident version.
+func (e *Engine) Apply(key string, c Cell) bool {
+	e.writes++
+	old, exists := e.cells[key]
+	if exists && !c.Version.After(old.Version) {
+		e.rejected++
+		return false
+	}
+	if !exists {
+		e.keyList = append(e.keyList, key)
+	}
+	e.cells[key] = c
+	delta := int64(c.Size())
+	if exists {
+		delta -= int64(old.Size())
+	}
+	e.totalBytes += delta
+	e.memBytes += int64(c.Size())
+	if e.flushLimit > 0 && e.memBytes >= e.flushLimit {
+		e.flushes++
+		e.flushedBytes += uint64(e.memBytes)
+		e.memBytes = 0
+	}
+	return true
+}
+
+// Delete applies a tombstone with the given version.
+func (e *Engine) Delete(key string, v Version) bool {
+	return e.Apply(key, Cell{Version: v, Tombstone: true})
+}
+
+// Len reports the number of resident keys (tombstones included).
+func (e *Engine) Len() int { return len(e.cells) }
+
+// Bytes reports the live data size in bytes.
+func (e *Engine) Bytes() int64 { return e.totalBytes }
+
+// Stats reports operation counters.
+func (e *Engine) Stats() (reads, writes, rejected, flushes uint64) {
+	return e.reads, e.writes, e.rejected, e.flushes
+}
+
+// FlushedBytes reports the cumulative bytes written out by memtable
+// flushes (a proxy for disk write traffic, used by the power model).
+func (e *Engine) FlushedBytes() uint64 { return e.flushedBytes }
+
+// KeyCount reports the number of keys ever inserted (map iteration order
+// is nondeterministic in Go, so deterministic sampling goes through the
+// insertion-ordered key list instead).
+func (e *Engine) KeyCount() int { return len(e.keyList) }
+
+// KeyAt returns the i-th key in insertion order.
+func (e *Engine) KeyAt(i int) string { return e.keyList[i] }
+
+// Keys returns all resident keys in sorted order; used by tests and
+// full-scan anti-entropy on small stores.
+func (e *Engine) Keys() []string {
+	out := make([]string, 0, len(e.cells))
+	for k := range e.cells {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Range calls fn for every key in unspecified order until fn returns
+// false. Mutating the engine during Range is not allowed.
+func (e *Engine) Range(fn func(key string, c Cell) bool) {
+	for k, c := range e.cells {
+		if !fn(k, c) {
+			return
+		}
+	}
+}

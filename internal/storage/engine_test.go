@@ -1,0 +1,201 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func v(ts int64, seq uint64) Version {
+	return Version{Timestamp: time.Duration(ts), Seq: seq}
+}
+
+func TestVersionOrdering(t *testing.T) {
+	cases := []struct {
+		a, b  Version
+		after bool
+	}{
+		{v(2, 1), v(1, 9), true},
+		{v(1, 9), v(2, 1), false},
+		{v(1, 2), v(1, 1), true},
+		{v(1, 1), v(1, 1), false},
+	}
+	for _, c := range cases {
+		if got := c.a.After(c.b); got != c.after {
+			t.Errorf("%v.After(%v) = %v", c.a, c.b, got)
+		}
+	}
+	if v(1, 1).Compare(v(1, 1)) != 0 || v(2, 0).Compare(v(1, 0)) != 1 || v(1, 0).Compare(v(2, 0)) != -1 {
+		t.Error("Compare wrong")
+	}
+	if !(Version{}).Zero() || v(0, 1).Zero() {
+		t.Error("Zero wrong")
+	}
+}
+
+func TestApplyLastWriteWins(t *testing.T) {
+	e := NewEngine(0)
+	if !e.Apply("k", Cell{Version: v(10, 1), Value: []byte("a")}) {
+		t.Fatal("first apply rejected")
+	}
+	if e.Apply("k", Cell{Version: v(5, 2), Value: []byte("old")}) {
+		t.Fatal("older write applied")
+	}
+	got, ok := e.Get("k")
+	if !ok || string(got.Value) != "a" {
+		t.Fatalf("resident cell %v", got)
+	}
+	if !e.Apply("k", Cell{Version: v(20, 3), Value: []byte("b")}) {
+		t.Fatal("newer write rejected")
+	}
+	got, _ = e.Get("k")
+	if string(got.Value) != "b" {
+		t.Fatal("newer value not resident")
+	}
+	_, _, rejected, _ := e.Stats()
+	if rejected != 1 {
+		t.Errorf("rejected = %d", rejected)
+	}
+}
+
+// TestApplyOrderIndependenceProperty: applying any permutation of a write
+// set converges to the same resident version — the property hinted
+// handoff and anti-entropy rely on.
+func TestApplyOrderIndependenceProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	if err := quick.Check(func(seed uint64, n uint8) bool {
+		count := int(n%8) + 2
+		cells := make([]Cell, count)
+		for i := range cells {
+			cells[i] = Cell{
+				Version: v(int64(i/2), uint64(i)), // include timestamp ties
+				Value:   []byte(fmt.Sprintf("v%d", i)),
+			}
+		}
+		apply := func(perm []int) Version {
+			e := NewEngine(0)
+			for _, idx := range perm {
+				e.Apply("k", cells[idx])
+			}
+			c, _ := e.Get("k")
+			return c.Version
+		}
+		base := make([]int, count)
+		for i := range base {
+			base[i] = i
+		}
+		want := apply(base)
+		rng := rand.New(rand.NewPCG(seed, 1))
+		for trial := 0; trial < 5; trial++ {
+			perm := append([]int(nil), base...)
+			rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			if apply(perm) != want {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTombstone(t *testing.T) {
+	e := NewEngine(0)
+	e.Apply("k", Cell{Version: v(1, 1), Value: []byte("x")})
+	if !e.Delete("k", v(2, 2)) {
+		t.Fatal("delete rejected")
+	}
+	got, ok := e.Get("k")
+	if !ok || !got.Tombstone {
+		t.Fatal("tombstone not resident")
+	}
+	// A write newer than the tombstone resurrects the key.
+	e.Apply("k", Cell{Version: v(3, 3), Value: []byte("y")})
+	got, _ = e.Get("k")
+	if got.Tombstone || string(got.Value) != "y" {
+		t.Fatal("resurrection failed")
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	e := NewEngine(0)
+	e.Apply("k", Cell{Version: v(1, 1), Value: make([]byte, 100)})
+	if e.Bytes() != 124 {
+		t.Errorf("bytes = %d", e.Bytes())
+	}
+	e.Apply("k", Cell{Version: v(2, 2), Value: make([]byte, 10)})
+	if e.Bytes() != 34 {
+		t.Errorf("bytes after overwrite = %d", e.Bytes())
+	}
+	e.Apply("j", Cell{Version: v(1, 3), Value: make([]byte, 6)})
+	if e.Bytes() != 64 {
+		t.Errorf("bytes after second key = %d", e.Bytes())
+	}
+}
+
+func TestFlushAccounting(t *testing.T) {
+	e := NewEngine(100)
+	for i := 0; i < 10; i++ {
+		e.Apply(fmt.Sprintf("k%d", i), Cell{Version: v(1, uint64(i+1)), Value: make([]byte, 40)})
+	}
+	_, _, _, flushes := e.Stats()
+	if flushes == 0 {
+		t.Error("no flushes despite exceeding the limit")
+	}
+	if e.FlushedBytes() == 0 {
+		t.Error("flushed bytes not accounted")
+	}
+}
+
+func TestKeyListInsertionOrder(t *testing.T) {
+	e := NewEngine(0)
+	keys := []string{"c", "a", "b"}
+	for i, k := range keys {
+		e.Apply(k, Cell{Version: v(1, uint64(i+1))})
+	}
+	e.Apply("a", Cell{Version: v(2, 4)}) // re-apply must not duplicate
+	if e.KeyCount() != 3 {
+		t.Fatalf("key count = %d", e.KeyCount())
+	}
+	for i, k := range keys {
+		if e.KeyAt(i) != k {
+			t.Errorf("KeyAt(%d) = %s, want %s", i, e.KeyAt(i), k)
+		}
+	}
+	sorted := e.Keys()
+	if sorted[0] != "a" || sorted[1] != "b" || sorted[2] != "c" {
+		t.Errorf("Keys() = %v", sorted)
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	e := NewEngine(0)
+	for i := 0; i < 10; i++ {
+		e.Apply(fmt.Sprintf("k%d", i), Cell{Version: v(1, uint64(i+1))})
+	}
+	n := 0
+	e.Range(func(string, Cell) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("range visited %d", n)
+	}
+}
+
+func TestPeekDoesNotCountAsRead(t *testing.T) {
+	e := NewEngine(0)
+	e.Apply("k", Cell{Version: v(1, 1)})
+	e.Peek("k")
+	reads, _, _, _ := e.Stats()
+	if reads != 0 {
+		t.Errorf("peek counted as read: %d", reads)
+	}
+	e.Get("k")
+	reads, _, _, _ = e.Stats()
+	if reads != 1 {
+		t.Errorf("get not counted: %d", reads)
+	}
+}

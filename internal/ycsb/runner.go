@@ -1,0 +1,279 @@
+package ycsb
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/kv"
+	"repro/internal/stats"
+)
+
+// Clock is the scheduling surface the runner needs; netsim.Transport and
+// the live engine both provide it.
+type Clock interface {
+	Now() time.Duration
+	Schedule(d time.Duration, fn func())
+}
+
+// Metrics aggregates a run's client-side measurements. Staleness tallies
+// come from the oracle verdicts carried in read results.
+type Metrics struct {
+	ReadLat  stats.Histogram
+	WriteLat stats.Histogram
+
+	Ops     uint64
+	Reads   uint64
+	Writes  uint64
+	Inserts uint64
+	RMWs    uint64
+
+	StaleReads  uint64
+	FreshReads  uint64
+	Timeouts    uint64
+	Unavailable uint64
+
+	Start time.Duration
+	End   time.Duration
+}
+
+// Elapsed reports the measured interval.
+func (m *Metrics) Elapsed() time.Duration { return m.End - m.Start }
+
+// Throughput reports measured operations per second.
+func (m *Metrics) Throughput() float64 {
+	e := m.Elapsed()
+	if e <= 0 {
+		return 0
+	}
+	return float64(m.Ops) / e.Seconds()
+}
+
+// StaleRate reports the fraction of successful reads that returned stale
+// data.
+func (m *Metrics) StaleRate() float64 {
+	t := m.StaleReads + m.FreshReads
+	if t == 0 {
+		return 0
+	}
+	return float64(m.StaleReads) / float64(t)
+}
+
+// String renders a one-line summary.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("ops=%d thr=%.0f/s stale=%.2f%% readLat{%v} writeLat{%v} to=%d unav=%d",
+		m.Ops, m.Throughput(), 100*m.StaleRate(), m.ReadLat.String(), m.WriteLat.String(),
+		m.Timeouts, m.Unavailable)
+}
+
+// Runner drives a workload against a session. Closed-loop mode models
+// YCSB's client threads (each thread issues its next operation when the
+// previous one completes); open-loop mode models a fixed arrival rate.
+type Runner struct {
+	Session  kv.Session
+	Workload Workload
+	Clock    Clock
+
+	Threads      int
+	OpCount      uint64
+	WarmupOps    uint64  // completions ignored before measurement starts
+	OpenLoopRate float64 // ops/s; 0 selects closed-loop mode
+	OnDone       func()  // optional completion callback
+
+	ks        *keyspace
+	value     []byte
+	rngs      []*stats.Source
+	arriveRNG *stats.Source
+
+	issued    uint64
+	completed uint64
+	measuring bool
+	finished  bool
+	m         Metrics
+}
+
+// NewRunner validates the workload and prepares a runner.
+func NewRunner(sess kv.Session, w Workload, clock Clock, seed uint64) (*Runner, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		Session:  sess,
+		Workload: w,
+		Clock:    clock,
+		Threads:  16,
+		OpCount:  10_000,
+		ks:       newKeyspace(w),
+	}
+	root := stats.NewSource(seed).Stream("ycsb")
+	r.arriveRNG = root.Stream("arrivals")
+	r.value = make([]byte, w.ValueSize)
+	vr := root.Stream("values")
+	for i := range r.value {
+		r.value[i] = byte(vr.UintN(256))
+	}
+	return r, nil
+}
+
+// Keys returns the key generator (preloading and tests).
+func (r *Runner) Keys(i uint64) string { return r.ks.Key(i) }
+
+// Value returns the constant value payload used for writes.
+func (r *Runner) Value() []byte { return r.value }
+
+// Metrics returns the measured aggregates; valid once Finished.
+func (r *Runner) Metrics() *Metrics { return &r.m }
+
+// Finished reports whether every operation has completed.
+func (r *Runner) Finished() bool { return r.finished }
+
+// Start begins issuing operations.
+func (r *Runner) Start() {
+	if r.Threads <= 0 {
+		r.Threads = 1
+	}
+	r.rngs = make([]*stats.Source, r.Threads)
+	for i := range r.rngs {
+		r.rngs[i] = r.arriveRNG.StreamN("thread", i)
+	}
+	if r.WarmupOps == 0 {
+		r.beginMeasurement()
+	}
+	if r.OpenLoopRate > 0 {
+		r.scheduleArrival()
+		return
+	}
+	for t := 0; t < r.Threads; t++ {
+		r.issueNext(t)
+	}
+}
+
+func (r *Runner) beginMeasurement() {
+	r.measuring = true
+	r.m.Start = r.Clock.Now()
+}
+
+// scheduleArrival drives open-loop Poisson arrivals.
+func (r *Runner) scheduleArrival() {
+	if r.issued >= r.OpCount {
+		return
+	}
+	gap := stats.Exponential(r.arriveRNG, time.Duration(float64(time.Second)/r.OpenLoopRate))
+	r.Clock.Schedule(gap, func() {
+		if r.issued < r.OpCount {
+			r.issueOp(r.rngs[int(r.issued)%r.Threads], -1)
+			r.scheduleArrival()
+		}
+	})
+}
+
+// issueNext continues a closed-loop thread.
+func (r *Runner) issueNext(thread int) {
+	if r.issued >= r.OpCount {
+		return
+	}
+	r.issueOp(r.rngs[thread], thread)
+}
+
+// issueOp draws and dispatches one operation; thread ≥ 0 re-issues on
+// completion (closed loop).
+func (r *Runner) issueOp(rng *stats.Source, thread int) {
+	r.issued++
+	kind := r.Workload.NextOp(rng)
+	switch kind {
+	case OpRead:
+		key := r.ks.NextKey(rng)
+		r.Session.Read(key, func(res kv.ReadResult) {
+			r.onRead(res)
+			r.opDone(thread)
+		})
+	case OpUpdate:
+		key := r.ks.NextKey(rng)
+		r.Session.Write(key, r.value, func(res kv.WriteResult) {
+			r.onWrite(res)
+			r.opDone(thread)
+		})
+	case OpInsert:
+		key := r.ks.InsertKey()
+		r.Session.Write(key, r.value, func(res kv.WriteResult) {
+			r.onWrite(res)
+			if r.measuring {
+				r.m.Inserts++
+			}
+			r.opDone(thread)
+		})
+	case OpReadModifyWrite:
+		key := r.ks.NextKey(rng)
+		r.Session.Read(key, func(res kv.ReadResult) {
+			r.onRead(res)
+			r.Session.Write(key, r.value, func(wres kv.WriteResult) {
+				r.onWrite(wres)
+				if r.measuring {
+					r.m.RMWs++
+				}
+				r.opDone(thread)
+			})
+		})
+	}
+}
+
+func (r *Runner) onRead(res kv.ReadResult) {
+	if !r.measuring {
+		return
+	}
+	r.m.Reads++
+	if res.Err != nil {
+		r.countError(res.Err)
+		return
+	}
+	r.m.ReadLat.Record(res.Latency)
+	if res.Stale {
+		r.m.StaleReads++
+	} else {
+		r.m.FreshReads++
+	}
+}
+
+func (r *Runner) onWrite(res kv.WriteResult) {
+	if !r.measuring {
+		return
+	}
+	r.m.Writes++
+	if res.Err != nil {
+		r.countError(res.Err)
+		return
+	}
+	r.m.WriteLat.Record(res.Latency)
+}
+
+func (r *Runner) countError(err error) {
+	switch {
+	case errors.Is(err, kv.ErrTimeout):
+		r.m.Timeouts++
+	case errors.Is(err, kv.ErrUnavailable):
+		r.m.Unavailable++
+	}
+}
+
+// opDone closes out one operation and keeps the loop going.
+func (r *Runner) opDone(thread int) {
+	r.completed++
+	if r.measuring {
+		r.m.Ops++
+		r.m.End = r.Clock.Now()
+	} else if r.completed >= r.WarmupOps {
+		r.beginMeasurement()
+	}
+	if r.completed >= r.OpCount {
+		if !r.finished {
+			r.finished = true
+			if r.OnDone != nil {
+				r.OnDone()
+			}
+		}
+		return
+	}
+	if thread >= 0 {
+		r.issueNext(thread)
+	}
+}

@@ -1,0 +1,98 @@
+package repro
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kv"
+	"repro/internal/live"
+	"repro/internal/monitor"
+)
+
+// Live is a deployment of the same store over wall-clock time and
+// goroutines — the middleware running for real rather than simulated.
+// Operations block the calling goroutine until the result arrives.
+type Live struct {
+	Engine  *live.Engine
+	Cluster *kv.Cluster
+	Monitor *monitor.Monitor
+}
+
+// NewLive builds a live deployment on topo. latencyScale compresses the
+// topology's latencies (0.1 runs a WAN topology ten times faster); pass 1
+// for real latencies.
+func NewLive(topo *Topology, cfg Config, latencyScale float64) *Live {
+	eng := live.New(topo, cfg.Seed)
+	if latencyScale > 0 {
+		eng.Scale = latencyScale
+	}
+	var cl *kv.Cluster
+	var mon *monitor.Monitor
+	eng.Do(func() {
+		cl = kv.New(topo, eng, cfg)
+		mon = monitor.New(cl.RF(), eng, monitor.DefaultOptions())
+		cl.AddHooks(mon.Hooks())
+	})
+	return &Live{Engine: eng, Cluster: cl, Monitor: mon}
+}
+
+// Read performs a blocking read at the given level.
+func (l *Live) Read(key string, lvl Level) ReadResult {
+	ch := make(chan ReadResult, 1)
+	l.Engine.Do(func() {
+		l.Cluster.Read(key, lvl, func(r ReadResult) { ch <- r })
+	})
+	return <-ch
+}
+
+// Write performs a blocking write at the given level.
+func (l *Live) Write(key string, value []byte, lvl Level) WriteResult {
+	ch := make(chan WriteResult, 1)
+	l.Engine.Do(func() {
+		l.Cluster.Write(key, value, lvl, func(r WriteResult) { ch <- r })
+	})
+	return <-ch
+}
+
+// AdaptiveSession starts a controller over the live monitor and returns a
+// blocking session stamped with the tuner's current levels.
+func (l *Live) AdaptiveSession(t Tuner, interval time.Duration) (*LiveSession, *Controller) {
+	var ctl *core.Controller
+	l.Engine.Do(func() {
+		ctl = core.NewController(l.Monitor, t, l.Engine, interval)
+		ctl.Start()
+	})
+	return &LiveSession{live: l, ctl: ctl}, ctl
+}
+
+// Preload seeds records directly into the replicas.
+func (l *Live) Preload(n uint64, key func(uint64) string, value []byte) {
+	l.Engine.Do(func() { l.Cluster.Preload(n, key, value) })
+}
+
+// Close stops the engine; outstanding timers become no-ops.
+func (l *Live) Close() { l.Engine.Close() }
+
+// LiveSession is a blocking session whose levels follow a controller.
+type LiveSession struct {
+	live *Live
+	ctl  *core.Controller
+}
+
+// Read blocks until the adaptive read completes.
+func (s *LiveSession) Read(key string) ReadResult {
+	ch := make(chan ReadResult, 1)
+	s.live.Engine.Do(func() {
+		s.ctl.Session(s.live.Cluster).Read(key, func(r ReadResult) { ch <- r })
+	})
+	return <-ch
+}
+
+// Write blocks until the adaptive write completes.
+func (s *LiveSession) Write(key string, value []byte) WriteResult {
+	ch := make(chan WriteResult, 1)
+	s.live.Engine.Do(func() {
+		s.ctl.Session(s.live.Cluster).Write(key, value, func(r WriteResult) { ch <- r })
+	})
+	return <-ch
+}

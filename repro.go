@@ -1,0 +1,170 @@
+// Package repro is a Go reproduction of "Self-Adaptive Cost-Efficient
+// Consistency Management in the Cloud" (Chihoub, IPDPS 2013 PhD Forum):
+// a Cassandra-like replicated key-value store with per-operation tunable
+// consistency, the Harmony self-adaptive consistency tuner, the Bismar
+// cost-efficiency tuner, and application behavior modeling — plus the
+// deterministic cluster simulator the evaluation runs on and a real-time
+// engine for live use.
+//
+// # Quick start
+//
+//	topo := repro.G5KTwoSites(12)
+//	sim := repro.NewSim(topo, repro.Defaults(topo))
+//	sess, ctl := sim.HarmonySession(0.05) // tolerate ≤5% stale reads
+//	...
+//
+// See examples/ for runnable programs and internal/experiments for the
+// paper's evaluation harness.
+package repro
+
+import (
+	"time"
+
+	"repro/internal/behavior"
+	"repro/internal/bismar"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/harmony"
+	"repro/internal/kv"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+	"repro/internal/ycsb"
+)
+
+// Store types.
+type (
+	// Level is a per-operation consistency level.
+	Level = kv.Level
+	// Session issues reads and writes; adaptive sessions re-tune their
+	// levels at runtime.
+	Session = kv.Session
+	// ReadResult reports a completed read.
+	ReadResult = kv.ReadResult
+	// WriteResult reports a completed write.
+	WriteResult = kv.WriteResult
+	// Config parameterizes the store.
+	Config = kv.Config
+	// Topology describes nodes, datacenters and latency laws.
+	Topology = netsim.Topology
+	// NodeID identifies a cluster node.
+	NodeID = netsim.NodeID
+	// Workload is a YCSB-style workload definition.
+	Workload = ycsb.Workload
+	// Metrics aggregates a workload run's measurements.
+	Metrics = ycsb.Metrics
+	// Decision is a tuner's choice for one control period.
+	Decision = core.Decision
+	// Tuner converts monitoring snapshots into level decisions.
+	Tuner = core.Tuner
+	// Controller runs a tuner periodically.
+	Controller = core.Controller
+	// Snapshot is the monitor's periodic output.
+	Snapshot = monitor.Snapshot
+	// Pricing is a cloud price catalog.
+	Pricing = cost.Pricing
+	// Bill is the three-part cost decomposition.
+	Bill = cost.Bill
+	// Usage is the metered consumption a bill prices.
+	Usage = cost.Usage
+	// Deployment holds Bismar's operator-known constants.
+	Deployment = bismar.Deployment
+)
+
+// The fixed consistency levels.
+var (
+	One         = kv.One
+	Two         = kv.Two
+	Three       = kv.Three
+	Quorum      = kv.Quorum
+	All         = kv.All
+	LocalQuorum = kv.LocalQuorum
+	EachQuorum  = kv.EachQuorum
+)
+
+// Count returns the generalized "k replicas" level.
+func Count(k int) Level { return kv.Count(k) }
+
+// Topology presets (see internal/netsim).
+var (
+	// EC2TwoAZ builds n VMs across two us-east-1 availability zones.
+	EC2TwoAZ = netsim.EC2TwoAZ
+	// G5KTwoSites builds n bare-metal nodes across two Grid'5000 sites.
+	G5KTwoSites = netsim.G5KTwoSites
+	// SingleDC builds n nodes in one datacenter.
+	SingleDC = netsim.SingleDC
+	// GeoRegions builds one DC per named region.
+	GeoRegions = netsim.GeoRegions
+)
+
+// Defaults returns a working store configuration for a topology.
+func Defaults(topo *Topology) Config {
+	cfg := kv.DefaultConfig()
+	if topo.N() < cfg.RF {
+		cfg.RF = topo.N()
+	}
+	return cfg
+}
+
+// Workload presets (see internal/ycsb).
+var (
+	WorkloadA       = ycsb.WorkloadA
+	WorkloadB       = ycsb.WorkloadB
+	WorkloadC       = ycsb.WorkloadC
+	WorkloadD       = ycsb.WorkloadD
+	WorkloadF       = ycsb.WorkloadF
+	HeavyReadUpdate = ycsb.HeavyReadUpdate
+	MixWorkload     = ycsb.Mix
+)
+
+// EC2Pricing2013 is the paper-era us-east-1 price catalog.
+func EC2Pricing2013() Pricing { return cost.EC2East2013() }
+
+// NewHarmonyTuner returns the Harmony tuner: smallest read level whose
+// estimated stale-read rate stays under alpha (§III-A).
+func NewHarmonyTuner(alpha float64, rf int) Tuner { return harmony.New(alpha, rf) }
+
+// NewBismarTuner returns the Bismar tuner: the consistency level with the
+// highest consistency-cost efficiency (§III-B).
+func NewBismarTuner(dep Deployment) Tuner { return bismar.New(dep) }
+
+// NewStaticTuner pins fixed levels.
+func NewStaticTuner(read, write Level) Tuner { return core.StaticTuner{Read: read, Write: write} }
+
+// Behavior modeling (§III-C).
+type (
+	// Trace is an application access log.
+	Trace = behavior.Trace
+	// Timeline is the per-period feature series of a trace.
+	Timeline = behavior.Timeline
+	// BehaviorModel is the fitted state model with per-state policies.
+	BehaviorModel = behavior.Model
+	// BehaviorOptions tunes the modeling process.
+	BehaviorOptions = behavior.Options
+	// Features summarize one period of application behaviour.
+	Features = behavior.Features
+	// Policy is a state's consistency prescription.
+	Policy = behavior.Policy
+)
+
+// BuildTimeline cuts a trace into fixed periods with feature extraction.
+func BuildTimeline(trace Trace, period time.Duration) Timeline {
+	return behavior.BuildTimeline(trace, period)
+}
+
+// BuildBehaviorModel clusters a timeline into application states and
+// associates each state with a consistency policy.
+func BuildBehaviorModel(tl Timeline, opts BehaviorOptions) (*BehaviorModel, error) {
+	return behavior.BuildModel(tl, opts)
+}
+
+// DefaultBehaviorOptions explores 2..6 states with the generic rules.
+func DefaultBehaviorOptions() BehaviorOptions { return behavior.DefaultOptions() }
+
+// Trace and model persistence for the offline workflow (collect one day,
+// model later, ship the model to the runtime classifier).
+var (
+	// ReadTrace parses a JSON trace written by Trace.WriteTo.
+	ReadTrace = behavior.ReadTrace
+	// ReadBehaviorModel parses a JSON model written by Model.WriteTo.
+	ReadBehaviorModel = behavior.ReadModel
+)

@@ -1,0 +1,135 @@
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/behavior"
+	"repro/internal/core"
+	"repro/internal/kv"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/ycsb"
+)
+
+// Sim is a fully wired simulated deployment: a deterministic
+// discrete-event engine, a cluster of store nodes over a modeled network,
+// and the Harmony monitoring module. All interaction happens in virtual
+// time; runs with the same seed are bit-reproducible.
+type Sim struct {
+	Engine    *sim.Engine
+	Transport *netsim.Transport
+	Cluster   *kv.Cluster
+	Monitor   *monitor.Monitor
+
+	controllers []*core.Controller
+}
+
+// NewSim builds a simulated deployment on topo.
+func NewSim(topo *Topology, cfg Config) *Sim {
+	eng := sim.New(cfg.Seed)
+	tr := netsim.NewTransport(eng, topo)
+	cl := kv.New(topo, tr, cfg)
+	mon := monitor.New(cl.RF(), tr, monitor.DefaultOptions())
+	cl.AddHooks(mon.Hooks())
+	return &Sim{Engine: eng, Transport: tr, Cluster: cl, Monitor: mon}
+}
+
+// StaticSession returns a session pinned to fixed levels.
+func (s *Sim) StaticSession(read, write Level) Session {
+	return kv.StaticSession{Cluster: s.Cluster, ReadLevel: read, WriteLevel: write}
+}
+
+// AdaptiveSession wires a tuner into a controller (re-evaluating every
+// interval; 0 means 100 ms of virtual time) and returns the adaptive
+// session with its controller. The controller starts on the first engine
+// step.
+func (s *Sim) AdaptiveSession(t Tuner, interval time.Duration) (Session, *Controller) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	ctl := core.NewController(s.Monitor, t, s.Transport, interval)
+	s.controllers = append(s.controllers, ctl)
+	ctl.Start()
+	return ctl.Session(s.Cluster), ctl
+}
+
+// HarmonySession is shorthand for AdaptiveSession(NewHarmonyTuner(alpha, RF)).
+func (s *Sim) HarmonySession(alpha float64) (Session, *Controller) {
+	return s.AdaptiveSession(NewHarmonyTuner(alpha, s.Cluster.RF()), 0)
+}
+
+// BismarSession is shorthand for AdaptiveSession(NewBismarTuner(dep)).
+func (s *Sim) BismarSession(dep Deployment) (Session, *Controller) {
+	return s.AdaptiveSession(NewBismarTuner(dep), 0)
+}
+
+// BehaviorSession runs a fitted behaviour model's runtime classifier as
+// the tuner, wiring the classifier's feature hooks into the cluster.
+func (s *Sim) BehaviorSession(m *BehaviorModel) (Session, *Controller) {
+	rc := behavior.NewRuntimeClassifier(m, s.Cluster.RF())
+	s.Cluster.AddHooks(rc.Hooks())
+	return s.AdaptiveSession(rc, 0)
+}
+
+// CollectTrace records an access trace of everything the cluster serves
+// while the simulation runs (§III-C's collection step).
+func (s *Sim) CollectTrace(limit int) *behavior.Collector {
+	col := behavior.NewCollector(limit)
+	s.Cluster.AddHooks(col.Hooks())
+	return col
+}
+
+// Preload seeds records into every replica (the YCSB load phase).
+func (s *Sim) Preload(n uint64, key func(uint64) string, value []byte) {
+	s.Cluster.Preload(n, key, value)
+}
+
+// RunWorkload drives a workload against a session to completion and
+// returns its metrics.
+func (s *Sim) RunWorkload(w Workload, sess Session, ops uint64, threads int) (*Metrics, error) {
+	r, err := ycsb.NewRunner(sess, w, s.Transport, s.Cluster.Config().Seed)
+	if err != nil {
+		return nil, err
+	}
+	r.OpCount = ops
+	r.Threads = threads
+	s.Preload(w.RecordCount, r.Keys, r.Value())
+	r.Start()
+	for !r.Finished() && s.Engine.Step() {
+	}
+	if !r.Finished() {
+		return nil, fmt.Errorf("repro: workload stalled with %d events pending", s.Engine.Pending())
+	}
+	return r.Metrics(), nil
+}
+
+// Run advances virtual time by d.
+func (s *Sim) Run(d time.Duration) { s.Engine.RunFor(d) }
+
+// Now reports current virtual time.
+func (s *Sim) Now() time.Duration { return s.Engine.Now() }
+
+// Read issues a read and runs the simulation until it completes.
+func (s *Sim) Read(key string, lvl Level) ReadResult {
+	var out ReadResult
+	done := false
+	s.Cluster.Read(key, lvl, func(r ReadResult) { out = r; done = true })
+	for !done && s.Engine.Step() {
+	}
+	return out
+}
+
+// Write issues a write and runs the simulation until it completes.
+func (s *Sim) Write(key string, value []byte, lvl Level) WriteResult {
+	var out WriteResult
+	done := false
+	s.Cluster.Write(key, value, lvl, func(r WriteResult) { out = r; done = true })
+	for !done && s.Engine.Step() {
+	}
+	return out
+}
+
+// StaleRate reports the oracle's measured stale-read fraction so far.
+func (s *Sim) StaleRate() float64 { return s.Cluster.Oracle().StaleRate() }
