@@ -49,11 +49,11 @@ func main() {
 	// Day 1: collection.
 	sim := repro.NewSim(topo, cfg)
 	col := sim.CollectTrace(0)
-	sess := sim.StaticSession(repro.One, repro.One)
+	cli := sim.StaticClient(repro.One, repro.One)
 	fmt.Println("day 1: collecting the application's access trace")
 	for _, ph := range phases {
 		w := repro.MixWorkload(ph.records, ph.read, 0, ph.theta)
-		m, err := sim.RunWorkload(w, sess, ph.ops, ph.threads)
+		m, err := cli.Run(w, repro.RunOptions{Ops: ph.ops, Threads: ph.threads})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -72,11 +72,11 @@ func main() {
 
 	// Day 2: runtime classification drives consistency.
 	sim2 := repro.NewSim(topo, cfg)
-	asess, ctl := sim2.BehaviorSession(model)
+	acli, ctl := sim2.BehaviorClient(model)
 	fmt.Println("\nday 2: runtime classifier in control")
 	for _, ph := range phases {
 		w := repro.MixWorkload(ph.records, ph.read, 0, ph.theta)
-		m, err := sim2.RunWorkload(w, asess, ph.ops, ph.threads)
+		m, err := acli.Run(w, repro.RunOptions{Ops: ph.ops, Threads: ph.threads})
 		if err != nil {
 			log.Fatal(err)
 		}

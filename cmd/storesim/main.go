@@ -1,6 +1,7 @@
-// Command storesim runs ad-hoc workloads against the simulated store:
-// pick a topology, replication factor, consistency level (or an adaptive
-// tuner) and a workload mix, and get throughput, latency, staleness,
+// Command storesim runs ad-hoc workloads against the simulated store
+// through the unified Client API: pick a topology, replication factor,
+// consistency level (or an adaptive tuner), a workload mix and an
+// optional multi-key batch size, and get throughput, latency, staleness,
 // resource usage and the priced bill.
 package main
 
@@ -48,6 +49,7 @@ func main() {
 	records := flag.Uint64("records", 10000, "records loaded")
 	ops := flag.Uint64("ops", 100000, "operations to run")
 	threads := flag.Int("threads", 128, "closed-loop client threads")
+	batch := flag.Int("batch", 1, "multi-key batch size (>1 drives BatchGet/BatchPut)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	theta := flag.Float64("theta", 0.99, "zipfian skew")
 	flag.Parse()
@@ -72,7 +74,7 @@ func main() {
 	cfg.Seed = *seed
 	sim := repro.NewSim(topo, cfg)
 
-	var sess repro.Session
+	var cli repro.Client
 	var ctl *repro.Controller
 	if alphaStr, ok := strings.CutPrefix(*level, "harmony:"); ok {
 		var alpha float64
@@ -80,9 +82,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bad harmony tolerance %q\n", alphaStr)
 			os.Exit(2)
 		}
-		sess, ctl = sim.HarmonySession(alpha)
+		cli, ctl = sim.HarmonyClient(alpha)
 	} else if lvl, ok := parseLevel(*level); ok {
-		sess = sim.StaticSession(lvl, lvl)
+		cli = sim.StaticClient(lvl, lvl)
 	} else {
 		fmt.Fprintf(os.Stderr, "bad level %q\n", *level)
 		os.Exit(2)
@@ -90,14 +92,14 @@ func main() {
 
 	w := repro.MixWorkload(*records, *readProp, 0, *theta)
 	start := time.Now()
-	m, err := sim.RunWorkload(w, sess, *ops, *threads)
+	m, err := cli.Run(w, repro.RunOptions{Ops: *ops, Threads: *threads, BatchSize: *batch})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("workload: %d ops (%.0f%% reads, zipf θ=%.2f) on %d nodes RF %d, level %s\n",
-		m.Ops, 100**readProp, *theta, topo.N(), *rf, *level)
+	fmt.Printf("workload: %d ops (%.0f%% reads, zipf θ=%.2f) on %d nodes RF %d, level %s, batch %d\n",
+		m.Ops, 100**readProp, *theta, topo.N(), *rf, *level, *batch)
 	fmt.Printf("virtual duration %v (wall %v, %d events)\n",
 		m.Elapsed().Round(time.Millisecond), time.Since(start).Round(time.Millisecond), sim.Engine.Events())
 	fmt.Printf("throughput  %.0f ops/s\n", m.Throughput())
@@ -107,8 +109,8 @@ func main() {
 	fmt.Printf("errors      timeouts=%d unavailable=%d\n", m.Timeouts, m.Unavailable)
 
 	u := sim.Cluster.Usage()
-	fmt.Printf("usage       replicaReads=%d replicaWrites=%d repairs=%d droppedMutations=%d\n",
-		u.ReplicaReads, u.ReplicaWrites, u.ReadRepairs, u.DroppedMuts)
+	fmt.Printf("usage       replicaReads=%d replicaWrites=%d coordOps=%d repairs=%d droppedMutations=%d\n",
+		u.ReplicaReads, u.ReplicaWrites, u.CoordOps, u.ReadRepairs, u.DroppedMuts)
 	meter := sim.Transport.Meter()
 	interDC, interRegion := meter.BilledBytes()
 	bill := experiments.Pricing().Smooth().BillFor(repro.Usage{

@@ -37,7 +37,7 @@ func main() {
 	// Day 1: record the application's behaviour.
 	sim := repro.NewSim(topo, cfg)
 	collector := sim.CollectTrace(0)
-	driveDay(sim, "day 1 (collection)")
+	driveDay(sim.StaticClient(repro.One, repro.One), "day 1 (collection)")
 	trace := collector.Trace()
 	fmt.Printf("\ncollected %d operations over %v\n", len(trace.Ops), trace.Duration().Round(time.Millisecond))
 
@@ -52,11 +52,11 @@ func main() {
 
 	// Day 2: the classifier drives consistency from the model.
 	sim2 := repro.NewSim(topo, cfg)
-	sess, ctl := sim2.BehaviorSession(model)
+	cli, ctl := sim2.BehaviorClient(model)
 	fmt.Println("\nday 2 (classified), policies in force per phase:")
 	for _, ph := range dayPhases {
 		w := repro.MixWorkload(ph.records, ph.read, 0, 0.99)
-		m, err := sim2.RunWorkload(w, sess, ph.ops, ph.threads)
+		m, err := cli.Run(w, repro.RunOptions{Ops: ph.ops, Threads: ph.threads})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -70,12 +70,11 @@ func main() {
 	}
 }
 
-func driveDay(sim *repro.Sim, label string) {
+func driveDay(cli repro.Client, label string) {
 	fmt.Printf("%s:\n", label)
-	sess := sim.StaticSession(repro.One, repro.One)
 	for _, ph := range dayPhases {
 		w := repro.MixWorkload(ph.records, ph.read, 0, 0.99)
-		m, err := sim.RunWorkload(w, sess, ph.ops, ph.threads)
+		m, err := cli.Run(w, repro.RunOptions{Ops: ph.ops, Threads: ph.threads})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,9 +1,11 @@
 // Quickstart: build a simulated two-site cluster, see how consistency
-// levels trade staleness for latency, and let Harmony pick levels
-// automatically under a tolerated stale-read rate.
+// levels trade staleness for latency through the unified Client API,
+// batch multi-key operations, and let Harmony pick levels automatically
+// under a tolerated stale-read rate.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,20 +18,34 @@ func main() {
 	cfg := repro.Defaults(topo)
 	cfg.Seed = 42
 	sim := repro.NewSim(topo, cfg)
+	ctx := context.Background()
 
-	// Single operations at explicit levels.
-	w := sim.Write("greeting", []byte("hello, cloud"), repro.One)
+	// One client serves both single and batched operations; per-op
+	// options override the session's levels.
+	cli := sim.StaticClient(repro.One, repro.One)
+	w := cli.Put(ctx, "greeting", []byte("hello, cloud"))
 	fmt.Printf("write at ONE     acked in %v (version %v)\n", w.Latency, w.Version)
-	r := sim.Read("greeting", repro.One)
+	r := cli.Get(ctx, "greeting")
 	fmt.Printf("read  at ONE     %q in %v (stale=%v)\n", r.Value, r.Latency, r.Stale)
-	r = sim.Read("greeting", repro.Quorum)
+	r = cli.Get(ctx, "greeting", repro.WithLevel(repro.Quorum))
 	fmt.Printf("read  at QUORUM  %q in %v (stale=%v)\n", r.Value, r.Latency, r.Stale)
-	r = sim.Read("greeting", repro.All)
+	r = cli.Get(ctx, "greeting", repro.WithLevel(repro.All))
 	fmt.Printf("read  at ALL     %q in %v (stale=%v)\n", r.Value, r.Latency, r.Stale)
 
+	// A multi-key batch costs one coordinator admission and one message
+	// per replica — compare its latency with the single reads above.
+	puts := make([]repro.PutOp, 8)
+	for i := range puts {
+		puts[i] = repro.PutOp{Key: fmt.Sprintf("item:%d", i), Value: []byte("v")}
+	}
+	bw := cli.BatchPut(ctx, puts)
+	br := cli.BatchGet(ctx, []string{"item:0", "item:3", "item:7"})
+	fmt.Printf("batch: 8 puts acked in one trip (%v), 3 gets in one trip (%q, %v)\n",
+		bw[0].Latency, br[0].Value, br[0].Latency)
+
 	// A heavy read-update workload under Harmony with ≤5% stale reads.
-	sess, ctl := sim.HarmonySession(0.05)
-	m, err := sim.RunWorkload(repro.HeavyReadUpdate(2000), sess, 20000, 64)
+	hcli, ctl := sim.HarmonyClient(0.05)
+	m, err := hcli.Run(repro.HeavyReadUpdate(2000), repro.RunOptions{Ops: 20000, Threads: 64})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -34,8 +34,9 @@ func main() {
 	run := func(name string, tuner repro.Tuner) {
 		sim := repro.NewSim(topo, cfg)
 		sess, ctl := sim.AdaptiveSession(tuner, 250*time.Millisecond)
+		cli := sim.Client(sess)
 		w := repro.WorkloadB(5000) // read-mostly timeline traffic
-		m, err := sim.RunWorkload(w, sess, 60000, 200)
+		m, err := cli.Run(w, repro.RunOptions{Ops: 60000, Threads: 200})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -18,7 +18,7 @@ func main() {
 	cfg.Seed = 7
 	sim := repro.NewSim(topo, cfg)
 
-	sess, ctl := sim.HarmonySession(0.01) // webshop: at most 1% stale reads
+	cli, ctl := sim.HarmonyClient(0.01) // webshop: at most 1% stale reads
 
 	phases := []struct {
 		name    string
@@ -34,7 +34,7 @@ func main() {
 	fmt.Println("webshop under Harmony (tolerated stale reads: 1%)")
 	for _, ph := range phases {
 		w := repro.MixWorkload(3000, ph.read, 0, 0.99)
-		m, err := sim.RunWorkload(w, sess, ph.ops, ph.threads)
+		m, err := cli.Run(w, repro.RunOptions{Ops: ph.ops, Threads: ph.threads})
 		if err != nil {
 			log.Fatal(err)
 		}

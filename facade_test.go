@@ -1,28 +1,137 @@
 package repro_test
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
 	"repro"
 )
 
-func TestSimReadWriteRoundtrip(t *testing.T) {
+func TestSimClientRoundtrip(t *testing.T) {
 	topo := repro.SingleDC(4)
 	cfg := repro.Defaults(topo)
 	cfg.Seed = 5
 	sim := repro.NewSim(topo, cfg)
-	w := sim.Write("k", []byte("v"), repro.Quorum)
+	cli := sim.StaticClient(repro.Quorum, repro.Quorum)
+	ctx := context.Background()
+
+	w := cli.Put(ctx, "k", []byte("v"))
 	if w.Err != nil {
 		t.Fatal(w.Err)
 	}
-	r := sim.Read("k", repro.Quorum)
+	r := cli.Get(ctx, "k")
 	if r.Err != nil || string(r.Value) != "v" || r.Stale {
 		t.Fatalf("read: %+v", r)
 	}
-	missing := sim.Read("nope", repro.One)
+	missing := cli.Get(ctx, "nope", repro.WithLevel(repro.One))
 	if missing.Err != nil || missing.Exists {
 		t.Fatalf("missing key: %+v", missing)
+	}
+	d := cli.Delete(ctx, "k")
+	if d.Err != nil {
+		t.Fatal(d.Err)
+	}
+	if r := cli.Get(ctx, "k"); r.Exists {
+		t.Fatalf("deleted key still visible: %+v", r)
+	}
+}
+
+func TestSimClientBatchOps(t *testing.T) {
+	topo := repro.G5KTwoSites(8)
+	cfg := repro.Defaults(topo)
+	cfg.Seed = 12
+	sim := repro.NewSim(topo, cfg)
+	cli := sim.StaticClient(repro.Quorum, repro.Quorum)
+	ctx := context.Background()
+
+	ops := []repro.PutOp{
+		{Key: "a", Value: []byte("1")},
+		{Key: "b", Value: []byte("2")},
+		{Key: "c", Value: []byte("3")},
+	}
+	for i, w := range cli.BatchPut(ctx, ops) {
+		if w.Err != nil {
+			t.Fatalf("batch put %d: %v", i, w.Err)
+		}
+	}
+	rs := cli.BatchGet(ctx, []string{"a", "b", "c"})
+	want := []string{"1", "2", "3"}
+	for i, r := range rs {
+		if r.Err != nil || string(r.Value) != want[i] {
+			t.Fatalf("batch get %d: %+v", i, r)
+		}
+	}
+	// Mixed put+delete batch with a per-op level override.
+	mixed := cli.BatchPut(ctx, []repro.PutOp{
+		{Key: "a", Delete: true},
+		{Key: "d", Value: []byte("4")},
+	}, repro.WithLevel(repro.All))
+	for i, w := range mixed {
+		if w.Err != nil {
+			t.Fatalf("mixed batch %d: %v", i, w.Err)
+		}
+	}
+	if r := cli.Get(ctx, "a"); r.Exists {
+		t.Errorf("a survived batch delete: %+v", r)
+	}
+	if r := cli.Get(ctx, "d"); string(r.Value) != "4" {
+		t.Errorf("d = %+v", r)
+	}
+}
+
+func TestSimClientFuturesPipeline(t *testing.T) {
+	topo := repro.SingleDC(4)
+	cfg := repro.Defaults(topo)
+	cfg.Seed = 13
+	sim := repro.NewSim(topo, cfg)
+	cli := sim.StaticClient(repro.One, repro.One)
+	ctx := context.Background()
+
+	// Issue several writes before waiting on any: the futures pipeline
+	// through the store concurrently in virtual time.
+	futs := []*repro.WriteFuture{
+		cli.PutAsync(ctx, "f1", []byte("x")),
+		cli.PutAsync(ctx, "f2", []byte("y")),
+		cli.PutAsync(ctx, "f3", []byte("z")),
+	}
+	for i, f := range futs {
+		if w := f.Wait(ctx); w.Err != nil {
+			t.Fatalf("future %d: %v", i, w.Err)
+		}
+	}
+	g := cli.GetAsync(ctx, "f2")
+	if r := g.Wait(ctx); string(r.Value) != "y" {
+		t.Fatalf("async get: %+v", r)
+	}
+	if !g.Ready() {
+		t.Error("waited future not ready")
+	}
+}
+
+func TestClientContextAndDeadline(t *testing.T) {
+	topo := repro.SingleDC(4)
+	cfg := repro.Defaults(topo)
+	cfg.Seed = 14
+	sim := repro.NewSim(topo, cfg)
+	cli := sim.StaticClient(repro.Quorum, repro.Quorum)
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if r := cli.Get(canceled, "k"); !errors.Is(r.Err, repro.ErrCanceled) {
+		t.Errorf("canceled ctx: %+v", r)
+	}
+	// A 1 ns virtual deadline expires before any replica can answer.
+	r := cli.Get(context.Background(), "k", repro.WithDeadline(time.Nanosecond))
+	if !errors.Is(r.Err, repro.ErrDeadline) {
+		t.Errorf("deadline: %+v", r)
+	}
+	// A generous deadline leaves the result untouched.
+	cli.Put(context.Background(), "k", []byte("v"))
+	ok := cli.Get(context.Background(), "k", repro.WithDeadline(time.Minute))
+	if ok.Err != nil || string(ok.Value) != "v" {
+		t.Errorf("deadline no-op: %+v", ok)
 	}
 }
 
@@ -31,8 +140,8 @@ func TestSimRunWorkloadWithHarmony(t *testing.T) {
 	cfg := repro.Defaults(topo)
 	cfg.Seed = 6
 	sim := repro.NewSim(topo, cfg)
-	sess, ctl := sim.HarmonySession(0.05)
-	m, err := sim.RunWorkload(repro.HeavyReadUpdate(1000), sess, 10000, 32)
+	cli, ctl := sim.HarmonyClient(0.05)
+	m, err := cli.Run(repro.HeavyReadUpdate(1000), repro.RunOptions{Ops: 10000, Threads: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,13 +156,41 @@ func TestSimRunWorkloadWithHarmony(t *testing.T) {
 	}
 }
 
+func TestSimRunBatchedWorkload(t *testing.T) {
+	topo := repro.G5KTwoSites(8)
+	cfg := repro.Defaults(topo)
+	cfg.Seed = 16
+	sim := repro.NewSim(topo, cfg)
+	cli := sim.StaticClient(repro.Quorum, repro.Quorum)
+	m, err := cli.Run(repro.HeavyReadUpdate(1000), repro.RunOptions{Ops: 8000, Threads: 16, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ops != 8000 {
+		t.Errorf("ops = %d", m.Ops)
+	}
+
+	// The same op count unbatched must need more virtual time: batches
+	// amortize admission and round trips.
+	sim2 := repro.NewSim(topo, cfg)
+	cli2 := sim2.StaticClient(repro.Quorum, repro.Quorum)
+	m2, err := cli2.Run(repro.HeavyReadUpdate(1000), repro.RunOptions{Ops: 8000, Threads: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Throughput() <= m2.Throughput() {
+		t.Errorf("batched throughput %.0f not above unbatched %.0f", m.Throughput(), m2.Throughput())
+	}
+}
+
 func TestSimDeterminism(t *testing.T) {
 	run := func() (float64, float64) {
 		topo := repro.EC2TwoAZ(6)
 		cfg := repro.Defaults(topo)
 		cfg.Seed = 7
 		sim := repro.NewSim(topo, cfg)
-		m, err := sim.RunWorkload(repro.WorkloadB(500), sim.StaticSession(repro.One, repro.One), 5000, 16)
+		cli := sim.StaticClient(repro.One, repro.One)
+		m, err := cli.Run(repro.WorkloadB(500), repro.RunOptions{Ops: 5000, Threads: 16})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -73,11 +210,11 @@ func TestFacadeBehaviorPipeline(t *testing.T) {
 	sim := repro.NewSim(topo, cfg)
 	col := sim.CollectTrace(0)
 
-	sess := sim.StaticSession(repro.One, repro.One)
-	if _, err := sim.RunWorkload(repro.WorkloadC(500), sess, 4000, 16); err != nil {
+	cli := sim.StaticClient(repro.One, repro.One)
+	if _, err := cli.Run(repro.WorkloadC(500), repro.RunOptions{Ops: 4000, Threads: 16}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sim.RunWorkload(repro.MixWorkload(100, 0.5, 0, 0.99), sess, 4000, 16); err != nil {
+	if _, err := cli.Run(repro.MixWorkload(100, 0.5, 0, 0.99), repro.RunOptions{Ops: 4000, Threads: 16}); err != nil {
 		t.Fatal(err)
 	}
 	tl := repro.BuildTimeline(col.Trace(), 50*time.Millisecond)
@@ -90,8 +227,8 @@ func TestFacadeBehaviorPipeline(t *testing.T) {
 	}
 
 	sim2 := repro.NewSim(topo, cfg)
-	bsess, ctl := sim2.BehaviorSession(model)
-	if _, err := sim2.RunWorkload(repro.WorkloadC(500), bsess, 4000, 16); err != nil {
+	bcli, ctl := sim2.BehaviorClient(model)
+	if _, err := bcli.Run(repro.WorkloadC(500), repro.RunOptions{Ops: 4000, Threads: 16}); err != nil {
 		t.Fatal(err)
 	}
 	if len(ctl.Journal()) == 0 {
@@ -99,21 +236,40 @@ func TestFacadeBehaviorPipeline(t *testing.T) {
 	}
 }
 
-func TestLiveFacade(t *testing.T) {
+func TestLiveClient(t *testing.T) {
 	topo := repro.SingleDC(4)
 	cfg := repro.Defaults(topo)
 	cfg.Seed = 9
 	lv := repro.NewLive(topo, cfg, 0.2)
 	defer lv.Close()
-	if w := lv.Write("k", []byte("v"), repro.Quorum); w.Err != nil {
+	ctx := context.Background()
+
+	cli := lv.StaticClient(repro.Quorum, repro.One)
+	if w := cli.Put(ctx, "k", []byte("v")); w.Err != nil {
 		t.Fatal(w.Err)
 	}
-	if r := lv.Read("k", repro.One); r.Err != nil || string(r.Value) != "v" {
+	if r := cli.Get(ctx, "k"); r.Err != nil || string(r.Value) != "v" {
 		t.Fatalf("live read: %+v", r)
 	}
-	sess, ctl := lv.AdaptiveSession(repro.NewHarmonyTuner(0.1, cfg.RF), 50*time.Millisecond)
-	sess.Write("k2", []byte("x"))
-	if r := sess.Read("k2"); r.Err != nil {
+	for i, w := range cli.BatchPut(ctx, []repro.PutOp{
+		{Key: "b1", Value: []byte("x")},
+		{Key: "b2", Value: []byte("y")},
+	}) {
+		if w.Err != nil {
+			t.Fatalf("live batch put %d: %v", i, w.Err)
+		}
+	}
+	rs := cli.BatchGet(ctx, []string{"b1", "b2"}, repro.WithLevel(repro.All))
+	if string(rs[0].Value) != "x" || string(rs[1].Value) != "y" {
+		t.Fatalf("live batch get: %+v", rs)
+	}
+	if d := cli.Delete(ctx, "b1"); d.Err != nil {
+		t.Fatal(d.Err)
+	}
+
+	acli, ctl := lv.HarmonyClient(0.1, 50*time.Millisecond)
+	acli.Put(ctx, "k2", []byte("x"))
+	if r := acli.Get(ctx, "k2"); r.Err != nil {
 		t.Fatal(r.Err)
 	}
 	if ctl == nil {

@@ -165,3 +165,21 @@ func (s adaptiveSession) Read(key string, cb func(kv.ReadResult)) {
 func (s adaptiveSession) Write(key string, value []byte, cb func(kv.WriteResult)) {
 	s.cluster.Write(key, value, s.ctl.cur.WriteLevel, cb)
 }
+
+// Delete implements kv.Session: a tombstone write at the current
+// adaptive write level.
+func (s adaptiveSession) Delete(key string, cb func(kv.WriteResult)) {
+	s.cluster.Delete(key, s.ctl.cur.WriteLevel, cb)
+}
+
+// BatchRead implements kv.Session: the whole batch is stamped with the
+// read level in force at issue time.
+func (s adaptiveSession) BatchRead(keys []string, cb func([]kv.ReadResult)) {
+	s.cluster.ReadBatch(keys, s.ctl.cur.ReadLevel, cb)
+}
+
+// BatchWrite implements kv.Session: the whole batch is stamped with the
+// write level in force at issue time.
+func (s adaptiveSession) BatchWrite(ops []kv.BatchOp, cb func([]kv.WriteResult)) {
+	s.cluster.WriteBatch(ops, s.ctl.cur.WriteLevel, cb)
+}

@@ -102,6 +102,37 @@ func (e *Enforcer) Write(key string, value []byte, cb func(kv.WriteResult)) {
 	})
 }
 
+// Delete implements kv.Session. Tombstones are not audited: the audit
+// compares the returned version against the write's, and a deleted key
+// reads back with a zero version regardless of propagation.
+func (e *Enforcer) Delete(key string, cb func(kv.WriteResult)) { e.Inner.Delete(key, cb) }
+
+// BatchRead implements kv.Session.
+func (e *Enforcer) BatchRead(keys []string, cb func([]kv.ReadResult)) { e.Inner.BatchRead(keys, cb) }
+
+// BatchWrite implements kv.Session: every successful non-delete item is
+// audited against the deadline exactly like a single write.
+func (e *Enforcer) BatchWrite(ops []kv.BatchOp, cb func([]kv.WriteResult)) {
+	for _, op := range ops {
+		if !op.Delete {
+			e.writes++
+		}
+	}
+	e.Inner.BatchWrite(ops, func(res []kv.WriteResult) {
+		for i, r := range res {
+			if r.Err == nil && !ops[i].Delete {
+				delay := e.Guarantee.Deadline - e.AuditMargin - r.Latency
+				if delay < 0 {
+					delay = 0
+				}
+				key, w := ops[i].Key, r
+				e.Clock.Schedule(delay, func() { e.audit(key, w) })
+			}
+		}
+		cb(res)
+	})
+}
+
 func (e *Enforcer) audit(key string, w kv.WriteResult) {
 	e.audits++
 	e.Cluster.Read(key, kv.All, func(res kv.ReadResult) {
@@ -165,20 +196,40 @@ func NewBoundedSession(cl *kv.Cluster, mon *monitor.Monitor, bound float64) *Bou
 
 // Read implements kv.Session.
 func (s *BoundedSession) Read(key string, cb func(kv.ReadResult)) {
-	snap := s.Monitor.Snapshot()
-	k := s.Estimator.RF
-	for cand := 1; cand <= s.Estimator.RF; cand++ {
-		if s.Estimator.StaleRate(cand, snap) <= s.Bound {
-			k = cand
-			break
-		}
-	}
-	s.Cluster.Read(key, kv.Count(k), cb)
+	s.Cluster.Read(key, kv.Count(s.boundedK()), cb)
 }
 
 // Write implements kv.Session.
 func (s *BoundedSession) Write(key string, value []byte, cb func(kv.WriteResult)) {
 	s.Cluster.Write(key, value, s.WriteLevel, cb)
+}
+
+// Delete implements kv.Session.
+func (s *BoundedSession) Delete(key string, cb func(kv.WriteResult)) {
+	s.Cluster.Delete(key, s.WriteLevel, cb)
+}
+
+// BatchRead implements kv.Session: the bound is evaluated once and the
+// whole batch reads at the chosen level.
+func (s *BoundedSession) BatchRead(keys []string, cb func([]kv.ReadResult)) {
+	s.Cluster.ReadBatch(keys, kv.Count(s.boundedK()), cb)
+}
+
+// BatchWrite implements kv.Session.
+func (s *BoundedSession) BatchWrite(ops []kv.BatchOp, cb func([]kv.WriteResult)) {
+	s.Cluster.WriteBatch(ops, s.WriteLevel, cb)
+}
+
+// boundedK picks the smallest read level whose estimated stale
+// probability stays under the bound.
+func (s *BoundedSession) boundedK() int {
+	snap := s.Monitor.Snapshot()
+	for cand := 1; cand <= s.Estimator.RF; cand++ {
+		if s.Estimator.StaleRate(cand, snap) <= s.Bound {
+			return cand
+		}
+	}
+	return s.Estimator.RF
 }
 
 // String describes the guarantee.

@@ -213,6 +213,10 @@ func (c *Cluster) handleClientReply(_ netsim.NodeID, payload any) {
 		m.cb(m.res)
 	case clientWriteReply:
 		m.cb(m.res)
+	case clientBatchReadReply:
+		m.cb(m.res)
+	case clientBatchWriteReply:
+		m.cb(m.res)
 	}
 }
 

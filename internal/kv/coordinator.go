@@ -17,7 +17,7 @@ type readCtx struct {
 	level          Level
 	req            requirement
 	start          time.Duration
-	cb             func(ReadResult)
+	reply          func(ReadResult) // routes the result to the client (or batch collector)
 	visibleAtStart storage.Version
 	issuedAtStart  storage.Version
 
@@ -43,12 +43,35 @@ type writeCtx struct {
 	level     Level
 	req       requirement
 	start     time.Duration
-	cb        func(WriteResult)
+	reply     func(WriteResult) // routes the result to the client (or batch collector)
 	version   storage.Version
 	replicas  int
 	acks      map[string]int
 	ackCount  int
 	completed bool
+}
+
+// batchReadCtx tracks one coordinated multi-key read: per-item readCtx
+// sub-contexts sharing a single admission, request fan-out and timeout.
+type batchReadCtx struct {
+	id        reqID
+	cb        func([]ReadResult)
+	items     []*readCtx // nil for items that failed at admission
+	results   []ReadResult
+	pending   int // items whose client-visible result is still outstanding
+	delivered bool
+}
+
+// batchWriteCtx is the write counterpart of batchReadCtx. Like writeCtx
+// it lives until the timeout event so late replica acks still feed the
+// monitor's propagation signal.
+type batchWriteCtx struct {
+	id        reqID
+	cb        func([]WriteResult)
+	items     []*writeCtx
+	results   []WriteResult
+	pending   int
+	delivered bool
 }
 
 // coordRead admits a client read on this coordinator.
@@ -72,7 +95,7 @@ func (n *Node) coordRead(m clientRead) {
 
 		ctx := &readCtx{
 			id: m.ID, key: m.Key, level: m.Level, req: req,
-			start: now, cb: m.cb,
+			start: now, reply: func(res ReadResult) { n.replyRead(m.cb, res) },
 			visibleAtStart: n.cluster.oracle.LatestVisible(m.Key),
 			issuedAtStart:  n.cluster.oracle.LatestIssued(m.Key),
 			targets:        targets,
@@ -123,6 +146,7 @@ func (n *Node) onReadResp(m replicaReadResp) {
 	}
 
 	if len(ctx.responses) >= len(ctx.targets) && !ctx.awaitData && ctx.delivered {
+		delete(n.reads, ctx.id)
 		n.finalizeRead(ctx)
 	}
 }
@@ -166,14 +190,20 @@ func (n *Node) deliverRead(ctx *readCtx) {
 		res.Value = ctx.bestData.Cell.Value
 		res.Version = ctx.bestData.Cell.Version
 	}
-	res.Stale = n.cluster.oracle.Judge(ctx.visibleAtStart, ctx.issuedAtStart, res.Version)
+	// Judge staleness by the freshest version observed, tombstones
+	// included: a read that sees the latest deletion is fresh even
+	// though it reports no value.
+	judged := res.Version
+	if ctx.haveData {
+		judged = ctx.bestData.Cell.Version
+	}
+	res.Stale = n.cluster.oracle.Judge(ctx.visibleAtStart, ctx.issuedAtStart, judged)
 	n.cluster.hooks.readCompleted(now, res)
-	n.replyRead(ctx.cb, res)
+	ctx.reply(res)
 }
 
-// finalizeRead performs read repair and discards the context.
+// finalizeRead performs read repair; callers discard the context.
 func (n *Node) finalizeRead(ctx *readCtx) {
-	delete(n.reads, ctx.id)
 	if !n.cluster.cfg.ReadRepair || !ctx.haveData {
 		return
 	}
@@ -233,7 +263,8 @@ func (n *Node) coordWrite(m clientWrite) {
 
 		ctx := &writeCtx{
 			id: m.ID, key: m.Key, level: m.Level, req: req,
-			start: now, cb: m.cb, version: version,
+			start: now, reply: func(res WriteResult) { n.replyWrite(m.cb, res) },
+			version:  version,
 			replicas: len(replicas),
 			acks:     make(map[string]int),
 		}
@@ -260,9 +291,15 @@ func (n *Node) onWriteAck(m replicaWriteAck) {
 	if !ok {
 		return
 	}
+	n.foldWriteAck(ctx, m.From)
+}
+
+// foldWriteAck counts one replica acknowledgement toward ctx and
+// completes the client-visible write once the level is satisfied.
+func (n *Node) foldWriteAck(ctx *writeCtx, from netsim.NodeID) {
 	now := n.cluster.net.Now()
 	ctx.ackCount++
-	ctx.acks[n.cluster.topo.DCOf(m.From)]++
+	ctx.acks[n.cluster.topo.DCOf(from)]++
 	n.cluster.hooks.writeAck(now, ctx.key, ctx.ackCount, now-ctx.start)
 
 	if !ctx.completed && ctx.req.satisfied(ctx.acks) {
@@ -273,34 +310,66 @@ func (n *Node) onWriteAck(m replicaWriteAck) {
 			Latency: now - ctx.start, Acked: ctx.ackCount,
 		}
 		n.cluster.hooks.writeCompleted(now, res)
-		n.replyWrite(ctx.cb, res)
+		ctx.reply(res)
 	}
 }
 
-// onTimeout fires for both reads and writes; contexts still incomplete
-// fail with ErrTimeout, completed ones are finalized.
+// onTimeout fires for both reads and writes, single and batched;
+// contexts still incomplete fail with ErrTimeout, completed ones are
+// finalized.
 func (n *Node) onTimeout(m coordTimeout) {
 	if m.Write {
+		if bctx, ok := n.batchWrites[m.ID]; ok {
+			delete(n.batchWrites, m.ID)
+			for _, ctx := range bctx.items {
+				if ctx != nil {
+					n.expireWrite(ctx)
+				}
+			}
+			return
+		}
 		ctx, ok := n.writes[m.ID]
 		if !ok {
 			return
 		}
-		if !ctx.completed {
-			ctx.completed = true
-			res := WriteResult{
-				Err: ErrTimeout, Key: ctx.key, Level: ctx.level,
-				Latency: n.cluster.cfg.Timeout, Acked: ctx.ackCount,
-			}
-			n.cluster.hooks.writeCompleted(n.cluster.net.Now(), res)
-			n.replyWrite(ctx.cb, res)
-		}
 		delete(n.writes, m.ID)
+		n.expireWrite(ctx)
+		return
+	}
+	if bctx, ok := n.batchReads[m.ID]; ok {
+		delete(n.batchReads, m.ID)
+		for _, ctx := range bctx.items {
+			if ctx != nil {
+				n.expireRead(ctx)
+			}
+		}
 		return
 	}
 	ctx, ok := n.reads[m.ID]
 	if !ok {
 		return
 	}
+	delete(n.reads, m.ID)
+	n.expireRead(ctx)
+}
+
+// expireWrite fails a still-incomplete write context with ErrTimeout.
+func (n *Node) expireWrite(ctx *writeCtx) {
+	if ctx.completed {
+		return
+	}
+	ctx.completed = true
+	res := WriteResult{
+		Err: ErrTimeout, Key: ctx.key, Level: ctx.level,
+		Latency: n.cluster.cfg.Timeout, Acked: ctx.ackCount,
+	}
+	n.cluster.hooks.writeCompleted(n.cluster.net.Now(), res)
+	ctx.reply(res)
+}
+
+// expireRead fails a still-undelivered read context with ErrTimeout and
+// runs read repair on whatever responses did arrive.
+func (n *Node) expireRead(ctx *readCtx) {
 	if !ctx.delivered {
 		ctx.completed = true
 		ctx.delivered = true
@@ -310,7 +379,7 @@ func (n *Node) onTimeout(m coordTimeout) {
 		}
 		n.cluster.oracle.ReadFailed()
 		n.cluster.hooks.readCompleted(n.cluster.net.Now(), res)
-		n.replyRead(ctx.cb, res)
+		ctx.reply(res)
 	}
 	ctx.awaitData = false
 	n.finalizeRead(ctx)

@@ -25,6 +25,10 @@ type Hooks struct {
 	WriteAck func(now time.Duration, key string, rank int, delay time.Duration)
 	// WriteCompleted fires when the client-visible write finishes.
 	WriteCompleted func(now time.Duration, res WriteResult)
+	// BatchStarted fires once per admitted multi-key batch with its item
+	// counts; the per-item Read*/Write* hooks still fire for every item,
+	// so rate-based consumers need no batch awareness.
+	BatchStarted func(now time.Duration, reads, writes int)
 }
 
 // hookSet fans callbacks out to registered hooks.
@@ -66,6 +70,14 @@ func (hs hookSet) writeCompleted(now time.Duration, res WriteResult) {
 	for _, h := range hs {
 		if h.WriteCompleted != nil {
 			h.WriteCompleted(now, res)
+		}
+	}
+}
+
+func (hs hookSet) batchStarted(now time.Duration, reads, writes int) {
+	for _, h := range hs {
+		if h.BatchStarted != nil {
+			h.BatchStarted(now, reads, writes)
 		}
 	}
 }

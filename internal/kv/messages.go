@@ -48,6 +48,87 @@ type clientWriteReply struct {
 	res WriteResult
 }
 
+// BatchOp is one item of a multi-key batch mutation. Delete issues a
+// tombstone for Key instead of storing Value.
+type BatchOp struct {
+	Key    string
+	Value  []byte
+	Delete bool
+}
+
+// clientBatchRead admits a multi-key read on one coordinator: one
+// admission for the whole batch, results delivered together in key
+// order.
+type clientBatchRead struct {
+	ID    reqID
+	Keys  []string
+	Level Level
+	cb    func([]ReadResult)
+}
+
+// clientBatchWrite is the write counterpart of clientBatchRead.
+type clientBatchWrite struct {
+	ID    reqID
+	Ops   []BatchOp
+	Level Level
+	cb    func([]WriteResult)
+}
+
+// clientBatchReadReply carries a whole batch's results back to the
+// client endpoint in one message.
+type clientBatchReadReply struct {
+	cb  func([]ReadResult)
+	res []ReadResult
+}
+
+// clientBatchWriteReply is the write counterpart.
+type clientBatchWriteReply struct {
+	cb  func([]WriteResult)
+	res []WriteResult
+}
+
+// replicaBatchRead asks one replica for every batch item it serves — at
+// most one request message per replica per batch. Batched reads always
+// carry full data (no digests): the batch already amortizes transfer,
+// and per-item digest refetches would reintroduce per-key messages.
+type replicaBatchRead struct {
+	ID    reqID
+	Idxs  []int // batch positions, parallel to Keys
+	Keys  []string
+	Coord netsim.NodeID
+}
+
+// batchReadItem is one replica's answer for one batch position.
+type batchReadItem struct {
+	Idx    int
+	Cell   storage.Cell
+	Exists bool
+}
+
+// replicaBatchReadResp answers a replicaBatchRead in one message.
+type replicaBatchReadResp struct {
+	ID    reqID
+	Items []batchReadItem
+	From  netsim.NodeID
+}
+
+// replicaBatchWrite carries every batch mutation a replica owns in one
+// message.
+type replicaBatchWrite struct {
+	ID    reqID
+	Idxs  []int // batch positions, parallel to Keys/Cells
+	Keys  []string
+	Cells []storage.Cell
+	Coord netsim.NodeID
+}
+
+// replicaBatchWriteAck acknowledges all items of a replicaBatchWrite.
+type replicaBatchWriteAck struct {
+	ID   reqID
+	Idxs []int
+	From netsim.NodeID
+}
+
 // replicaWrite asks a replica to apply a cell. Repair and hint replays
 // reuse it with Repair/Hint set, which keeps replica application uniform.
 type replicaWrite struct {
@@ -165,4 +246,9 @@ const (
 	ErrTimeout = storeError("kv: operation timed out")
 	// ErrUnavailable: fewer live replicas than the level requires.
 	ErrUnavailable = storeError("kv: not enough live replicas for level")
+	// ErrDeadline: the client-side per-operation deadline expired before
+	// the result arrived.
+	ErrDeadline = storeError("kv: operation deadline exceeded")
+	// ErrCanceled: the operation's context was canceled before issue.
+	ErrCanceled = storeError("kv: operation canceled")
 )

@@ -56,8 +56,10 @@ type Node struct {
 	readRepairs uint64
 
 	// Coordinator state.
-	reads  map[reqID]*readCtx
-	writes map[reqID]*writeCtx
+	reads       map[reqID]*readCtx
+	writes      map[reqID]*writeCtx
+	batchReads  map[reqID]*batchReadCtx
+	batchWrites map[reqID]*batchWriteCtx
 
 	// Hinted handoff: writes buffered for down replicas.
 	hints         map[netsim.NodeID][]hintEntry
@@ -75,13 +77,15 @@ type hintEntry struct {
 
 func newNode(id netsim.NodeID, c *Cluster) *Node {
 	n := &Node{
-		id:      id,
-		cluster: c,
-		engine:  storage.NewEngine(c.cfg.FlushLimit),
-		rng:     c.cfg.seedSource.StreamN("kv.node", int(id)),
-		reads:   make(map[reqID]*readCtx),
-		writes:  make(map[reqID]*writeCtx),
-		hints:   make(map[netsim.NodeID][]hintEntry),
+		id:          id,
+		cluster:     c,
+		engine:      storage.NewEngine(c.cfg.FlushLimit),
+		rng:         c.cfg.seedSource.StreamN("kv.node", int(id)),
+		reads:       make(map[reqID]*readCtx),
+		writes:      make(map[reqID]*writeCtx),
+		batchReads:  make(map[reqID]*batchReadCtx),
+		batchWrites: make(map[reqID]*batchWriteCtx),
+		hints:       make(map[netsim.NodeID][]hintEntry),
 	}
 	n.readStage.conc = c.cfg.Concurrency
 	n.writeStage.conc = c.cfg.Concurrency
@@ -193,6 +197,10 @@ func (n *Node) Handle(from netsim.NodeID, payload any) {
 		n.coordRead(m)
 	case clientWrite:
 		n.coordWrite(m)
+	case clientBatchRead:
+		n.coordBatchRead(m)
+	case clientBatchWrite:
+		n.coordBatchWrite(m)
 	case coordTimeout:
 		n.onTimeout(m)
 
@@ -204,6 +212,14 @@ func (n *Node) Handle(from netsim.NodeID, payload any) {
 		n.onReplicaRead(m)
 	case replicaReadResp:
 		n.onReadResp(m)
+	case replicaBatchWrite:
+		n.onReplicaBatchWrite(m)
+	case replicaBatchWriteAck:
+		n.onBatchWriteAck(m)
+	case replicaBatchRead:
+		n.onReplicaBatchRead(m)
+	case replicaBatchReadResp:
+		n.onBatchReadResp(m)
 
 	case aeTick:
 		n.antiEntropyRound()

@@ -1,13 +1,23 @@
 package kv
 
-// Session is the client-facing surface workloads drive: a read/write
-// session whose consistency levels are chosen by the implementation. The
-// static session pins levels; the adaptive sessions in internal/core
-// re-tune them at runtime — this interface is exactly the seam where the
-// paper's middleware sits.
+// Session is the client-facing surface workloads drive: reads, writes,
+// deletes and multi-key batches whose consistency levels are chosen by
+// the implementation. The static session pins levels; the adaptive
+// sessions in internal/core re-tune them at runtime — this interface is
+// exactly the seam where the paper's middleware sits. The repro.Client
+// facade wraps a Session with blocking, context-aware and future-based
+// forms for both the simulated and the live backend.
 type Session interface {
 	Read(key string, cb func(ReadResult))
 	Write(key string, value []byte, cb func(WriteResult))
+	Delete(key string, cb func(WriteResult))
+	// BatchRead issues keys as one coordinated batch (one coordinator
+	// admission, at most one request message per replica); results
+	// arrive together in key order.
+	BatchRead(keys []string, cb func([]ReadResult))
+	// BatchWrite issues ops (puts and deletes mixed) as one coordinated
+	// batch; results arrive together in op order.
+	BatchWrite(ops []BatchOp, cb func([]WriteResult))
 }
 
 // StaticSession issues every operation at fixed levels (the paper's
@@ -27,4 +37,19 @@ func (s StaticSession) Read(key string, cb func(ReadResult)) {
 // Write implements Session.
 func (s StaticSession) Write(key string, value []byte, cb func(WriteResult)) {
 	s.Cluster.Write(key, value, s.WriteLevel, cb)
+}
+
+// Delete implements Session: a tombstone write at the write level.
+func (s StaticSession) Delete(key string, cb func(WriteResult)) {
+	s.Cluster.Delete(key, s.WriteLevel, cb)
+}
+
+// BatchRead implements Session.
+func (s StaticSession) BatchRead(keys []string, cb func([]ReadResult)) {
+	s.Cluster.ReadBatch(keys, s.ReadLevel, cb)
+}
+
+// BatchWrite implements Session.
+func (s StaticSession) BatchWrite(ops []BatchOp, cb func([]WriteResult)) {
+	s.Cluster.WriteBatch(ops, s.WriteLevel, cb)
 }

@@ -78,6 +78,7 @@ type Runner struct {
 	OpCount      uint64
 	WarmupOps    uint64  // completions ignored before measurement starts
 	OpenLoopRate float64 // ops/s; 0 selects closed-loop mode
+	BatchSize    int     // >1 dispatches multi-key batches instead of single ops
 	OnDone       func()  // optional completion callback
 
 	ks        *keyspace
@@ -153,12 +154,18 @@ func (r *Runner) beginMeasurement() {
 	r.m.Start = r.Clock.Now()
 }
 
-// scheduleArrival drives open-loop Poisson arrivals.
+// scheduleArrival drives open-loop Poisson arrivals. In batched mode
+// each arrival dispatches a whole batch, so the inter-arrival gap
+// stretches by the batch size to keep OpenLoopRate in items per second.
 func (r *Runner) scheduleArrival() {
 	if r.issued >= r.OpCount {
 		return
 	}
-	gap := stats.Exponential(r.arriveRNG, time.Duration(float64(time.Second)/r.OpenLoopRate))
+	mean := float64(time.Second) / r.OpenLoopRate
+	if r.BatchSize > 1 {
+		mean *= float64(r.BatchSize)
+	}
+	gap := stats.Exponential(r.arriveRNG, time.Duration(mean))
 	r.Clock.Schedule(gap, func() {
 		if r.issued < r.OpCount {
 			r.issueOp(r.rngs[int(r.issued)%r.Threads], -1)
@@ -175,9 +182,13 @@ func (r *Runner) issueNext(thread int) {
 	r.issueOp(r.rngs[thread], thread)
 }
 
-// issueOp draws and dispatches one operation; thread ≥ 0 re-issues on
-// completion (closed loop).
+// issueOp draws and dispatches one operation (or one multi-key batch in
+// batched mode); thread ≥ 0 re-issues on completion (closed loop).
 func (r *Runner) issueOp(rng *stats.Source, thread int) {
+	if r.BatchSize > 1 {
+		r.issueBatch(rng, thread)
+		return
+	}
 	r.issued++
 	kind := r.Workload.NextOp(rng)
 	switch kind {
@@ -215,6 +226,84 @@ func (r *Runner) issueOp(rng *stats.Source, thread int) {
 			})
 		})
 	}
+}
+
+// issueBatch dispatches one multi-key batch of BatchSize operations of
+// a single drawn kind — the batched workload mode. Every item counts as
+// one operation in the metrics; the whole batch is one store round trip.
+func (r *Runner) issueBatch(rng *stats.Source, thread int) {
+	k := r.BatchSize
+	if rem := r.OpCount - r.issued; uint64(k) > rem {
+		k = int(rem)
+	}
+	r.issued += uint64(k)
+	kind := r.Workload.NextOp(rng)
+	switch kind {
+	case OpRead:
+		r.Session.BatchRead(r.drawKeys(rng, k), func(res []kv.ReadResult) {
+			for _, rr := range res {
+				r.onRead(rr)
+			}
+			r.batchDone(k, thread)
+		})
+	case OpUpdate, OpInsert:
+		ops := make([]kv.BatchOp, k)
+		for i := range ops {
+			var key string
+			if kind == OpInsert {
+				key = r.ks.InsertKey()
+			} else {
+				key = r.ks.NextKey(rng)
+			}
+			ops[i] = kv.BatchOp{Key: key, Value: r.value}
+		}
+		r.Session.BatchWrite(ops, func(res []kv.WriteResult) {
+			for _, wr := range res {
+				r.onWrite(wr)
+			}
+			if kind == OpInsert && r.measuring {
+				r.m.Inserts += uint64(k)
+			}
+			r.batchDone(k, thread)
+		})
+	case OpReadModifyWrite:
+		keys := r.drawKeys(rng, k)
+		r.Session.BatchRead(keys, func(res []kv.ReadResult) {
+			for _, rr := range res {
+				r.onRead(rr)
+			}
+			ops := make([]kv.BatchOp, len(keys))
+			for i, key := range keys {
+				ops[i] = kv.BatchOp{Key: key, Value: r.value}
+			}
+			r.Session.BatchWrite(ops, func(wres []kv.WriteResult) {
+				for _, wr := range wres {
+					r.onWrite(wr)
+				}
+				if r.measuring {
+					r.m.RMWs += uint64(k)
+				}
+				r.batchDone(k, thread)
+			})
+		})
+	}
+}
+
+func (r *Runner) drawKeys(rng *stats.Source, k int) []string {
+	keys := make([]string, k)
+	for i := range keys {
+		keys[i] = r.ks.NextKey(rng)
+	}
+	return keys
+}
+
+// batchDone closes out a whole batch's operations through the single-op
+// accounting, reissuing the thread only once (on the last item).
+func (r *Runner) batchDone(k, thread int) {
+	for i := 0; i < k-1; i++ {
+		r.opDone(-1)
+	}
+	r.opDone(thread)
 }
 
 func (r *Runner) onRead(res kv.ReadResult) {

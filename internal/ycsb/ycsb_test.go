@@ -172,6 +172,30 @@ func (s *fakeStore) Write(key string, value []byte, cb func(res kv.WriteResult))
 	cb(kv.WriteResult{Key: key, Latency: s.lat, Err: s.err})
 }
 
+func (s *fakeStore) Delete(key string, cb func(res kv.WriteResult)) {
+	s.Write(key, nil, cb)
+}
+
+func (s *fakeStore) BatchRead(keys []string, cb func([]kv.ReadResult)) {
+	out := make([]kv.ReadResult, len(keys))
+	s.clock.now += s.lat // one round trip for the whole batch
+	for i, k := range keys {
+		s.reads++
+		out[i] = kv.ReadResult{Key: k, Latency: s.lat, Stale: s.stale, Exists: true, Err: s.err}
+	}
+	cb(out)
+}
+
+func (s *fakeStore) BatchWrite(ops []kv.BatchOp, cb func([]kv.WriteResult)) {
+	out := make([]kv.WriteResult, len(ops))
+	s.clock.now += s.lat
+	for i, op := range ops {
+		s.writes++
+		out[i] = kv.WriteResult{Key: op.Key, Latency: s.lat, Err: s.err}
+	}
+	cb(out)
+}
+
 func TestRunnerClosedLoopCompletesExactly(t *testing.T) {
 	clock := &fakeClock{}
 	store := &fakeStore{clock: clock, lat: time.Millisecond}
@@ -283,5 +307,59 @@ func TestMetricsString(t *testing.T) {
 	var m Metrics
 	if !strings.Contains(m.String(), "ops=0") {
 		t.Errorf("metrics string: %s", m.String())
+	}
+}
+
+func TestRunnerBatchedModeCompletesExactly(t *testing.T) {
+	clock := &fakeClock{}
+	store := &fakeStore{clock: clock, lat: time.Millisecond}
+	r, err := NewRunner(store, WorkloadA(100), clock, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.OpCount = 1000
+	r.Threads = 8
+	r.BatchSize = 16 // does not divide 1000: the tail batch must shrink
+	r.Start()
+	clock.run()
+	if !r.Finished() {
+		t.Fatal("batched runner did not finish")
+	}
+	m := r.Metrics()
+	if m.Ops != 1000 {
+		t.Errorf("measured ops = %d", m.Ops)
+	}
+	if store.reads+store.writes != 1000 {
+		t.Errorf("store saw %d item ops", store.reads+store.writes)
+	}
+}
+
+func TestRunnerBatchedRMWAndInserts(t *testing.T) {
+	clock := &fakeClock{}
+	store := &fakeStore{clock: clock, lat: time.Millisecond}
+	r, _ := NewRunner(store, WorkloadF(100), clock, 1) // 50% RMW
+	r.OpCount = 400
+	r.Threads = 4
+	r.BatchSize = 8
+	r.Start()
+	clock.run()
+	if !r.Finished() {
+		t.Fatal("runner did not finish")
+	}
+	m := r.Metrics()
+	if m.Ops != 400 {
+		t.Errorf("ops = %d", m.Ops)
+	}
+	if m.RMWs == 0 {
+		t.Error("no RMWs recorded in batched mode")
+	}
+	d, _ := NewRunner(store, WorkloadD(100), clock, 1) // 5% inserts
+	d.OpCount = 400
+	d.Threads = 4
+	d.BatchSize = 8
+	d.Start()
+	clock.run()
+	if !d.Finished() || d.Metrics().Inserts == 0 {
+		t.Errorf("batched inserts: finished=%v inserts=%d", d.Finished(), d.Metrics().Inserts)
 	}
 }

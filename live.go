@@ -1,17 +1,22 @@
 package repro
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/kv"
 	"repro/internal/live"
 	"repro/internal/monitor"
+	"repro/internal/ycsb"
 )
 
 // Live is a deployment of the same store over wall-clock time and
 // goroutines — the middleware running for real rather than simulated.
-// Operations block the calling goroutine until the result arrives.
+// All client traffic goes through the unified Client API (Live.Client
+// and the session-flavored shorthands below); clients are safe for
+// concurrent use from many goroutines.
 type Live struct {
 	Engine  *live.Engine
 	Cluster *kv.Cluster
@@ -36,33 +41,41 @@ func NewLive(topo *Topology, cfg Config, latencyScale float64) *Live {
 	return &Live{Engine: eng, Cluster: cl, Monitor: mon}
 }
 
-// Read performs a blocking read at the given level.
-func (l *Live) Read(key string, lvl Level) ReadResult {
-	ch := make(chan ReadResult, 1)
-	l.Engine.Do(func() {
-		l.Cluster.Read(key, lvl, func(r ReadResult) { ch <- r })
-	})
-	return <-ch
+// Client wraps a session in the unified Client API. Operations may be
+// issued from any goroutine; the engine lock serializes store access.
+func (l *Live) Client(sess Session) Client { return &liveClient{live: l, sess: sess} }
+
+// StaticClient returns a client pinned to fixed levels.
+func (l *Live) StaticClient(read, write Level) Client {
+	return l.Client(l.StaticSession(read, write))
 }
 
-// Write performs a blocking write at the given level.
-func (l *Live) Write(key string, value []byte, lvl Level) WriteResult {
-	ch := make(chan WriteResult, 1)
-	l.Engine.Do(func() {
-		l.Cluster.Write(key, value, lvl, func(r WriteResult) { ch <- r })
-	})
-	return <-ch
+// HarmonyClient returns a client whose levels Harmony re-tunes to keep
+// the stale-read rate under alpha, with the controller driving it.
+func (l *Live) HarmonyClient(alpha float64, interval time.Duration) (Client, *Controller) {
+	sess, ctl := l.AdaptiveSession(NewHarmonyTuner(alpha, l.Cluster.RF()), interval)
+	return l.Client(sess), ctl
 }
 
-// AdaptiveSession starts a controller over the live monitor and returns a
-// blocking session stamped with the tuner's current levels.
-func (l *Live) AdaptiveSession(t Tuner, interval time.Duration) (*LiveSession, *Controller) {
+// StaticSession returns a session pinned to fixed levels. Sessions must
+// be driven through Client (or inside Engine.Do): their methods assume
+// the engine lock is held.
+func (l *Live) StaticSession(read, write Level) Session {
+	return kv.StaticSession{Cluster: l.Cluster, ReadLevel: read, WriteLevel: write}
+}
+
+// AdaptiveSession starts a controller over the live monitor and returns
+// the adaptive session with its controller. Like StaticSession, the
+// session itself must be driven through Client.
+func (l *Live) AdaptiveSession(t Tuner, interval time.Duration) (Session, *Controller) {
 	var ctl *core.Controller
+	var sess Session
 	l.Engine.Do(func() {
 		ctl = core.NewController(l.Monitor, t, l.Engine, interval)
 		ctl.Start()
+		sess = ctl.Session(l.Cluster)
 	})
-	return &LiveSession{live: l, ctl: ctl}, ctl
+	return sess, ctl
 }
 
 // Preload seeds records directly into the replicas.
@@ -70,29 +83,176 @@ func (l *Live) Preload(n uint64, key func(uint64) string, value []byte) {
 	l.Engine.Do(func() { l.Cluster.Preload(n, key, value) })
 }
 
+// StaleRate reports the oracle's measured stale-read fraction so far.
+func (l *Live) StaleRate() float64 {
+	var r float64
+	l.Engine.Do(func() { r = l.Cluster.Oracle().StaleRate() })
+	return r
+}
+
 // Close stops the engine; outstanding timers become no-ops.
 func (l *Live) Close() { l.Engine.Close() }
 
-// LiveSession is a blocking session whose levels follow a controller.
-type LiveSession struct {
+// liveClient implements Client over the wall-clock engine. Futures are
+// resolved by store callbacks running under the engine lock; waiting
+// goroutines block on a channel, so any number of client goroutines can
+// operate concurrently.
+type liveClient struct {
 	live *Live
-	ctl  *core.Controller
+	sess Session
 }
 
-// Read blocks until the adaptive read completes.
-func (s *LiveSession) Read(key string) ReadResult {
-	ch := make(chan ReadResult, 1)
-	s.live.Engine.Do(func() {
-		s.ctl.Session(s.live.Cluster).Read(key, func(r ReadResult) { ch <- r })
-	})
-	return <-ch
+func (c *liveClient) Session() Session { return c.sess }
+
+func (c *liveClient) Get(ctx context.Context, key string, opts ...OpOption) ReadResult {
+	return c.GetAsync(ctx, key, opts...).Wait(ctx)
 }
 
-// Write blocks until the adaptive write completes.
-func (s *LiveSession) Write(key string, value []byte) WriteResult {
-	ch := make(chan WriteResult, 1)
-	s.live.Engine.Do(func() {
-		s.ctl.Session(s.live.Cluster).Write(key, value, func(r WriteResult) { ch <- r })
+func (c *liveClient) Put(ctx context.Context, key string, value []byte, opts ...OpOption) WriteResult {
+	return c.PutAsync(ctx, key, value, opts...).Wait(ctx)
+}
+
+func (c *liveClient) Delete(ctx context.Context, key string, opts ...OpOption) WriteResult {
+	return c.DeleteAsync(ctx, key, opts...).Wait(ctx)
+}
+
+func (c *liveClient) BatchGet(ctx context.Context, keys []string, opts ...OpOption) []ReadResult {
+	return c.BatchGetAsync(ctx, keys, opts...).Wait(ctx)
+}
+
+func (c *liveClient) BatchPut(ctx context.Context, ops []PutOp, opts ...OpOption) []WriteResult {
+	return c.BatchPutAsync(ctx, ops, opts...).Wait(ctx)
+}
+
+// armDeadline schedules a wall-clock deadline. It deliberately bypasses
+// the engine (whose timers are compressed by the latency scale): a
+// client deadline is a promise in real time, and resolving a future
+// touches no cluster state, so no engine lock is needed.
+func (c *liveClient) armDeadline(d time.Duration, fail func()) {
+	if d > 0 {
+		time.AfterFunc(d, fail)
+	}
+}
+
+func (c *liveClient) GetAsync(ctx context.Context, key string, opts ...OpOption) *ReadFuture {
+	o := resolveOpts(opts)
+	f := newFuture(nil, func(err error) ReadResult { return ReadResult{Err: err, Key: key} })
+	if ctx.Err() != nil {
+		f.resolve(ReadResult{Err: ErrCanceled, Key: key})
+		return f
+	}
+	c.live.Engine.Do(func() {
+		if o.level != nil {
+			c.live.Cluster.Read(key, *o.level, f.resolve)
+		} else {
+			c.sess.Read(key, f.resolve)
+		}
 	})
-	return <-ch
+	c.armDeadline(o.deadline, func() { f.resolve(ReadResult{Err: ErrDeadline, Key: key}) })
+	return f
+}
+
+func (c *liveClient) PutAsync(ctx context.Context, key string, value []byte, opts ...OpOption) *WriteFuture {
+	o := resolveOpts(opts)
+	f := newFuture(nil, func(err error) WriteResult { return WriteResult{Err: err, Key: key} })
+	if ctx.Err() != nil {
+		f.resolve(WriteResult{Err: ErrCanceled, Key: key})
+		return f
+	}
+	c.live.Engine.Do(func() {
+		if o.level != nil {
+			c.live.Cluster.Write(key, value, *o.level, f.resolve)
+		} else {
+			c.sess.Write(key, value, f.resolve)
+		}
+	})
+	c.armDeadline(o.deadline, func() { f.resolve(WriteResult{Err: ErrDeadline, Key: key}) })
+	return f
+}
+
+func (c *liveClient) DeleteAsync(ctx context.Context, key string, opts ...OpOption) *WriteFuture {
+	o := resolveOpts(opts)
+	f := newFuture(nil, func(err error) WriteResult { return WriteResult{Err: err, Key: key} })
+	if ctx.Err() != nil {
+		f.resolve(WriteResult{Err: ErrCanceled, Key: key})
+		return f
+	}
+	c.live.Engine.Do(func() {
+		if o.level != nil {
+			c.live.Cluster.Delete(key, *o.level, f.resolve)
+		} else {
+			c.sess.Delete(key, f.resolve)
+		}
+	})
+	c.armDeadline(o.deadline, func() { f.resolve(WriteResult{Err: ErrDeadline, Key: key}) })
+	return f
+}
+
+func (c *liveClient) BatchGetAsync(ctx context.Context, keys []string, opts ...OpOption) *BatchGetFuture {
+	o := resolveOpts(opts)
+	f := newFuture(nil, func(err error) []ReadResult { return failedBatchReads(keys, err) })
+	if ctx.Err() != nil {
+		f.resolve(failedBatchReads(keys, ErrCanceled))
+		return f
+	}
+	c.live.Engine.Do(func() {
+		if o.level != nil {
+			c.live.Cluster.ReadBatch(keys, *o.level, f.resolve)
+		} else {
+			c.sess.BatchRead(keys, f.resolve)
+		}
+	})
+	c.armDeadline(o.deadline, func() { f.resolve(failedBatchReads(keys, ErrDeadline)) })
+	return f
+}
+
+func (c *liveClient) BatchPutAsync(ctx context.Context, ops []PutOp, opts ...OpOption) *BatchPutFuture {
+	o := resolveOpts(opts)
+	f := newFuture(nil, func(err error) []WriteResult { return failedBatchWrites(ops, err) })
+	if ctx.Err() != nil {
+		f.resolve(failedBatchWrites(ops, ErrCanceled))
+		return f
+	}
+	c.live.Engine.Do(func() {
+		if o.level != nil {
+			c.live.Cluster.WriteBatch(ops, *o.level, f.resolve)
+		} else {
+			c.sess.BatchWrite(ops, f.resolve)
+		}
+	})
+	c.armDeadline(o.deadline, func() { f.resolve(failedBatchWrites(ops, ErrDeadline)) })
+	return f
+}
+
+// Run drives a workload to completion over wall-clock time. The runner
+// issues and accounts operations entirely under the engine lock (Start
+// runs inside Do; completions run inside engine handlers), so the
+// session is driven exactly as in simulation.
+func (c *liveClient) Run(w Workload, o RunOptions) (*Metrics, error) {
+	var r *ycsb.Runner
+	var err error
+	done := make(chan struct{})
+	c.live.Engine.Do(func() {
+		r, err = ycsb.NewRunner(c.sess, w, c.live.Engine, c.live.Cluster.Config().Seed)
+		if err != nil {
+			return
+		}
+		applyRunOptions(r, o)
+		r.OnDone = func() { close(done) }
+		if !o.NoPreload {
+			c.live.Cluster.Preload(w.RecordCount, r.Keys, r.Value())
+		}
+		r.Start()
+	})
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Minute):
+		return nil, fmt.Errorf("repro: live workload did not finish within 10 minutes")
+	}
+	var m *Metrics
+	c.live.Engine.Do(func() { m = r.Metrics() })
+	return m, nil
 }

@@ -1,0 +1,124 @@
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro"
+)
+
+// driveScript runs a fixed operation script through any Client and
+// returns a result transcript: the unified API must make the simulated
+// and live backends indistinguishable to the caller.
+func driveScript(t *testing.T, cli repro.Client) []string {
+	t.Helper()
+	ctx := context.Background()
+	var log []string
+	record := func(format string, args ...any) { log = append(log, fmt.Sprintf(format, args...)) }
+
+	for i := 0; i < 8; i++ {
+		w := cli.Put(ctx, fmt.Sprintf("user%02d", i), []byte(fmt.Sprintf("profile-%d", i)))
+		record("put user%02d err=%v", i, w.Err)
+	}
+	ops := make([]repro.PutOp, 6)
+	for i := range ops {
+		ops[i] = repro.PutOp{Key: fmt.Sprintf("item%02d", i), Value: []byte(fmt.Sprintf("sku-%d", i))}
+	}
+	for i, w := range cli.BatchPut(ctx, ops) {
+		record("batchput item%02d err=%v", i, w.Err)
+	}
+	for i := 0; i < 8; i++ {
+		r := cli.Get(ctx, fmt.Sprintf("user%02d", i))
+		record("get user%02d val=%q exists=%v stale=%v err=%v", i, r.Value, r.Exists, r.Stale, r.Err)
+	}
+	keys := []string{"item00", "item01", "item02", "item03", "item04", "item05", "ghost"}
+	for _, r := range cli.BatchGet(ctx, keys) {
+		record("batchget %s val=%q exists=%v stale=%v err=%v", r.Key, r.Value, r.Exists, r.Stale, r.Err)
+	}
+	cli.Delete(ctx, "user03")
+	for i, w := range cli.BatchPut(ctx, []repro.PutOp{{Key: "item01", Delete: true}, {Key: "item06", Value: []byte("sku-6")}}) {
+		record("mixed %d err=%v", i, w.Err)
+	}
+	for _, k := range []string{"user03", "item01", "item06"} {
+		r := cli.Get(ctx, k)
+		record("reget %s val=%q exists=%v stale=%v err=%v", k, r.Value, r.Exists, r.Stale, r.Err)
+	}
+	return log
+}
+
+// TestSimLiveParity drives the identical script through both backends
+// on the same topology, seed and levels. At QUORUM/QUORUM (R+W > RF)
+// every read is fresh, so the transcripts — values, existence, oracle
+// staleness verdicts, errors — must agree exactly, and both oracles
+// must account a zero stale rate.
+func TestSimLiveParity(t *testing.T) {
+	topo := repro.SingleDC(4)
+	cfg := repro.Defaults(topo)
+	cfg.Seed = 77
+
+	sim := repro.NewSim(topo, cfg)
+	simLog := driveScript(t, sim.StaticClient(repro.Quorum, repro.Quorum))
+
+	lv := repro.NewLive(topo, cfg, 0.05) // latency-scaled 20× faster
+	defer lv.Close()
+	liveLog := driveScript(t, lv.StaticClient(repro.Quorum, repro.Quorum))
+
+	if len(simLog) != len(liveLog) {
+		t.Fatalf("transcript lengths differ: sim %d vs live %d", len(simLog), len(liveLog))
+	}
+	for i := range simLog {
+		if simLog[i] != liveLog[i] {
+			t.Errorf("transcript %d differs:\n  sim:  %s\n  live: %s", i, simLog[i], liveLog[i])
+		}
+	}
+	if sr := sim.StaleRate(); sr != 0 {
+		t.Errorf("sim oracle stale rate = %f, want 0 at quorum", sr)
+	}
+	if sr := lv.StaleRate(); sr != 0 {
+		t.Errorf("live oracle stale rate = %f, want 0 at quorum", sr)
+	}
+}
+
+// TestSimLiveWorkloadParity runs the same workload definition through
+// both backends' unified clients and checks the stale-rate accounting
+// agrees: the metrics' stale/fresh tallies must cover every successful
+// read, and at QUORUM both backends must serve only fresh reads.
+func TestSimLiveWorkloadParity(t *testing.T) {
+	topo := repro.SingleDC(4)
+	cfg := repro.Defaults(topo)
+	cfg.Seed = 78
+	w := repro.HeavyReadUpdate(200)
+	opts := repro.RunOptions{Ops: 1500, Threads: 8, BatchSize: 4}
+
+	check := func(name string, m *repro.Metrics) {
+		t.Helper()
+		if m.Ops != opts.Ops {
+			t.Errorf("%s: ops = %d, want %d", name, m.Ops, opts.Ops)
+		}
+		successful := m.StaleReads + m.FreshReads
+		failed := m.Timeouts + m.Unavailable
+		if successful+failed != m.Reads {
+			t.Errorf("%s: stale accounting gap: %d stale+fresh, %d failed, %d reads",
+				name, successful, failed, m.Reads)
+		}
+		if m.StaleReads != 0 {
+			t.Errorf("%s: %d stale reads at quorum", name, m.StaleReads)
+		}
+	}
+
+	sim := repro.NewSim(topo, cfg)
+	sm, err := sim.StaticClient(repro.Quorum, repro.Quorum).Run(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("sim", sm)
+
+	lv := repro.NewLive(topo, cfg, 0.02)
+	defer lv.Close()
+	lm, err := lv.StaticClient(repro.Quorum, repro.Quorum).Run(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("live", lm)
+}

@@ -6,15 +6,36 @@
 // deterministic cluster simulator the evaluation runs on and a real-time
 // engine for live use.
 //
-// # Quick start
+// # The Client API
+//
+// Both backends — the discrete-event simulation (NewSim) and the
+// wall-clock deployment (NewLive) — serve the same unified Client
+// interface: Get, Put, Delete, BatchGet and BatchPut, each in a
+// blocking and a future-returning (*Async) form, all taking a
+// context.Context and per-operation options (WithLevel overrides the
+// session's consistency level, WithDeadline bounds the client-visible
+// wait). Multi-key batches are coordinated as true batches in the
+// store — one coordinator admission and at most one request message per
+// replica — so they amortize the per-operation overhead the paper's
+// cost model prices.
 //
 //	topo := repro.G5KTwoSites(12)
 //	sim := repro.NewSim(topo, repro.Defaults(topo))
-//	sess, ctl := sim.HarmonySession(0.05) // tolerate ≤5% stale reads
-//	...
+//	cli, ctl := sim.HarmonyClient(0.05) // tolerate ≤5% stale reads
+//	cli.Put(ctx, "k", []byte("v"))
+//	res := cli.BatchGet(ctx, []string{"a", "b"}, repro.WithLevel(repro.Quorum))
+//	m, _ := cli.Run(repro.WorkloadB(1000), repro.RunOptions{Ops: 50000})
 //
-// See examples/ for runnable programs and internal/experiments for the
-// paper's evaluation harness.
+// Consistency levels are re-tuned behind the client by the controller
+// returned next to it: HarmonyClient bounds the stale-read rate,
+// BismarClient maximizes consistency-cost efficiency, BehaviorClient
+// follows a fitted application-behaviour model, and StaticClient pins
+// levels. Client.Run drives YCSB-style workloads (RunOptions.BatchSize
+// switches the driver to multi-key batches) through the same session
+// machinery on either backend.
+//
+// See README.md for a walkthrough, examples/ for runnable programs and
+// internal/experiments for the paper's evaluation harness.
 package repro
 
 import (

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,7 +17,9 @@ import (
 // Sim is a fully wired simulated deployment: a deterministic
 // discrete-event engine, a cluster of store nodes over a modeled network,
 // and the Harmony monitoring module. All interaction happens in virtual
-// time; runs with the same seed are bit-reproducible.
+// time; runs with the same seed are bit-reproducible. Client-facing
+// traffic goes through the unified Client API (Sim.Client and the
+// session-flavored shorthands below).
 type Sim struct {
 	Engine    *sim.Engine
 	Transport *netsim.Transport
@@ -34,6 +37,37 @@ func NewSim(topo *Topology, cfg Config) *Sim {
 	mon := monitor.New(cl.RF(), tr, monitor.DefaultOptions())
 	cl.AddHooks(mon.Hooks())
 	return &Sim{Engine: eng, Transport: tr, Cluster: cl, Monitor: mon}
+}
+
+// Client wraps a session in the unified Client API. The client is
+// single-threaded like the simulation itself: blocking calls and
+// Future.Wait advance virtual time on the caller's goroutine.
+func (s *Sim) Client(sess Session) Client { return &simClient{sim: s, sess: sess} }
+
+// StaticClient returns a client pinned to fixed levels.
+func (s *Sim) StaticClient(read, write Level) Client {
+	return s.Client(s.StaticSession(read, write))
+}
+
+// HarmonyClient returns a client whose levels Harmony re-tunes to keep
+// the stale-read rate under alpha, with the controller driving it.
+func (s *Sim) HarmonyClient(alpha float64) (Client, *Controller) {
+	sess, ctl := s.HarmonySession(alpha)
+	return s.Client(sess), ctl
+}
+
+// BismarClient returns a client whose levels Bismar re-prices for
+// consistency-cost efficiency, with the controller driving it.
+func (s *Sim) BismarClient(dep Deployment) (Client, *Controller) {
+	sess, ctl := s.BismarSession(dep)
+	return s.Client(sess), ctl
+}
+
+// BehaviorClient returns a client driven by a fitted behaviour model's
+// runtime classifier, with the controller driving it.
+func (s *Sim) BehaviorClient(m *BehaviorModel) (Client, *Controller) {
+	sess, ctl := s.BehaviorSession(m)
+	return s.Client(sess), ctl
 }
 
 // StaticSession returns a session pinned to fixed levels.
@@ -86,50 +120,161 @@ func (s *Sim) Preload(n uint64, key func(uint64) string, value []byte) {
 	s.Cluster.Preload(n, key, value)
 }
 
-// RunWorkload drives a workload against a session to completion and
-// returns its metrics.
-func (s *Sim) RunWorkload(w Workload, sess Session, ops uint64, threads int) (*Metrics, error) {
-	r, err := ycsb.NewRunner(sess, w, s.Transport, s.Cluster.Config().Seed)
-	if err != nil {
-		return nil, err
-	}
-	r.OpCount = ops
-	r.Threads = threads
-	s.Preload(w.RecordCount, r.Keys, r.Value())
-	r.Start()
-	for !r.Finished() && s.Engine.Step() {
-	}
-	if !r.Finished() {
-		return nil, fmt.Errorf("repro: workload stalled with %d events pending", s.Engine.Pending())
-	}
-	return r.Metrics(), nil
-}
-
 // Run advances virtual time by d.
 func (s *Sim) Run(d time.Duration) { s.Engine.RunFor(d) }
 
 // Now reports current virtual time.
 func (s *Sim) Now() time.Duration { return s.Engine.Now() }
 
-// Read issues a read and runs the simulation until it completes.
-func (s *Sim) Read(key string, lvl Level) ReadResult {
-	var out ReadResult
-	done := false
-	s.Cluster.Read(key, lvl, func(r ReadResult) { out = r; done = true })
-	for !done && s.Engine.Step() {
-	}
-	return out
-}
-
-// Write issues a write and runs the simulation until it completes.
-func (s *Sim) Write(key string, value []byte, lvl Level) WriteResult {
-	var out WriteResult
-	done := false
-	s.Cluster.Write(key, value, lvl, func(r WriteResult) { out = r; done = true })
-	for !done && s.Engine.Step() {
-	}
-	return out
-}
-
 // StaleRate reports the oracle's measured stale-read fraction so far.
 func (s *Sim) StaleRate() float64 { return s.Cluster.Oracle().StaleRate() }
+
+// simClient implements Client over the discrete-event engine.
+type simClient struct {
+	sim  *Sim
+	sess Session
+}
+
+func (c *simClient) Session() Session { return c.sess }
+
+func (c *simClient) pump() bool { return c.sim.Engine.Step() }
+
+// armDeadline schedules a virtual-time deadline that resolves the
+// operation with ErrDeadline if it fires first.
+func (c *simClient) armDeadline(d time.Duration, fail func()) {
+	if d > 0 {
+		c.sim.Transport.Schedule(d, fail)
+	}
+}
+
+func (c *simClient) Get(ctx context.Context, key string, opts ...OpOption) ReadResult {
+	return c.GetAsync(ctx, key, opts...).Wait(ctx)
+}
+
+func (c *simClient) Put(ctx context.Context, key string, value []byte, opts ...OpOption) WriteResult {
+	return c.PutAsync(ctx, key, value, opts...).Wait(ctx)
+}
+
+func (c *simClient) Delete(ctx context.Context, key string, opts ...OpOption) WriteResult {
+	return c.DeleteAsync(ctx, key, opts...).Wait(ctx)
+}
+
+func (c *simClient) BatchGet(ctx context.Context, keys []string, opts ...OpOption) []ReadResult {
+	return c.BatchGetAsync(ctx, keys, opts...).Wait(ctx)
+}
+
+func (c *simClient) BatchPut(ctx context.Context, ops []PutOp, opts ...OpOption) []WriteResult {
+	return c.BatchPutAsync(ctx, ops, opts...).Wait(ctx)
+}
+
+func (c *simClient) GetAsync(ctx context.Context, key string, opts ...OpOption) *ReadFuture {
+	o := resolveOpts(opts)
+	f := newFuture(c.pump, func(err error) ReadResult { return ReadResult{Err: err, Key: key} })
+	if ctx.Err() != nil {
+		f.resolve(ReadResult{Err: ErrCanceled, Key: key})
+		return f
+	}
+	if o.level != nil {
+		c.sim.Cluster.Read(key, *o.level, f.resolve)
+	} else {
+		c.sess.Read(key, f.resolve)
+	}
+	c.armDeadline(o.deadline, func() { f.resolve(ReadResult{Err: ErrDeadline, Key: key}) })
+	return f
+}
+
+func (c *simClient) PutAsync(ctx context.Context, key string, value []byte, opts ...OpOption) *WriteFuture {
+	o := resolveOpts(opts)
+	f := newFuture(c.pump, func(err error) WriteResult { return WriteResult{Err: err, Key: key} })
+	if ctx.Err() != nil {
+		f.resolve(WriteResult{Err: ErrCanceled, Key: key})
+		return f
+	}
+	if o.level != nil {
+		c.sim.Cluster.Write(key, value, *o.level, f.resolve)
+	} else {
+		c.sess.Write(key, value, f.resolve)
+	}
+	c.armDeadline(o.deadline, func() { f.resolve(WriteResult{Err: ErrDeadline, Key: key}) })
+	return f
+}
+
+func (c *simClient) DeleteAsync(ctx context.Context, key string, opts ...OpOption) *WriteFuture {
+	o := resolveOpts(opts)
+	f := newFuture(c.pump, func(err error) WriteResult { return WriteResult{Err: err, Key: key} })
+	if ctx.Err() != nil {
+		f.resolve(WriteResult{Err: ErrCanceled, Key: key})
+		return f
+	}
+	if o.level != nil {
+		c.sim.Cluster.Delete(key, *o.level, f.resolve)
+	} else {
+		c.sess.Delete(key, f.resolve)
+	}
+	c.armDeadline(o.deadline, func() { f.resolve(WriteResult{Err: ErrDeadline, Key: key}) })
+	return f
+}
+
+func (c *simClient) BatchGetAsync(ctx context.Context, keys []string, opts ...OpOption) *BatchGetFuture {
+	o := resolveOpts(opts)
+	f := newFuture(c.pump, func(err error) []ReadResult { return failedBatchReads(keys, err) })
+	if ctx.Err() != nil {
+		f.resolve(failedBatchReads(keys, ErrCanceled))
+		return f
+	}
+	if o.level != nil {
+		c.sim.Cluster.ReadBatch(keys, *o.level, f.resolve)
+	} else {
+		c.sess.BatchRead(keys, f.resolve)
+	}
+	c.armDeadline(o.deadline, func() { f.resolve(failedBatchReads(keys, ErrDeadline)) })
+	return f
+}
+
+func (c *simClient) BatchPutAsync(ctx context.Context, ops []PutOp, opts ...OpOption) *BatchPutFuture {
+	o := resolveOpts(opts)
+	f := newFuture(c.pump, func(err error) []WriteResult { return failedBatchWrites(ops, err) })
+	if ctx.Err() != nil {
+		f.resolve(failedBatchWrites(ops, ErrCanceled))
+		return f
+	}
+	if o.level != nil {
+		c.sim.Cluster.WriteBatch(ops, *o.level, f.resolve)
+	} else {
+		c.sess.BatchWrite(ops, f.resolve)
+	}
+	c.armDeadline(o.deadline, func() { f.resolve(failedBatchWrites(ops, ErrDeadline)) })
+	return f
+}
+
+// Run drives a workload to completion in virtual time.
+func (c *simClient) Run(w Workload, o RunOptions) (*Metrics, error) {
+	r, err := ycsb.NewRunner(c.sess, w, c.sim.Transport, c.sim.Cluster.Config().Seed)
+	if err != nil {
+		return nil, err
+	}
+	applyRunOptions(r, o)
+	if !o.NoPreload {
+		c.sim.Preload(w.RecordCount, r.Keys, r.Value())
+	}
+	r.Start()
+	for !r.Finished() && c.sim.Engine.Step() {
+	}
+	if !r.Finished() {
+		return nil, fmt.Errorf("repro: workload stalled with %d events pending", c.sim.Engine.Pending())
+	}
+	return r.Metrics(), nil
+}
+
+// applyRunOptions maps RunOptions onto a runner.
+func applyRunOptions(r *ycsb.Runner, o RunOptions) {
+	if o.Ops > 0 {
+		r.OpCount = o.Ops
+	}
+	if o.Threads > 0 {
+		r.Threads = o.Threads
+	}
+	r.BatchSize = o.BatchSize
+	r.WarmupOps = o.WarmupOps
+	r.OpenLoopRate = o.OpenLoopRate
+}
