@@ -1,0 +1,240 @@
+// Command benchreport runs the simulator's performance suite — the
+// micro-benchmarks of the discrete-event core plus an end-to-end
+// experiment run — and writes the numbers as JSON so the performance
+// trajectory is tracked in-repo (BENCH_PR2.json). CI runs it on every
+// push and uploads the file as an artifact.
+//
+// Usage:
+//
+//	go run ./cmd/benchreport [-o BENCH_PR2.json] [-quick] [-baseline old.json]
+//
+// -quick shortens the measurement windows (CI smoke); -baseline embeds a
+// previously captured report under "baseline" so before/after travels in
+// one file.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/harmony"
+	"repro/internal/kv"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// benchScale mirrors the root bench_test.go perf-tracking scale: the
+// end-to-end numbers here and BenchmarkExpAHarmony measure the same run.
+const benchScale = 0.004
+
+// Bench is one micro-benchmark measurement.
+type Bench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Iterations  uint64  `json:"iterations"`
+}
+
+// Experiment is one end-to-end experiment measurement.
+type Experiment struct {
+	Name         string  `json:"name"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	VirtualOps   uint64  `json:"virtual_ops"`
+	VopsPerSec   float64 `json:"vops_per_sec"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Throughput   float64 `json:"virtual_throughput_ops_s"`
+	StaleRate    float64 `json:"stale_rate"`
+}
+
+// Report is the benchreport output schema.
+type Report struct {
+	GeneratedBy string       `json:"generated_by"`
+	GoVersion   string       `json:"go_version"`
+	Gomaxprocs  int          `json:"gomaxprocs"`
+	Scale       float64      `json:"bench_scale"`
+	Benchmarks  []Bench      `json:"benchmarks"`
+	Experiments []Experiment `json:"experiments"`
+	Baseline    *Report      `json:"baseline,omitempty"`
+}
+
+// measure calibrates iterations until the body runs for at least target
+// and reports ns/op and allocs/op. The body receives the iteration count
+// and must execute its operation exactly that many times.
+func measure(name string, target time.Duration, body func(n uint64)) Bench {
+	runtime.GC()
+	var n uint64 = 1
+	for {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		body(n)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if elapsed >= target || n >= 1<<32 {
+			return Bench{
+				Name:        name,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+				AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+				Iterations:  n,
+			}
+		}
+		// Grow toward the target with headroom, capped at 100× per round.
+		grow := uint64(float64(target)/float64(elapsed+1)*1.2) + 1
+		if grow > 100 {
+			grow = 100
+		}
+		n *= grow
+	}
+}
+
+func benchEngineSchedule(target time.Duration) Bench {
+	eng := sim.New(1)
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		eng.Schedule(time.Hour+time.Duration(i)*time.Microsecond, fn)
+	}
+	return measure("EngineSchedule", target, func(n uint64) {
+		for i := uint64(0); i < n; i++ {
+			eng.Schedule(time.Microsecond, fn)
+			eng.Step()
+		}
+	})
+}
+
+func benchTransportSend(target time.Duration) Bench {
+	eng := sim.New(1)
+	topo := netsim.SingleDC(8)
+	tr := netsim.NewTransport(eng, topo)
+	sink := func(from netsim.NodeID, payload any) {}
+	for _, id := range topo.Nodes() {
+		tr.Register(id, sink)
+	}
+	payload := &struct{ a, b uint64 }{1, 2}
+	return measure("TransportSend", target, func(n uint64) {
+		for i := uint64(0); i < n; i++ {
+			tr.Send(0, 1, payload, 128)
+			eng.Step()
+		}
+	})
+}
+
+func benchKVReadQuorum(target time.Duration) Bench {
+	topo := netsim.SingleDC(6)
+	cfg := kv.DefaultConfig()
+	cfg.Seed = 1
+	eng := sim.New(cfg.Seed)
+	tr := netsim.NewTransport(eng, topo)
+	cl := kv.New(topo, tr, cfg)
+	const records = 1024
+	key := func(i uint64) string { return fmt.Sprintf("user%012d", i) }
+	cl.Preload(records, key, make([]byte, 128))
+	keys := make([]string, records)
+	for i := range keys {
+		keys[i] = key(uint64(i))
+	}
+	return measure("KVReadQuorum", target, func(n uint64) {
+		for i := uint64(0); i < n; i++ {
+			done := false
+			cl.Read(keys[i%records], kv.Quorum, func(kv.ReadResult) { done = true })
+			for !done && eng.Step() {
+			}
+			if !done {
+				// Mirror BenchmarkKVReadQuorum's stall check: a garbage
+				// report must never look like a healthy artifact.
+				panic("benchreport: quorum read stalled")
+			}
+		}
+	})
+}
+
+func runExperiment() Experiment {
+	p := experiments.G5KHarmony().Scaled(benchScale)
+	start := time.Now()
+	res := experiments.Run(experiments.RunSpec{
+		Platform: p,
+		Tuner:    harmony.New(0.20, p.RF),
+		Seed:     1,
+	})
+	wall := time.Since(start).Seconds()
+	m := res.Metrics
+	e := Experiment{
+		Name:        "ExpAHarmony/g5k-84node/alpha=20%",
+		WallSeconds: wall,
+		VirtualOps:  m.Ops,
+		Events:      res.Events,
+		Throughput:  m.Throughput(),
+		StaleRate:   m.StaleRate(),
+	}
+	if wall > 0 {
+		e.VopsPerSec = float64(m.Ops) / wall
+		e.EventsPerSec = float64(res.Events) / wall
+	}
+	return e
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR2.json", "output path")
+	quick := flag.Bool("quick", false, "short measurement windows (CI smoke)")
+	baseline := flag.String("baseline", "", "previously captured report to embed under \"baseline\"")
+	flag.Parse()
+
+	target := time.Second
+	if *quick {
+		target = 50 * time.Millisecond
+	}
+
+	rep := Report{
+		GeneratedBy: "go run ./cmd/benchreport",
+		GoVersion:   runtime.Version(),
+		Gomaxprocs:  runtime.GOMAXPROCS(0),
+		Scale:       benchScale,
+	}
+	fmt.Fprintln(os.Stderr, "benchreport: micro-benchmarks...")
+	rep.Benchmarks = append(rep.Benchmarks,
+		benchEngineSchedule(target),
+		benchTransportSend(target),
+		benchKVReadQuorum(target),
+	)
+	fmt.Fprintln(os.Stderr, "benchreport: end-to-end experiment...")
+	rep.Experiments = append(rep.Experiments, runExperiment())
+
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		base.Baseline = nil // no nesting
+		rep.Baseline = &base
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	for _, b := range rep.Benchmarks {
+		fmt.Printf("%-16s %10.1f ns/op %8.2f allocs/op\n", b.Name, b.NsPerOp, b.AllocsPerOp)
+	}
+	for _, e := range rep.Experiments {
+		fmt.Printf("%-40s %6.2fs wall  %8.0f vops/s  %9.0f events/s  stale=%.2f%%\n",
+			e.Name, e.WallSeconds, e.VopsPerSec, e.EventsPerSec, 100*e.StaleRate)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -22,17 +22,19 @@ import (
 func RunAblationDigestReads(p Platform, seed uint64) ([2]RunResult, *Table) {
 	w := ycsb.Mix(p.Records, 0.95, ycsb.DistZipfian, 0.99)
 	w.ValueSize = p.ValueBytes
-	var results [2]RunResult
+	specs := make([]RunSpec, 2)
 	for i, digest := range []bool{true, false} {
 		d := digest
-		results[i] = Run(RunSpec{
+		specs[i] = RunSpec{
 			Platform: p,
 			Tuner:    core.StaticTuner{Read: kv.Quorum, Write: kv.One},
 			Workload: w,
 			Seed:     seed,
 			Mutate:   func(c *kv.Config) { c.DigestReads = d },
-		})
+		}
 	}
+	var results [2]RunResult
+	copy(results[:], RunAll(specs))
 	t := NewTable("Ablation: digest reads (QUORUM reads, "+p.Name+")",
 		"digest reads", "throughput(op/s)", "bytes/op (billed)", "read mean")
 	for i, digest := range []bool{true, false} {
@@ -59,11 +61,10 @@ func RunAblationReadRepair(p Platform, seed uint64) *Table {
 		{"contacted+10% global", true, 0.1},
 		{"contacted+50% global", true, 0.5},
 	}
-	t := NewTable("Ablation: read repair (level ONE, "+p.Name+")",
-		"read repair", "stale reads", "repair writes", "throughput(op/s)")
-	for _, v := range variants {
+	specs := make([]RunSpec, len(variants))
+	for i, v := range variants {
 		v := v
-		res := Run(RunSpec{
+		specs[i] = RunSpec{
 			Platform: p,
 			Tuner:    core.StaticTuner{Read: kv.One, Write: kv.One},
 			Seed:     seed,
@@ -71,8 +72,12 @@ func RunAblationReadRepair(p Platform, seed uint64) *Table {
 				c.ReadRepair = v.repair
 				c.GlobalRepairChance = v.global
 			},
-		})
-		t.Add(v.name, pct(res.Metrics.StaleRate()), res.Usage.ReadRepairs,
+		}
+	}
+	t := NewTable("Ablation: read repair (level ONE, "+p.Name+")",
+		"read repair", "stale reads", "repair writes", "throughput(op/s)")
+	for i, res := range RunAll(specs) {
+		t.Add(variants[i].name, pct(res.Metrics.StaleRate()), res.Usage.ReadRepairs,
 			fmt.Sprintf("%.0f", res.Metrics.Throughput()))
 	}
 	return t
@@ -82,18 +87,22 @@ func RunAblationReadRepair(p Platform, seed uint64) *Table {
 // short windows adapt faster but flap levels; long windows lag behind
 // workload shifts.
 func RunAblationMonitorWindow(p Platform, seed uint64) *Table {
-	t := NewTable("Ablation: monitor window (harmony α=20%, "+p.Name+")",
-		"window", "level changes", "avg read k", "stale reads", "throughput(op/s)")
-	for _, window := range []time.Duration{2 * time.Second, 10 * time.Second, 30 * time.Second} {
+	windows := []time.Duration{2 * time.Second, 10 * time.Second, 30 * time.Second}
+	specs := make([]RunSpec, len(windows))
+	for i, window := range windows {
 		opts := monitor.DefaultOptions()
 		opts.Window = window
-		res := Run(RunSpec{
+		specs[i] = RunSpec{
 			Platform:    p,
 			Tuner:       harmony.New(0.20, p.RF),
 			Seed:        seed,
 			MonitorOpts: &opts,
-		})
-		t.Add(window, res.LevelChanges, fmt.Sprintf("%.2f", res.AvgReadK),
+		}
+	}
+	t := NewTable("Ablation: monitor window (harmony α=20%, "+p.Name+")",
+		"window", "level changes", "avg read k", "stale reads", "throughput(op/s)")
+	for i, res := range RunAll(specs) {
+		t.Add(windows[i], res.LevelChanges, fmt.Sprintf("%.2f", res.AvgReadK),
 			pct(res.Metrics.StaleRate()), fmt.Sprintf("%.0f", res.Metrics.Throughput()))
 	}
 	return t
@@ -124,14 +133,16 @@ func RunAblationBillingGranularity(rows []ExpB1Row) *Table {
 // levels for the same tolerance because reads of cold keys stop
 // inheriting hot-key staleness.
 func RunAblationPerKeyRates(p Platform, alpha float64, seed uint64) ([2]RunResult, *Table) {
-	var results [2]RunResult
 	tuners := []core.Tuner{
 		harmony.New(alpha, p.RF),
 		harmony.New(alpha, p.RF).PerKey(),
 	}
+	specs := make([]RunSpec, len(tuners))
 	for i, tn := range tuners {
-		results[i] = Run(RunSpec{Platform: p, Tuner: tn, Seed: seed})
+		specs[i] = RunSpec{Platform: p, Tuner: tn, Seed: seed}
 	}
+	var results [2]RunResult
+	copy(results[:], RunAll(specs))
 	t := NewTable(fmt.Sprintf("Ablation: aggregate vs per-key estimation (harmony α=%.0f%%, %s)", alpha*100, p.Name),
 		"estimator", "avg read k", "stale reads", "throughput(op/s)", "level changes")
 	for i, name := range []string{"aggregate (paper)", "per-key (refined)"} {
@@ -145,18 +156,22 @@ func RunAblationPerKeyRates(p Platform, alpha float64, seed uint64) ([2]RunResul
 // RunAblationTargetPolicy compares snitch-like closest-replica reads with
 // uniform random replica choice.
 func RunAblationTargetPolicy(p Platform, seed uint64) *Table {
-	t := NewTable("Ablation: read target policy (level ONE, "+p.Name+")",
-		"targets", "read mean", "throughput(op/s)", "stale reads")
-	for _, pol := range []kv.TargetPolicy{kv.TargetClosest, kv.TargetRandom} {
+	policies := []kv.TargetPolicy{kv.TargetClosest, kv.TargetRandom}
+	specs := make([]RunSpec, len(policies))
+	for i, pol := range policies {
 		pol := pol
-		res := Run(RunSpec{
+		specs[i] = RunSpec{
 			Platform: p,
 			Tuner:    core.StaticTuner{Read: kv.One, Write: kv.One},
 			Seed:     seed,
 			Mutate:   func(c *kv.Config) { c.ReadTargets = pol },
-		})
+		}
+	}
+	t := NewTable("Ablation: read target policy (level ONE, "+p.Name+")",
+		"targets", "read mean", "throughput(op/s)", "stale reads")
+	for i, res := range RunAll(specs) {
 		name := "closest (snitch)"
-		if pol == kv.TargetRandom {
+		if policies[i] == kv.TargetRandom {
 			name = "uniform random"
 		}
 		t.Add(name, res.Metrics.ReadLat.Mean().Round(10*time.Microsecond),

@@ -41,12 +41,15 @@ func RunExpA(p Platform, tolerances []float64, seed uint64) ([]ExpARow, *Table) 
 		}{fmt.Sprintf("harmony α=%.0f%%", a*100), harmony.New(a, p.RF)})
 	}
 
+	runSpecs := make([]RunSpec, len(specs))
+	for i, s := range specs {
+		runSpecs[i] = RunSpec{Platform: p, Tuner: s.tuner, Seed: seed}
+	}
 	rows := make([]ExpARow, 0, len(specs))
-	for _, s := range specs {
-		res := Run(RunSpec{Platform: p, Tuner: s.tuner, Seed: seed})
+	for i, res := range RunAll(runSpecs) {
 		m := res.Metrics
 		rows = append(rows, ExpARow{
-			Approach:     s.name,
+			Approach:     specs[i].name,
 			Throughput:   m.Throughput(),
 			StaleRate:    m.StaleRate(),
 			ReadMean:     m.ReadLat.Mean(),

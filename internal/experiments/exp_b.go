@@ -47,16 +47,19 @@ func symmetricLevels(rf int) []kv.Level {
 func RunExpB1(p Platform, seed uint64) ([]ExpB1Row, *Table) {
 	pricing := Pricing().PerSecond()
 	levels := symmetricLevels(p.RF)
-	rows := make([]ExpB1Row, 0, len(levels))
+	specs := make([]RunSpec, len(levels))
 	for i, lvl := range levels {
-		res := Run(RunSpec{
+		specs[i] = RunSpec{
 			Platform: p,
 			Tuner:    core.StaticTuner{Read: lvl, Write: lvl},
 			Seed:     seed,
-		})
+		}
+	}
+	rows := make([]ExpB1Row, 0, len(levels))
+	for i, res := range RunAll(specs) {
 		bill, usage := BillAtPaperScale(p, pricing, res, p.Ops)
 		rows = append(rows, ExpB1Row{
-			K: i + 1, Level: lvl,
+			K: i + 1, Level: levels[i],
 			Throughput: res.Metrics.Throughput(),
 			StaleRate:  res.Metrics.StaleRate(),
 			Bill:       bill,

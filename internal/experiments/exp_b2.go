@@ -35,22 +35,32 @@ func RunExpB2Metric(p Platform, seed uint64) ([]ExpB2Sample, *Table) {
 		{"update-heavy r=0.50 θ=0.99", ycsb.Mix(p.Records, 0.50, ycsb.DistZipfian, 0.99)},
 	}
 
-	var samples []ExpB2Sample
-	t := NewTable(
-		fmt.Sprintf("Exp B2 (§IV-B): consistency-cost efficiency samples — %s", p.Name),
-		"access pattern", "level", "stale reads", "$/M ops", "norm cost", "efficiency", "")
+	levels := symmetricLevels(p.RF)
+	// The (pattern × level) grid is one flat fan-out for the parallel
+	// driver; rows are regrouped per pattern below.
+	specs := make([]RunSpec, 0, len(patterns)*len(levels))
 	for _, pat := range patterns {
 		w := pat.w
 		w.ValueSize = p.ValueBytes
-		levels := symmetricLevels(p.RF)
-		row := make([]ExpB2Sample, 0, len(levels))
 		for _, lvl := range levels {
-			res := Run(RunSpec{
+			specs = append(specs, RunSpec{
 				Platform: p,
 				Tuner:    core.StaticTuner{Read: lvl, Write: lvl},
 				Workload: w,
 				Seed:     seed,
 			})
+		}
+	}
+	grid := RunAll(specs)
+
+	var samples []ExpB2Sample
+	t := NewTable(
+		fmt.Sprintf("Exp B2 (§IV-B): consistency-cost efficiency samples — %s", p.Name),
+		"access pattern", "level", "stale reads", "$/M ops", "norm cost", "efficiency", "")
+	for pi, pat := range patterns {
+		row := make([]ExpB2Sample, 0, len(levels))
+		for li, lvl := range levels {
+			res := grid[pi*len(levels)+li]
 			bill, _ := BillAtPaperScale(p, pricing, res, p.Ops)
 			row = append(row, ExpB2Sample{
 				Pattern:   pat.name,

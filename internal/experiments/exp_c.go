@@ -94,11 +94,13 @@ func RunExpC(p Platform, scale float64, seed uint64) ([]ExpCRow, *Table) {
 	}
 	approaches = append(approaches, approach{"bismar", bismar.New(DeploymentFor(p))})
 
+	phased := parallelMap(approaches, func(a approach) PhasedResult {
+		return RunPhased(p, a.tuner, phases, seed)
+	})
 	rows := make([]ExpCRow, 0, len(approaches))
-	for _, a := range approaches {
-		res := RunPhased(p, a.tuner, phases, seed)
+	for i, res := range phased {
 		rows = append(rows, ExpCRow{
-			Approach:    a.name,
+			Approach:    approaches[i].name,
 			Throughput:  res.Throughput(),
 			StaleRate:   res.StaleRate(),
 			CostPerMops: res.CostPerMillionOps(p, pricing),

@@ -38,12 +38,17 @@ func (l scaledLaw) Mean() time.Duration {
 // measured per-node utilization.
 func RunExtPower(p Platform, seed uint64) *Table {
 	model := power.DefaultModel()
-	t := NewTable("Ext-1 (§V): power consumption per consistency level — "+p.Name,
-		"level", "governor", "throughput(op/s)", "avg util", "avg W/node", "total J", "J/op")
+	type cell struct {
+		lvl kv.Level
+		g   power.Governor
+	}
+	var cells []cell
+	specs := []RunSpec{}
 	for _, lvl := range []kv.Level{kv.One, kv.Quorum, kv.All} {
 		for _, g := range []power.Governor{power.Performance, power.OnDemand, power.Powersave} {
 			slow := model.ServiceSlowdown(g, 0.5)
-			res := Run(RunSpec{
+			cells = append(cells, cell{lvl, g})
+			specs = append(specs, RunSpec{
 				Platform: p,
 				Tuner:    core.StaticTuner{Read: lvl, Write: lvl},
 				Seed:     seed,
@@ -52,19 +57,24 @@ func RunExtPower(p Platform, seed uint64) *Table {
 					c.WriteService = scaledLaw{c.WriteService, slow}
 				},
 			})
-			elapsed := res.Metrics.Elapsed()
-			var usages []power.NodeUsage
-			var utilSum float64
-			for _, id := range res.Cluster.Topology().Nodes() {
-				u := res.Cluster.Node(id).Utilization(elapsed)
-				utilSum += u
-				usages = append(usages, power.NodeUsage{Utilization: u, Elapsed: elapsed})
-			}
-			rep := power.ClusterEnergy(model, g, usages, res.Metrics.Ops)
-			t.Add(lvl.String(), g.String(), fmt.Sprintf("%.0f", res.Metrics.Throughput()),
-				pct(utilSum/float64(len(usages))), fmt.Sprintf("%.1f", rep.AvgWatts),
-				fmt.Sprintf("%.0f", rep.Joules), fmt.Sprintf("%.3f", rep.JoulesPer))
 		}
+	}
+	t := NewTable("Ext-1 (§V): power consumption per consistency level — "+p.Name,
+		"level", "governor", "throughput(op/s)", "avg util", "avg W/node", "total J", "J/op")
+	for i, res := range RunAll(specs) {
+		lvl, g := cells[i].lvl, cells[i].g
+		elapsed := res.Metrics.Elapsed()
+		var usages []power.NodeUsage
+		var utilSum float64
+		for _, id := range res.Cluster.Topology().Nodes() {
+			u := res.Cluster.Node(id).Utilization(elapsed)
+			utilSum += u
+			usages = append(usages, power.NodeUsage{Utilization: u, Elapsed: elapsed})
+		}
+		rep := power.ClusterEnergy(model, g, usages, res.Metrics.Ops)
+		t.Add(lvl.String(), g.String(), fmt.Sprintf("%.0f", res.Metrics.Throughput()),
+			pct(utilSum/float64(len(usages))), fmt.Sprintf("%.1f", rep.AvgWatts),
+			fmt.Sprintf("%.0f", rep.Joules), fmt.Sprintf("%.3f", rep.JoulesPer))
 	}
 	t.Note("stronger levels keep nodes busy longer per operation: more joules per op at equal workload")
 	return t
@@ -149,27 +159,35 @@ func RunExtFreshness(p Platform, seed uint64) *Table {
 	t := NewTable("Ext-3 (§V): freshness deadline guarantees — "+p.Name,
 		"guarantee", "compliance (no audit)", "compliance (enforced)", "audits", "lagging found", "throughput(op/s)")
 
-	for _, g := range []freshness.Guarantee{freshness.Gold, freshness.Silver, freshness.Bronze} {
-		// Baseline: no enforcement.
-		base := Run(RunSpec{
+	guarantees := []freshness.Guarantee{freshness.Gold, freshness.Silver, freshness.Bronze}
+	// Two runs per guarantee — bare baseline and enforced — fanned out as
+	// one flat batch; enforcers land in a per-spec slot.
+	enforcers := make([]*freshness.Enforcer, len(guarantees))
+	specs := make([]RunSpec, 0, 2*len(guarantees))
+	for i, g := range guarantees {
+		i, g := i, g
+		specs = append(specs, RunSpec{
 			Platform: p,
 			Tuner:    core.StaticTuner{Read: kv.One, Write: kv.One},
 			Seed:     seed,
 		})
-		baseCompliance := freshness.Compliance(base.Cluster.Oracle(), g)
-
-		var enf *freshness.Enforcer
-		res := Run(RunSpec{
+		specs = append(specs, RunSpec{
 			Platform: p,
 			Tuner:    core.StaticTuner{Read: kv.One, Write: kv.One},
 			Seed:     seed,
 			Wrap: func(sess kv.Session, cl *kv.Cluster, clock ycsb.Clock) kv.Session {
-				enf = freshness.NewEnforcer(sess, cl, clock.(freshness.Clock), g)
+				enf := freshness.NewEnforcer(sess, cl, clock.(freshness.Clock), g)
+				enforcers[i] = enf
 				return enf
 			},
 		})
+	}
+	results := RunAll(specs)
+	for i, g := range guarantees {
+		base, res := results[2*i], results[2*i+1]
+		baseCompliance := freshness.Compliance(base.Cluster.Oracle(), g)
 		compliance := freshness.Compliance(res.Cluster.Oracle(), g)
-		_, audits, lagging := enf.Stats()
+		_, audits, lagging := enforcers[i].Stats()
 		t.Add(g.String(), pct(baseCompliance), pct(compliance), audits, lagging,
 			fmt.Sprintf("%.0f", res.Metrics.Throughput()))
 	}

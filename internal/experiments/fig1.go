@@ -33,12 +33,19 @@ func RunFig1Validation(seed uint64) ([]Fig1Row, *Table) {
 		readRate = 200.0
 		duration = 40 * time.Second
 	)
-	var rows []Fig1Row
+	type point struct {
+		writeRate float64
+		k         int
+	}
+	var points []point
 	for _, writeRate := range []float64{2, 10, 50} {
 		for k := 1; k <= rf; k++ {
-			rows = append(rows, runFig1Point(seed, rf, writeRate, readRate, k, duration))
+			points = append(points, point{writeRate, k})
 		}
 	}
+	rows := parallelMap(points, func(pt point) Fig1Row {
+		return runFig1Point(seed, rf, pt.writeRate, readRate, pt.k, duration)
+	})
 
 	t := NewTable("Fig. 1 model validation: predicted vs measured stale-read rate (single key, two sites, RF 5)",
 		"write rate (1/s)", "read level k", "predicted stale", "measured stale", "reads")

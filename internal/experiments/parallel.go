@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel experiment driver. Every experiment table is a set of
+// fully independent simulation runs (each builds its own engine, cluster,
+// monitor and RNG streams from its spec), so the runs fan out across a
+// worker pool while the rows merge back in input order — the output is
+// byte-identical to the sequential loop, the wall-clock is divided by the
+// core count. Individual simulations stay single-threaded; determinism is
+// per-run by construction.
+
+// Workers reports the worker-pool width used for fan-out: GOMAXPROCS by
+// default, REPRO_WORKERS when set (tests force >1 on single-core boxes),
+// or 1 when REPRO_SEQUENTIAL is set (debugging, deterministic profiles).
+func Workers() int {
+	if os.Getenv("REPRO_SEQUENTIAL") != "" {
+		return 1
+	}
+	if s := os.Getenv("REPRO_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelMap runs f over items on the worker pool and returns results in
+// input order. A panic in any worker (e.g. a stalled workload) is
+// re-raised in the caller once the pool has drained.
+func parallelMap[T, R any](items []T, f func(T) R) []R {
+	results := make([]R, len(items))
+	if len(items) == 0 {
+		return results
+	}
+	workers := Workers()
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for i := range items {
+			results[i] = f(items[i])
+		}
+		return results
+	}
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() { panicked = r })
+						}
+					}()
+					results[i] = f(items[i])
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return results
+}
+
+// RunAll executes independent experiment specs across the worker pool and
+// returns their results in spec order.
+func RunAll(specs []RunSpec) []RunResult {
+	return parallelMap(specs, Run)
+}

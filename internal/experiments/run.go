@@ -41,6 +41,7 @@ type RunResult struct {
 	Traffic      netsim.TrafficMeter
 	Cluster      *kv.Cluster
 	Monitor      *monitor.Monitor
+	Events       uint64 // discrete events fired by the engine over the run
 }
 
 // Run executes the spec in virtual time to completion.
@@ -112,6 +113,7 @@ func Run(spec RunSpec) RunResult {
 		Traffic:      tr.Meter(),
 		Cluster:      cl,
 		Monitor:      mon,
+		Events:       eng.Events(),
 	}
 	res.AvgReadK = avgReadK(res.Journal, runner.Metrics().End, cl.RF())
 	return res

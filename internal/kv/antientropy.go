@@ -29,7 +29,12 @@ func (n *Node) antiEntropyRound() {
 	}
 	keys := make([]string, 0, sample)
 	versions := make([]storage.Version, 0, sample)
-	seen := make(map[string]bool, sample)
+	if n.aeSeen == nil {
+		n.aeSeen = make(map[string]bool, sample)
+	} else {
+		clear(n.aeSeen)
+	}
+	seen := n.aeSeen
 	for len(keys) < sample {
 		k := n.engine.KeyAt(n.rng.IntN(count))
 		if seen[k] {

@@ -29,9 +29,13 @@ func (c *Cluster) ReadBatch(keys []string, lvl Level, cb func([]ReadResult)) {
 		return
 	}
 	done := false
+	var stopGuard func()
 	once := func(r []ReadResult) {
 		if !done {
 			done = true
+			if stopGuard != nil {
+				stopGuard()
+			}
 			cb(r)
 		}
 	}
@@ -41,7 +45,7 @@ func (c *Cluster) ReadBatch(keys []string, lvl Level, cb func([]ReadResult)) {
 	}
 	c.net.Send(netsim.ClientID, coord,
 		clientBatchRead{ID: id, Keys: keys, Level: lvl, cb: once}, size)
-	c.net.Schedule(2*c.cfg.Timeout, func() {
+	stopGuard = c.armGuard(func() {
 		once(failedReads(keys, lvl, ErrTimeout, 2*c.cfg.Timeout))
 	})
 }
@@ -61,9 +65,13 @@ func (c *Cluster) WriteBatch(ops []BatchOp, lvl Level, cb func([]WriteResult)) {
 		return
 	}
 	done := false
+	var stopGuard func()
 	once := func(r []WriteResult) {
 		if !done {
 			done = true
+			if stopGuard != nil {
+				stopGuard()
+			}
 			cb(r)
 		}
 	}
@@ -73,7 +81,7 @@ func (c *Cluster) WriteBatch(ops []BatchOp, lvl Level, cb func([]WriteResult)) {
 	}
 	c.net.Send(netsim.ClientID, coord,
 		clientBatchWrite{ID: id, Ops: ops, Level: lvl, cb: once}, size)
-	c.net.Schedule(2*c.cfg.Timeout, func() {
+	stopGuard = c.armGuard(func() {
 		once(failedWrites(ops, lvl, ErrTimeout, 2*c.cfg.Timeout))
 	})
 }
@@ -125,22 +133,24 @@ func (n *Node) coordBatchRead(m clientBatchRead) {
 			n.cluster.hooks.readStarted(now, key)
 			replicas := n.cluster.strategy.Replicas(key)
 			req := m.Level.resolve(replicas, n.cluster.topo, n.cluster.topo.DCOf(n.id))
-			targets, ok := n.pickTargets(replicas, req)
+			ctx := getReadCtx()
+			targets, ok := n.pickTargets(replicas, req, ctx.targets)
+			ctx.targets = targets
 			if !ok {
+				putReadCtx(ctx)
 				// Like the single-read path: unavailable admissions do
 				// not fire readCompleted, only the oracle failure count.
 				n.cluster.oracle.ReadFailed()
 				deliver(i)(ReadResult{Err: ErrUnavailable, Key: key, Level: m.Level})
 				continue
 			}
-			ctx := &readCtx{
-				id: m.ID, key: key, level: m.Level, req: req,
-				start: now, reply: deliver(i),
-				visibleAtStart: n.cluster.oracle.LatestVisible(key),
-				issuedAtStart:  n.cluster.oracle.LatestIssued(key),
-				targets:        targets,
-				acks:           make(map[string]int),
-				responses:      make(map[netsim.NodeID]replicaReadResp, len(targets)),
+			ctx.id, ctx.key, ctx.level, ctx.req = m.ID, key, m.Level, req
+			ctx.start = now
+			ctx.reply = deliver(i)
+			ctx.visibleAtStart = n.cluster.oracle.LatestVisible(key)
+			ctx.issuedAtStart = n.cluster.oracle.LatestIssued(key)
+			if req.perDC != nil {
+				ctx.ackDC = make(map[string]int, len(req.perDC))
 			}
 			bctx.items[i] = ctx
 			for _, t := range targets {
@@ -164,9 +174,9 @@ func (n *Node) coordBatchRead(m clientBatchRead) {
 			for _, k := range rb.Keys {
 				size += len(k)
 			}
-			n.cluster.net.Send(n.id, t, *rb, size)
+			n.cluster.net.Send(n.id, t, rb, size)
 		}
-		n.cluster.net.SendLocal(n.id, coordTimeout{ID: m.ID}, n.cluster.cfg.Timeout)
+		n.cluster.net.SendLocal(n.id, newCoordTimeout(m.ID, false), n.cluster.cfg.Timeout)
 	})
 }
 
@@ -182,14 +192,17 @@ func (n *Node) onBatchReadResp(m replicaBatchReadResp) {
 		if ctx == nil {
 			continue // failed at admission or already finalized
 		}
+		if ctx.findResp(m.From) >= 0 {
+			continue
+		}
 		resp := replicaReadResp{
 			ID: m.ID, Key: ctx.key, Cell: it.Cell, Exists: it.Exists, From: m.From,
 		}
-		if _, dup := ctx.responses[m.From]; dup {
-			continue
+		ctx.responses = append(ctx.responses, resp)
+		ctx.ackTotal++
+		if ctx.ackDC != nil {
+			ctx.ackDC[n.cluster.topo.DCOf(m.From)]++
 		}
-		ctx.responses[m.From] = resp
-		ctx.acks[n.cluster.topo.DCOf(m.From)]++
 		if resp.Exists {
 			if !ctx.haveBest || resp.Cell.Version.After(ctx.best.Cell.Version) {
 				ctx.best = resp
@@ -202,12 +215,13 @@ func (n *Node) onBatchReadResp(m replicaBatchReadResp) {
 		}
 		// Batched responses always carry data, so completion never waits
 		// on a digest refetch.
-		if !ctx.completed && ctx.req.satisfied(ctx.acks) {
+		if !ctx.completed && ctx.req.satisfiedCounts(ctx.ackTotal, ctx.ackDC) {
 			n.tryCompleteRead(ctx)
 		}
 		if len(ctx.responses) >= len(ctx.targets) && ctx.delivered {
 			bctx.items[it.Idx] = nil
 			n.finalizeRead(ctx)
+			putReadCtx(ctx)
 		}
 	}
 	for _, ctx := range bctx.items {
@@ -267,11 +281,14 @@ func (n *Node) coordBatchWrite(m clientBatchWrite) {
 			cell := storage.Cell{Version: version, Value: op.Value, Tombstone: op.Delete}
 			n.cluster.oracle.WriteStarted(op.Key, version, len(replicas), now)
 			n.cluster.hooks.writeStarted(now, op.Key, version, len(replicas))
-			ctx := &writeCtx{
-				id: m.ID, key: op.Key, level: m.Level, req: req,
-				start: now, reply: deliver(i), version: version,
-				replicas: len(replicas),
-				acks:     make(map[string]int),
+			ctx := getWriteCtx()
+			ctx.id, ctx.key, ctx.level, ctx.req = m.ID, op.Key, m.Level, req
+			ctx.start = now
+			ctx.reply = deliver(i)
+			ctx.version = version
+			ctx.replicas = len(replicas)
+			if req.perDC != nil {
+				ctx.ackDC = make(map[string]int, len(req.perDC))
 			}
 			bctx.items[i] = ctx
 			for _, r := range replicas {
@@ -300,9 +317,9 @@ func (n *Node) coordBatchWrite(m clientBatchWrite) {
 			for j := range rb.Keys {
 				size += len(rb.Keys[j]) + len(rb.Cells[j].Value)
 			}
-			n.cluster.net.Send(n.id, r, *rb, size)
+			n.cluster.net.Send(n.id, r, rb, size)
 		}
-		n.cluster.net.SendLocal(n.id, coordTimeout{ID: m.ID, Write: true}, n.cluster.cfg.Timeout)
+		n.cluster.net.SendLocal(n.id, newCoordTimeout(m.ID, true), n.cluster.cfg.Timeout)
 	})
 }
 
@@ -343,7 +360,7 @@ func (n *Node) onReplicaBatchRead(m replicaBatchRead) {
 			size += len(cell.Value)
 		}
 		n.cluster.net.Send(n.id, m.Coord,
-			replicaBatchReadResp{ID: m.ID, Items: items, From: n.id}, size)
+			&replicaBatchReadResp{ID: m.ID, Items: items, From: n.id}, size)
 	})
 }
 
@@ -361,7 +378,7 @@ func (n *Node) onReplicaBatchWrite(m replicaBatchWrite) {
 				n.cluster.oracle.Applied(n.id, m.Cells[j].Version, n.cluster.net.Now())
 			}
 		}
-		ack := replicaBatchWriteAck{ID: m.ID, Idxs: m.Idxs, From: n.id}
+		ack := &replicaBatchWriteAck{ID: m.ID, Idxs: m.Idxs, From: n.id}
 		n.cluster.net.Send(n.id, m.Coord, ack, msgOverhead+8*len(m.Idxs))
 	})
 }

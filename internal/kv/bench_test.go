@@ -36,6 +36,34 @@ func BenchmarkSimulatedOps(b *testing.B) {
 	b.ReportMetric(float64(h.eng.Events())/float64(b.N), "events/op")
 }
 
+// BenchmarkKVReadQuorum measures one QUORUM read through the full
+// coordinator path (admission, replica fan-out, digest reads, ack
+// folding, client reply) including the simulator events that carry it.
+func BenchmarkKVReadQuorum(b *testing.B) {
+	topo := netsim.SingleDC(6)
+	cfg := kv.DefaultConfig()
+	cfg.Seed = 1
+	h := newHarness(topo, cfg)
+	const records = 1024
+	key := func(i uint64) string { return fmt.Sprintf("user%012d", i) }
+	h.cluster.Preload(records, key, make([]byte, 128))
+	keys := make([]string, records)
+	for i := range keys {
+		keys[i] = key(uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		h.cluster.Read(keys[i%records], kv.Quorum, func(kv.ReadResult) { done = true })
+		for !done && h.eng.Step() {
+		}
+		if !done {
+			b.Fatal("read stalled")
+		}
+	}
+}
+
 // BenchmarkReplicaPlacement measures ring lookups.
 func BenchmarkReplicaPlacement(b *testing.B) {
 	topo := netsim.G5KTwoSites(84)

@@ -28,6 +28,14 @@ type failer interface {
 	Recover(id netsim.NodeID)
 }
 
+// stopper is the optional cancelable-timer surface of a Network. Client
+// guard timers almost always outlive their operation; engines that
+// support cancellation reclaim them on completion instead of carrying
+// them to expiry as no-ops.
+type stopper interface {
+	ScheduleStop(d time.Duration, fn func()) func()
+}
+
 // CoordPolicy selects how clients pick coordinators.
 type CoordPolicy int
 
@@ -143,11 +151,12 @@ type Cluster struct {
 	oracle   *Oracle
 	hooks    hookSet
 
-	seq    uint64
-	nextID reqID
-	down   map[netsim.NodeID]bool
-	rr     int
-	rng    *stats.Source
+	seq     uint64
+	nextID  reqID
+	down    map[netsim.NodeID]bool
+	rr      int
+	rng     *stats.Source
+	stopNet stopper // non-nil when net supports cancelable timers
 }
 
 // New assembles a cluster over the given topology and network.
@@ -167,6 +176,7 @@ func New(topo *netsim.Topology, net Network, cfg Config) *Cluster {
 		down:  make(map[netsim.NodeID]bool),
 		rng:   stats.NewSource(cfg.Seed).Stream("kv.cluster"),
 	}
+	c.stopNet, _ = net.(stopper)
 
 	rg := ring.New(topo.Nodes(), cfg.VNodes, cfg.Seed)
 	if len(cfg.PerDC) > 0 {
@@ -179,7 +189,7 @@ func New(topo *netsim.Topology, net Network, cfg Config) *Cluster {
 		if rf > topo.N() {
 			panic(fmt.Sprintf("kv: RF %d exceeds cluster size %d", rf, topo.N()))
 		}
-		c.strategy = ring.SimpleStrategy{Ring: rg, Factor: rf}
+		c.strategy = ring.NewSimpleStrategy(rg, rf)
 	}
 	c.oracle = NewOracle(c.strategy.RF())
 
@@ -206,13 +216,19 @@ func New(topo *netsim.Topology, net Network, cfg Config) *Cluster {
 }
 
 // handleClientReply runs result callbacks when replies reach the client
-// endpoint.
+// endpoint. Pooled reply boxes are returned before the callback runs.
 func (c *Cluster) handleClientReply(_ netsim.NodeID, payload any) {
 	switch m := payload.(type) {
-	case clientReadReply:
-		m.cb(m.res)
-	case clientWriteReply:
-		m.cb(m.res)
+	case *clientReadReply:
+		v := *m
+		*m = clientReadReply{}
+		clientReadReplyPool.Put(m)
+		v.cb(v.res)
+	case *clientWriteReply:
+		v := *m
+		*m = clientWriteReply{}
+		clientWriteRplPool.Put(m)
+		v.cb(v.res)
 	case clientBatchReadReply:
 		m.cb(m.res)
 	case clientBatchWriteReply:
@@ -232,15 +248,19 @@ func (c *Cluster) Read(key string, lvl Level, cb func(ReadResult)) {
 		return
 	}
 	done := false
+	var stopGuard func()
 	once := func(r ReadResult) {
 		if !done {
 			done = true
+			if stopGuard != nil {
+				stopGuard()
+			}
 			cb(r)
 		}
 	}
-	c.net.Send(netsim.ClientID, coord, clientRead{ID: id, Key: key, Level: lvl, cb: once},
+	c.net.Send(netsim.ClientID, coord, newClientRead(clientRead{ID: id, Key: key, Level: lvl, cb: once}),
 		msgOverhead+len(key))
-	c.net.Schedule(2*c.cfg.Timeout, func() {
+	stopGuard = c.armGuard(func() {
 		once(ReadResult{Err: ErrTimeout, Key: key, Level: lvl, Latency: 2 * c.cfg.Timeout})
 	})
 }
@@ -255,15 +275,19 @@ func (c *Cluster) Write(key string, value []byte, lvl Level, cb func(WriteResult
 		return
 	}
 	done := false
+	var stopGuard func()
 	once := func(r WriteResult) {
 		if !done {
 			done = true
+			if stopGuard != nil {
+				stopGuard()
+			}
 			cb(r)
 		}
 	}
-	c.net.Send(netsim.ClientID, coord, clientWrite{ID: id, Key: key, Value: value, Level: lvl, cb: once},
+	c.net.Send(netsim.ClientID, coord, newClientWrite(clientWrite{ID: id, Key: key, Value: value, Level: lvl, cb: once}),
 		msgOverhead+len(key)+len(value))
-	c.net.Schedule(2*c.cfg.Timeout, func() {
+	stopGuard = c.armGuard(func() {
 		once(WriteResult{Err: ErrTimeout, Key: key, Level: lvl, Latency: 2 * c.cfg.Timeout})
 	})
 }
@@ -279,18 +303,33 @@ func (c *Cluster) Delete(key string, lvl Level, cb func(WriteResult)) {
 		return
 	}
 	done := false
+	var stopGuard func()
 	once := func(r WriteResult) {
 		if !done {
 			done = true
+			if stopGuard != nil {
+				stopGuard()
+			}
 			cb(r)
 		}
 	}
 	c.net.Send(netsim.ClientID, coord,
-		clientWrite{ID: id, Key: key, Level: lvl, cb: once, tombstone: true},
+		newClientWrite(clientWrite{ID: id, Key: key, Level: lvl, cb: once, tombstone: true}),
 		msgOverhead+len(key))
-	c.net.Schedule(2*c.cfg.Timeout, func() {
+	stopGuard = c.armGuard(func() {
 		once(WriteResult{Err: ErrTimeout, Key: key, Level: lvl, Latency: 2 * c.cfg.Timeout})
 	})
+}
+
+// armGuard schedules the client-side no-later-than timer for an
+// operation, returning a cancel function (nil when the network cannot
+// cancel; the timer then fires as a no-op after completion).
+func (c *Cluster) armGuard(fn func()) func() {
+	if c.stopNet != nil {
+		return c.stopNet.ScheduleStop(2*c.cfg.Timeout, fn)
+	}
+	c.net.Schedule(2*c.cfg.Timeout, fn)
+	return nil
 }
 
 func (c *Cluster) nextReqID() reqID {
@@ -334,18 +373,27 @@ func (c *Cluster) pickCoordinator() netsim.NodeID {
 }
 
 // levelReachable reports whether enough replicas are live to possibly
-// satisfy req.
+// satisfy req. The per-DC tally is only built for per-DC requirements.
 func (c *Cluster) levelReachable(replicas []netsim.NodeID, req requirement) bool {
-	alive := make(map[string]int)
+	if req.perDC == nil {
+		alive := 0
+		for _, r := range replicas {
+			if !c.isDown(r) {
+				alive++
+			}
+		}
+		return alive >= req.total
+	}
+	alive := make(map[string]int, len(req.perDC))
 	for _, r := range replicas {
-		if !c.down[r] {
+		if !c.isDown(r) {
 			alive[c.topo.DCOf(r)]++
 		}
 	}
-	return req.satisfied(alive)
+	return req.satisfiedCounts(0, alive)
 }
 
-func (c *Cluster) isDown(id netsim.NodeID) bool { return c.down[id] }
+func (c *Cluster) isDown(id netsim.NodeID) bool { return len(c.down) != 0 && c.down[id] }
 
 // Fail injects a node failure: the transport drops its traffic at once
 // and the cluster-wide failure detector marks it down after the

@@ -2,6 +2,7 @@ package kv
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/netsim"
@@ -10,7 +11,9 @@ import (
 
 // readCtx tracks one coordinated read until every contacted replica
 // responded (or the timeout fired), so that read repair can compare all
-// versions even after the client reply went out.
+// versions even after the client reply went out. Contexts are pooled and
+// keep their slice capacity across lives; ack tallies are a plain counter
+// with a per-DC map only for multi-DC requirements.
 type readCtx struct {
 	id             reqID
 	key            string
@@ -22,8 +25,9 @@ type readCtx struct {
 	issuedAtStart  storage.Version
 
 	targets   []netsim.NodeID
-	acks      map[string]int
-	responses map[netsim.NodeID]replicaReadResp
+	responses []replicaReadResp // one per distinct responder, arrival order
+	ackTotal  int
+	ackDC     map[string]int // per-DC tallies; nil unless req.perDC is set
 
 	best      replicaReadResp // freshest version seen (data or digest)
 	bestData  replicaReadResp // freshest response carrying the value
@@ -32,6 +36,27 @@ type readCtx struct {
 	completed bool // the consistency level was satisfied
 	delivered bool // the client received a reply
 	awaitData bool
+}
+
+// findResp returns the index of from's response, or -1.
+func (ctx *readCtx) findResp(from netsim.NodeID) int {
+	for i := range ctx.responses {
+		if ctx.responses[i].From == from {
+			return i
+		}
+	}
+	return -1
+}
+
+// dropResp removes from's response (the digest-refetch path re-admits the
+// replica's second answer).
+func (ctx *readCtx) dropResp(from netsim.NodeID) {
+	if i := ctx.findResp(from); i >= 0 {
+		last := len(ctx.responses) - 1
+		ctx.responses[i] = ctx.responses[last]
+		ctx.responses[last] = replicaReadResp{}
+		ctx.responses = ctx.responses[:last]
+	}
 }
 
 // writeCtx tracks one coordinated write; it lives until the timeout event
@@ -46,9 +71,35 @@ type writeCtx struct {
 	reply     func(WriteResult) // routes the result to the client (or batch collector)
 	version   storage.Version
 	replicas  int
-	acks      map[string]int
 	ackCount  int
+	ackDC     map[string]int // per-DC tallies; nil unless req.perDC is set
 	completed bool
+}
+
+// Context pools: one read and one write context per operation was the
+// largest remaining steady-state allocation of the coordinator path.
+// Contexts are returned once they can no longer be referenced — when they
+// leave the coordinator's tracking maps after finalization or timeout.
+var (
+	readCtxPool  = sync.Pool{New: func() any { return new(readCtx) }}
+	writeCtxPool = sync.Pool{New: func() any { return new(writeCtx) }}
+)
+
+func getReadCtx() *readCtx { return readCtxPool.Get().(*readCtx) }
+
+func putReadCtx(ctx *readCtx) {
+	for i := range ctx.responses {
+		ctx.responses[i] = replicaReadResp{}
+	}
+	*ctx = readCtx{targets: ctx.targets[:0], responses: ctx.responses[:0]}
+	readCtxPool.Put(ctx)
+}
+
+func getWriteCtx() *writeCtx { return writeCtxPool.Get().(*writeCtx) }
+
+func putWriteCtx(ctx *writeCtx) {
+	*ctx = writeCtx{}
+	writeCtxPool.Put(ctx)
 }
 
 // batchReadCtx tracks one coordinated multi-key read: per-item readCtx
@@ -83,8 +134,11 @@ func (n *Node) coordRead(m clientRead) {
 
 		replicas := n.cluster.strategy.Replicas(m.Key)
 		req := m.Level.resolve(replicas, n.cluster.topo, n.cluster.topo.DCOf(n.id))
-		targets, ok := n.pickTargets(replicas, req)
+		ctx := getReadCtx()
+		targets, ok := n.pickTargets(replicas, req, ctx.targets)
+		ctx.targets = targets
 		if !ok {
+			putReadCtx(ctx)
 			n.replyRead(m.cb, ReadResult{
 				Err: ErrUnavailable, Key: m.Key, Level: m.Level,
 				Latency: 0,
@@ -93,23 +147,22 @@ func (n *Node) coordRead(m clientRead) {
 			return
 		}
 
-		ctx := &readCtx{
-			id: m.ID, key: m.Key, level: m.Level, req: req,
-			start: now, reply: func(res ReadResult) { n.replyRead(m.cb, res) },
-			visibleAtStart: n.cluster.oracle.LatestVisible(m.Key),
-			issuedAtStart:  n.cluster.oracle.LatestIssued(m.Key),
-			targets:        targets,
-			acks:           make(map[string]int),
-			responses:      make(map[netsim.NodeID]replicaReadResp, len(targets)),
+		ctx.id, ctx.key, ctx.level, ctx.req = m.ID, m.Key, m.Level, req
+		ctx.start = now
+		ctx.reply = func(res ReadResult) { n.replyRead(m.cb, res) }
+		ctx.visibleAtStart = n.cluster.oracle.LatestVisible(m.Key)
+		ctx.issuedAtStart = n.cluster.oracle.LatestIssued(m.Key)
+		if req.perDC != nil {
+			ctx.ackDC = make(map[string]int, len(req.perDC))
 		}
 		n.reads[m.ID] = ctx
 
 		for i, t := range targets {
 			digest := n.cluster.cfg.DigestReads && i > 0
-			rr := replicaRead{ID: m.ID, Key: m.Key, Digest: digest, Coord: n.id}
+			rr := newReplicaRead(replicaRead{ID: m.ID, Key: m.Key, Digest: digest, Coord: n.id})
 			n.cluster.net.Send(n.id, t, rr, msgOverhead+len(m.Key))
 		}
-		n.cluster.net.SendLocal(n.id, coordTimeout{ID: m.ID}, n.cluster.cfg.Timeout)
+		n.cluster.net.SendLocal(n.id, newCoordTimeout(m.ID, false), n.cluster.cfg.Timeout)
 	})
 }
 
@@ -119,11 +172,14 @@ func (n *Node) onReadResp(m replicaReadResp) {
 	if !ok {
 		return
 	}
-	if _, dup := ctx.responses[m.From]; dup {
+	if ctx.findResp(m.From) >= 0 {
 		return
 	}
-	ctx.responses[m.From] = m
-	ctx.acks[n.cluster.topo.DCOf(m.From)]++
+	ctx.responses = append(ctx.responses, m)
+	ctx.ackTotal++
+	if ctx.ackDC != nil {
+		ctx.ackDC[n.cluster.topo.DCOf(m.From)]++
+	}
 
 	if m.Exists {
 		if !ctx.haveBest || m.Cell.Version.After(ctx.best.Cell.Version) {
@@ -136,7 +192,7 @@ func (n *Node) onReadResp(m replicaReadResp) {
 		}
 	}
 
-	if !ctx.completed && ctx.req.satisfied(ctx.acks) {
+	if !ctx.completed && ctx.req.satisfiedCounts(ctx.ackTotal, ctx.ackDC) {
 		n.tryCompleteRead(ctx)
 	} else if ctx.completed && ctx.awaitData && ctx.haveData &&
 		!ctx.best.Cell.Version.After(ctx.bestData.Cell.Version) {
@@ -148,6 +204,7 @@ func (n *Node) onReadResp(m replicaReadResp) {
 	if len(ctx.responses) >= len(ctx.targets) && !ctx.awaitData && ctx.delivered {
 		delete(n.reads, ctx.id)
 		n.finalizeRead(ctx)
+		putReadCtx(ctx)
 	}
 }
 
@@ -160,9 +217,12 @@ func (n *Node) tryCompleteRead(ctx *readCtx) {
 		if ctx.best.Digest {
 			// Freshest version known only by digest: fetch its data.
 			ctx.awaitData = true
-			rr := replicaRead{ID: ctx.id, Key: ctx.key, Digest: false, Coord: n.id}
-			delete(ctx.responses, ctx.best.From) // allow the refetch response in
-			ctx.acks[n.cluster.topo.DCOf(ctx.best.From)]--
+			rr := newReplicaRead(replicaRead{ID: ctx.id, Key: ctx.key, Digest: false, Coord: n.id})
+			ctx.dropResp(ctx.best.From) // allow the refetch response in
+			ctx.ackTotal--
+			if ctx.ackDC != nil {
+				ctx.ackDC[n.cluster.topo.DCOf(ctx.best.From)]--
+			}
 			n.cluster.net.Send(n.id, ctx.best.From, rr, msgOverhead+len(ctx.key))
 			return
 		}
@@ -208,14 +268,20 @@ func (n *Node) finalizeRead(ctx *readCtx) {
 		return
 	}
 	best := ctx.bestData.Cell
-	// Repair contacted replicas that answered with an older version.
-	froms := make([]netsim.NodeID, 0, len(ctx.responses))
-	for from := range ctx.responses {
-		froms = append(froms, from)
+	// Repair contacted replicas that answered with an older version, in
+	// node order (insertion sort in place; the context is being retired).
+	rs := ctx.responses
+	for i := 1; i < len(rs); i++ {
+		r := rs[i]
+		j := i - 1
+		for j >= 0 && rs[j].From > r.From {
+			rs[j+1] = rs[j]
+			j--
+		}
+		rs[j+1] = r
 	}
-	sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
-	for _, from := range froms {
-		r := ctx.responses[from]
+	for i := range rs {
+		r := &rs[i]
 		if r.From == ctx.bestData.From {
 			continue
 		}
@@ -226,12 +292,15 @@ func (n *Node) finalizeRead(ctx *readCtx) {
 	// With the configured probability, extend repair to the replicas
 	// that were not contacted (Cassandra's global read_repair_chance).
 	if p := n.cluster.cfg.GlobalRepairChance; p > 0 && n.rng.Float64() < p {
-		contacted := make(map[netsim.NodeID]bool, len(ctx.targets))
-		for _, t := range ctx.targets {
-			contacted[t] = true
-		}
 		for _, rep := range n.cluster.strategy.Replicas(ctx.key) {
-			if !contacted[rep] && !n.cluster.isDown(rep) {
+			contacted := false
+			for _, t := range ctx.targets {
+				if t == rep {
+					contacted = true
+					break
+				}
+			}
+			if !contacted && !n.cluster.isDown(rep) {
 				n.sendRepair(rep, ctx.key, best)
 			}
 		}
@@ -239,7 +308,7 @@ func (n *Node) finalizeRead(ctx *readCtx) {
 }
 
 func (n *Node) sendRepair(to netsim.NodeID, key string, cell storage.Cell) {
-	msg := replicaWrite{Key: key, Cell: cell, Coord: n.id, Repair: true}
+	msg := newReplicaWrite(replicaWrite{Key: key, Cell: cell, Coord: n.id, Repair: true})
 	n.cluster.net.Send(n.id, to, msg, msgOverhead+len(key)+len(cell.Value))
 }
 
@@ -261,12 +330,14 @@ func (n *Node) coordWrite(m clientWrite) {
 		n.cluster.oracle.WriteStarted(m.Key, version, len(replicas), now)
 		n.cluster.hooks.writeStarted(now, m.Key, version, len(replicas))
 
-		ctx := &writeCtx{
-			id: m.ID, key: m.Key, level: m.Level, req: req,
-			start: now, reply: func(res WriteResult) { n.replyWrite(m.cb, res) },
-			version:  version,
-			replicas: len(replicas),
-			acks:     make(map[string]int),
+		ctx := getWriteCtx()
+		ctx.id, ctx.key, ctx.level, ctx.req = m.ID, m.Key, m.Level, req
+		ctx.start = now
+		ctx.reply = func(res WriteResult) { n.replyWrite(m.cb, res) }
+		ctx.version = version
+		ctx.replicas = len(replicas)
+		if req.perDC != nil {
+			ctx.ackDC = make(map[string]int, len(req.perDC))
 		}
 		n.writes[m.ID] = ctx
 
@@ -278,10 +349,10 @@ func (n *Node) coordWrite(m clientWrite) {
 				n.storeHint(r, m.Key, cell)
 				continue
 			}
-			w := replicaWrite{ID: m.ID, Key: m.Key, Cell: cell, Coord: n.id}
+			w := newReplicaWrite(replicaWrite{ID: m.ID, Key: m.Key, Cell: cell, Coord: n.id})
 			n.cluster.net.Send(n.id, r, w, msgOverhead+len(m.Key)+len(m.Value))
 		}
-		n.cluster.net.SendLocal(n.id, coordTimeout{ID: m.ID, Write: true}, n.cluster.cfg.Timeout)
+		n.cluster.net.SendLocal(n.id, newCoordTimeout(m.ID, true), n.cluster.cfg.Timeout)
 	})
 }
 
@@ -299,10 +370,12 @@ func (n *Node) onWriteAck(m replicaWriteAck) {
 func (n *Node) foldWriteAck(ctx *writeCtx, from netsim.NodeID) {
 	now := n.cluster.net.Now()
 	ctx.ackCount++
-	ctx.acks[n.cluster.topo.DCOf(from)]++
+	if ctx.ackDC != nil {
+		ctx.ackDC[n.cluster.topo.DCOf(from)]++
+	}
 	n.cluster.hooks.writeAck(now, ctx.key, ctx.ackCount, now-ctx.start)
 
-	if !ctx.completed && ctx.req.satisfied(ctx.acks) {
+	if !ctx.completed && ctx.req.satisfiedCounts(ctx.ackCount, ctx.ackDC) {
 		ctx.completed = true
 		n.cluster.oracle.WriteVisible(ctx.key, ctx.version)
 		res := WriteResult{
@@ -316,7 +389,8 @@ func (n *Node) foldWriteAck(ctx *writeCtx, from netsim.NodeID) {
 
 // onTimeout fires for both reads and writes, single and batched;
 // contexts still incomplete fail with ErrTimeout, completed ones are
-// finalized.
+// finalized. The timeout is the last reference to a context, so it also
+// returns contexts to their pools.
 func (n *Node) onTimeout(m coordTimeout) {
 	if m.Write {
 		if bctx, ok := n.batchWrites[m.ID]; ok {
@@ -324,6 +398,7 @@ func (n *Node) onTimeout(m coordTimeout) {
 			for _, ctx := range bctx.items {
 				if ctx != nil {
 					n.expireWrite(ctx)
+					putWriteCtx(ctx)
 				}
 			}
 			return
@@ -334,6 +409,7 @@ func (n *Node) onTimeout(m coordTimeout) {
 		}
 		delete(n.writes, m.ID)
 		n.expireWrite(ctx)
+		putWriteCtx(ctx)
 		return
 	}
 	if bctx, ok := n.batchReads[m.ID]; ok {
@@ -341,6 +417,7 @@ func (n *Node) onTimeout(m coordTimeout) {
 		for _, ctx := range bctx.items {
 			if ctx != nil {
 				n.expireRead(ctx)
+				putReadCtx(ctx)
 			}
 		}
 		return
@@ -351,6 +428,7 @@ func (n *Node) onTimeout(m coordTimeout) {
 	}
 	delete(n.reads, m.ID)
 	n.expireRead(ctx)
+	putReadCtx(ctx)
 }
 
 // expireWrite fails a still-incomplete write context with ErrTimeout.
@@ -388,19 +466,20 @@ func (n *Node) expireRead(ctx *readCtx) {
 // replyRead ships the result back to the client endpoint over the
 // network, so client-visible latency includes the return hop.
 func (n *Node) replyRead(cb func(ReadResult), res ReadResult) {
-	n.cluster.net.Send(n.id, netsim.ClientID, clientReadReply{cb: cb, res: res},
+	n.cluster.net.Send(n.id, netsim.ClientID, newClientReadReply(clientReadReply{cb: cb, res: res}),
 		msgOverhead+len(res.Value))
 }
 
 func (n *Node) replyWrite(cb func(WriteResult), res WriteResult) {
-	n.cluster.net.Send(n.id, netsim.ClientID, clientWriteReply{cb: cb, res: res}, msgOverhead)
+	n.cluster.net.Send(n.id, netsim.ClientID, newClientWriteReply(clientWriteReply{cb: cb, res: res}), msgOverhead)
 }
 
 // pickTargets selects which replicas a read contacts: enough to satisfy
-// req, chosen among live replicas by the configured target policy. It
+// req, chosen among live replicas by the configured target policy. The
+// live set is built in buf (the context's recycled targets array); it
 // reports ok=false when the level is unreachable.
-func (n *Node) pickTargets(replicas []netsim.NodeID, req requirement) ([]netsim.NodeID, bool) {
-	alive := make([]netsim.NodeID, 0, len(replicas))
+func (n *Node) pickTargets(replicas []netsim.NodeID, req requirement, buf []netsim.NodeID) ([]netsim.NodeID, bool) {
+	alive := buf[:0]
 	for _, r := range replicas {
 		if !n.cluster.isDown(r) {
 			alive = append(alive, r)
@@ -410,7 +489,7 @@ func (n *Node) pickTargets(replicas []netsim.NodeID, req requirement) ([]netsim.
 
 	if req.perDC == nil {
 		if len(alive) < req.total {
-			return nil, false
+			return alive, false
 		}
 		return alive[:req.total], true
 	}
@@ -429,7 +508,7 @@ func (n *Node) pickTargets(replicas []netsim.NodeID, req requirement) ([]netsim.
 	for _, dc := range dcs {
 		need := req.perDC[dc]
 		if len(byDC[dc]) < need {
-			return nil, false
+			return alive, false
 		}
 		targets = append(targets, byDC[dc][:need]...)
 	}
@@ -439,19 +518,36 @@ func (n *Node) pickTargets(replicas []netsim.NodeID, req requirement) ([]netsim.
 // orderByPolicy orders candidate replicas either by proximity to this
 // coordinator (deterministic) or uniformly at random (spreads read load,
 // and matches the uniform-choice assumption of the Harmony estimator).
+// The candidate sets are replica-sized, so insertion sorts beat the
+// allocation and indirection of sort.Slice.
 func (n *Node) orderByPolicy(nodes []netsim.NodeID) {
 	switch n.cluster.cfg.ReadTargets {
 	case TargetClosest:
-		sort.Slice(nodes, func(i, j int) bool {
-			ci := n.cluster.topo.Class(n.id, nodes[i])
-			cj := n.cluster.topo.Class(n.id, nodes[j])
-			if ci != cj {
-				return ci < cj
+		topo := n.cluster.topo
+		for i := 1; i < len(nodes); i++ {
+			x := nodes[i]
+			cx := topo.Class(n.id, x)
+			j := i - 1
+			for j >= 0 {
+				cj := topo.Class(n.id, nodes[j])
+				if cj < cx || (cj == cx && nodes[j] < x) {
+					break
+				}
+				nodes[j+1] = nodes[j]
+				j--
 			}
-			return nodes[i] < nodes[j]
-		})
+			nodes[j+1] = x
+		}
 	default: // TargetRandom
-		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		for i := 1; i < len(nodes); i++ {
+			x := nodes[i]
+			j := i - 1
+			for j >= 0 && nodes[j] > x {
+				nodes[j+1] = nodes[j]
+				j--
+			}
+			nodes[j+1] = x
+		}
 		n.rng.Shuffle(len(nodes), func(i, j int) {
 			nodes[i], nodes[j] = nodes[j], nodes[i]
 		})

@@ -149,18 +149,16 @@ func (r requirement) needed() int {
 	return sum
 }
 
-// satisfied reports whether the collected per-DC ack counts meet the
-// requirement.
-func (r requirement) satisfied(acks map[string]int) bool {
+// satisfiedCounts reports whether the collected acknowledgements meet the
+// requirement: total is the overall ack count, perDC the per-datacenter
+// tallies (nil unless the requirement is per-DC; contexts only maintain
+// the map when needed).
+func (r requirement) satisfiedCounts(total int, perDC map[string]int) bool {
 	if r.perDC == nil {
-		total := 0
-		for _, n := range acks {
-			total += n
-		}
 		return total >= r.total
 	}
 	for dc, need := range r.perDC {
-		if acks[dc] < need {
+		if perDC[dc] < need {
 			return false
 		}
 	}

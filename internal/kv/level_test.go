@@ -64,17 +64,17 @@ func TestLevelResolveEachQuorum(t *testing.T) {
 
 func TestRequirementSatisfied(t *testing.T) {
 	total := requirement{total: 2}
-	if total.satisfied(map[string]int{"a": 1}) {
+	if total.satisfiedCounts(1, nil) {
 		t.Error("1 ack satisfied total 2")
 	}
-	if !total.satisfied(map[string]int{"a": 1, "b": 1}) {
+	if !total.satisfiedCounts(2, nil) {
 		t.Error("2 acks did not satisfy total 2")
 	}
 	per := requirement{perDC: map[string]int{"a": 2, "b": 1}}
-	if per.satisfied(map[string]int{"a": 2}) {
+	if per.satisfiedCounts(2, map[string]int{"a": 2}) {
 		t.Error("missing DC satisfied per-DC requirement")
 	}
-	if !per.satisfied(map[string]int{"a": 2, "b": 1}) {
+	if !per.satisfiedCounts(3, map[string]int{"a": 2, "b": 1}) {
 		t.Error("complete per-DC acks not satisfied")
 	}
 }

@@ -21,17 +21,23 @@ type work struct {
 // up still answers reads promptly from its current (stale) state — the
 // mechanism behind the high stale-read rates the paper observes under
 // heavy load. shed, when positive, drops work that waited longer than the
-// threshold (Cassandra's dropped-mutation load shedding).
+// threshold (Cassandra's dropped-mutation load shedding). The queue is a
+// head-indexed deque so dequeuing does not reslice away reusable
+// capacity.
 type stage struct {
 	busy     int
 	conc     int
 	queue    []work
+	head     int
 	shed     time.Duration
 	busyTime time.Duration
 	done     uint64
 	dropped  uint64
 	peak     int
 }
+
+// qlen reports the number of queued (not yet running) work units.
+func (st *stage) qlen() int { return len(st.queue) - st.head }
 
 // Node is one storage server: a message-driven actor owning a storage
 // engine, a bounded-concurrency work queue (the thread-pool model that
@@ -68,6 +74,10 @@ type Node struct {
 	hintsReplayed uint64
 
 	aeRounds uint64
+	// aeSeen is the sample-dedup scratch of antiEntropyRound, reused
+	// across rounds (the offered key/version slices themselves are owned
+	// by the in-flight message and cannot be reused).
+	aeSeen map[string]bool
 }
 
 type hintEntry struct {
@@ -110,8 +120,8 @@ func (n *Node) submit(st *stage, cost time.Duration, fn func()) {
 	w := work{cost: cost, enqueued: n.cluster.net.Now(), fn: fn}
 	if st.busy >= st.conc {
 		st.queue = append(st.queue, w)
-		if len(st.queue) > st.peak {
-			st.peak = len(st.queue)
+		if q := st.qlen(); q > st.peak {
+			st.peak = q
 		}
 		return
 	}
@@ -122,7 +132,7 @@ func (n *Node) run(st *stage, w work) {
 	st.busy++
 	st.busyTime += w.cost
 	st.done++
-	n.cluster.net.SendLocal(n.id, workDone{st: st, w: w}, w.cost)
+	n.cluster.net.SendLocal(n.id, newWorkDone(st, w), w.cost)
 }
 
 // workDone is the self-message marking completion of a work unit.
@@ -141,25 +151,38 @@ type coordExec struct{ fn func() }
 func (n *Node) coordWork(fn func()) {
 	cost := n.cluster.cfg.CoordOverhead.Sample(n.rng)
 	n.coordBusy += cost
-	n.cluster.net.SendLocal(n.id, coordExec{fn: fn}, cost)
+	n.cluster.net.SendLocal(n.id, newCoordExec(fn), cost)
 }
 
 func (n *Node) finishWork(st *stage, w work) {
 	w.fn()
 	st.busy--
-	for len(st.queue) > 0 && st.busy < st.conc {
-		next := st.queue[0]
-		st.queue = st.queue[1:]
-		// Load shedding: drop work that sat in the queue beyond the
-		// shed threshold instead of executing it (Cassandra's dropped
-		// mutations under overload; repair and anti-entropy heal the
-		// divergence later).
-		if st.shed > 0 && n.cluster.net.Now()-next.enqueued > st.shed {
+	// The freed slot keeps scanning past shed work: a burst of expired
+	// items must not leave the slot idle until the next workDone — it
+	// picks up the first non-expired item in the same event. Load
+	// shedding drops work that sat in the queue beyond the shed threshold
+	// instead of executing it (Cassandra's dropped mutations under
+	// overload; repair and anti-entropy heal the divergence later).
+	now := n.cluster.net.Now()
+	for st.head < len(st.queue) && st.busy < st.conc {
+		next := st.queue[st.head]
+		st.queue[st.head] = work{} // release the closure
+		st.head++
+		if st.shed > 0 && now-next.enqueued > st.shed {
 			st.dropped++
 			continue
 		}
 		n.run(st, next)
-		return
+	}
+	// Reclaim the consumed prefix: reset when drained, compact when the
+	// dead head outgrows the live tail.
+	if st.head == len(st.queue) {
+		st.queue = st.queue[:0]
+		st.head = 0
+	} else if st.head > 64 && st.head > len(st.queue)/2 {
+		live := copy(st.queue, st.queue[st.head:])
+		st.queue = st.queue[:live]
+		st.head = 0
 	}
 }
 
@@ -185,41 +208,68 @@ func (n *Node) DroppedMutations() uint64 { return n.writeStage.dropped }
 func (n *Node) CoordOps() uint64 { return n.coordOps }
 
 // Handle dispatches one message; it is the single entry point of the
-// actor.
+// actor. Pooled message boxes are copied out and returned to their pool
+// before dispatch, so a box never outlives one delivery.
 func (n *Node) Handle(from netsim.NodeID, payload any) {
 	switch m := payload.(type) {
-	case workDone:
-		n.finishWork(m.st, m.w)
-	case coordExec:
-		m.fn()
+	case *workDone:
+		st, w := m.st, m.w
+		*m = workDone{}
+		workDonePool.Put(m)
+		n.finishWork(st, w)
+	case *coordExec:
+		fn := m.fn
+		m.fn = nil
+		coordExecPool.Put(m)
+		fn()
 
-	case clientRead:
-		n.coordRead(m)
-	case clientWrite:
-		n.coordWrite(m)
+	case *clientRead:
+		v := *m
+		*m = clientRead{}
+		clientReadPool.Put(m)
+		n.coordRead(v)
+	case *clientWrite:
+		v := *m
+		*m = clientWrite{}
+		clientWritePool.Put(m)
+		n.coordWrite(v)
 	case clientBatchRead:
 		n.coordBatchRead(m)
 	case clientBatchWrite:
 		n.coordBatchWrite(m)
-	case coordTimeout:
-		n.onTimeout(m)
+	case *coordTimeout:
+		v := *m
+		coordTimeoutPool.Put(m)
+		n.onTimeout(v)
 
-	case replicaWrite:
-		n.onReplicaWrite(m)
-	case replicaWriteAck:
-		n.onWriteAck(m)
-	case replicaRead:
-		n.onReplicaRead(m)
-	case replicaReadResp:
-		n.onReadResp(m)
-	case replicaBatchWrite:
-		n.onReplicaBatchWrite(m)
-	case replicaBatchWriteAck:
-		n.onBatchWriteAck(m)
-	case replicaBatchRead:
-		n.onReplicaBatchRead(m)
-	case replicaBatchReadResp:
-		n.onBatchReadResp(m)
+	case *replicaWrite:
+		v := *m
+		*m = replicaWrite{}
+		replicaWritePool.Put(m)
+		n.onReplicaWrite(v)
+	case *replicaWriteAck:
+		v := *m
+		*m = replicaWriteAck{}
+		replicaWriteAckPool.Put(m)
+		n.onWriteAck(v)
+	case *replicaRead:
+		v := *m
+		*m = replicaRead{}
+		replicaReadPool.Put(m)
+		n.onReplicaRead(v)
+	case *replicaReadResp:
+		v := *m
+		*m = replicaReadResp{}
+		replicaReadRespPool.Put(m)
+		n.onReadResp(v)
+	case *replicaBatchWrite:
+		n.onReplicaBatchWrite(*m)
+	case *replicaBatchWriteAck:
+		n.onBatchWriteAck(*m)
+	case *replicaBatchRead:
+		n.onReplicaBatchRead(*m)
+	case *replicaBatchReadResp:
+		n.onBatchReadResp(*m)
 
 	case aeTick:
 		n.antiEntropyRound()
@@ -250,7 +300,7 @@ func (n *Node) onReplicaWrite(m replicaWrite) {
 			n.readRepairs++
 			return
 		}
-		ack := replicaWriteAck{ID: m.ID, Key: m.Key, Version: m.Cell.Version, From: n.id}
+		ack := newReplicaWriteAck(replicaWriteAck{ID: m.ID, Key: m.Key, Version: m.Cell.Version, From: n.id})
 		n.cluster.net.Send(n.id, m.Coord, ack, msgOverhead)
 	})
 }
@@ -261,10 +311,10 @@ func (n *Node) onReplicaRead(m replicaRead) {
 	n.submitRead(cost, func() {
 		n.repReads++
 		cell, ok := n.engine.Get(m.Key)
-		resp := replicaReadResp{
+		resp := newReplicaReadResp(replicaReadResp{
 			ID: m.ID, Key: m.Key, Cell: cell, Exists: ok,
 			Digest: m.Digest, From: n.id,
-		}
+		})
 		size := msgOverhead + digestSize
 		if !m.Digest {
 			size = msgOverhead + len(cell.Value)
@@ -304,7 +354,7 @@ func (n *Node) replayHints() {
 			continue
 		}
 		for _, h := range entries {
-			msg := replicaWrite{Key: h.key, Cell: h.cell, Coord: n.id, Repair: false, Hint: true}
+			msg := newReplicaWrite(replicaWrite{Key: h.key, Cell: h.cell, Coord: n.id, Repair: false, Hint: true})
 			n.cluster.net.Send(n.id, target, msg, msgOverhead+len(h.key)+len(h.cell.Value))
 			n.hintsReplayed++
 		}

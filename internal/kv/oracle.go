@@ -1,6 +1,7 @@
 package kv
 
 import (
+	"math/bits"
 	"time"
 
 	"repro/internal/netsim"
@@ -21,7 +22,7 @@ import (
 type Oracle struct {
 	issued  map[string]storage.Version // newest write accepted by a coordinator
 	visible map[string]storage.Version // newest write acknowledged to a client
-	pending map[storage.Version]*pendingWrite
+	pending map[storage.Version]pendingWrite
 
 	propagation stats.Histogram   // full-propagation times T_p
 	rankDelays  []stats.Histogram // delay until the i-th replica applied
@@ -33,11 +34,43 @@ type Oracle struct {
 	failedReads  uint64
 }
 
+// pendingWrite is a value-typed ledger entry; the applied replica set is
+// a bitset over node ids, so for clusters up to 256 nodes (every preset,
+// and then some) ledgering a write performs a single map insert and no
+// allocation. Larger ids spill into a lazily allocated overflow set so
+// correctness never depends on cluster size.
 type pendingWrite struct {
-	key      string
 	start    time.Duration
 	replicas int
-	applied  map[netsim.NodeID]bool
+	applied  [4]uint64              // bitset of nodes that applied, ids 0..255
+	overflow map[netsim.NodeID]bool // nodes outside the bitset range
+}
+
+func (p *pendingWrite) markApplied(node netsim.NodeID) bool {
+	if node >= 0 && int(node) < 256 {
+		w, b := node/64, uint64(1)<<(uint(node)%64)
+		if p.applied[w]&b != 0 {
+			return false
+		}
+		p.applied[w] |= b
+		return true
+	}
+	if p.overflow[node] {
+		return false
+	}
+	if p.overflow == nil {
+		p.overflow = make(map[netsim.NodeID]bool, 1)
+	}
+	p.overflow[node] = true
+	return true
+}
+
+func (p *pendingWrite) appliedCount() int {
+	n := len(p.overflow)
+	for _, w := range p.applied {
+		n += bits.OnesCount64(w)
+	}
+	return n
 }
 
 // NewOracle returns an oracle for a store with replication factor rf.
@@ -45,7 +78,7 @@ func NewOracle(rf int) *Oracle {
 	return &Oracle{
 		issued:     make(map[string]storage.Version),
 		visible:    make(map[string]storage.Version),
-		pending:    make(map[storage.Version]*pendingWrite),
+		pending:    make(map[storage.Version]pendingWrite),
 		rankDelays: make([]stats.Histogram, rf),
 	}
 }
@@ -56,12 +89,7 @@ func (o *Oracle) WriteStarted(key string, v storage.Version, replicas int, now t
 	if v.After(o.issued[key]) {
 		o.issued[key] = v
 	}
-	o.pending[v] = &pendingWrite{
-		key:      key,
-		start:    now,
-		replicas: replicas,
-		applied:  make(map[netsim.NodeID]bool, replicas),
-	}
+	o.pending[v] = pendingWrite{start: now, replicas: replicas}
 }
 
 // WriteVisible ledgers that the write was acknowledged to its client: it
@@ -75,18 +103,19 @@ func (o *Oracle) WriteVisible(key string, v storage.Version) {
 // Applied ledgers replica node applying version v of key at time now.
 func (o *Oracle) Applied(node netsim.NodeID, v storage.Version, now time.Duration) {
 	p, ok := o.pending[v]
-	if !ok || p.applied[node] {
+	if !ok || !p.markApplied(node) {
 		return
 	}
-	p.applied[node] = true
-	rank := len(p.applied)
+	rank := p.appliedCount()
 	if rank <= len(o.rankDelays) {
 		o.rankDelays[rank-1].Record(now - p.start)
 	}
 	if rank >= p.replicas {
 		o.propagation.Record(now - p.start)
 		delete(o.pending, v)
+		return
 	}
+	o.pending[v] = p
 }
 
 // LatestVisible reports the newest client-acknowledged version of key;

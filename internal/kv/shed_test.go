@@ -1,0 +1,106 @@
+package kv
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// newShedHarness builds a minimal cluster for white-box stage tests.
+func newShedHarness(t *testing.T, conc int, shed time.Duration) (*sim.Engine, *Node) {
+	t.Helper()
+	topo := netsim.SingleDC(3)
+	eng := sim.New(1)
+	tr := netsim.NewTransport(eng, topo)
+	cfg := DefaultConfig()
+	cfg.Seed = 1
+	cfg.Concurrency = conc
+	cfg.MutationShed = shed
+	cfg.HintReplayInterval = 0 // no periodic self-messages: Run must drain
+	cl := New(topo, tr, cfg)
+	return eng, cl.Node(0)
+}
+
+// TestShedBurstFreesSlot pins the shed-loop accounting: when a slot frees
+// and the queue's head is a burst of expired items, every expired item is
+// dropped in that same event and the slot immediately picks up the first
+// non-expired item — it must not sit idle until the next workDone.
+func TestShedBurstFreesSlot(t *testing.T) {
+	const shed = 10 * time.Millisecond
+	eng, n := newShedHarness(t, 1, shed)
+
+	var ran []string
+	var ranAt []time.Duration
+	exec := func(name string) func() {
+		return func() {
+			ran = append(ran, name)
+			ranAt = append(ranAt, eng.Now())
+		}
+	}
+
+	// Occupy the single slot for 50ms, then queue three items that will
+	// all exceed the 10ms shed threshold by the time the slot frees, and
+	// one late item that will still be fresh.
+	n.submitWrite(50*time.Millisecond, exec("head"))
+	n.submitWrite(5*time.Millisecond, exec("expired-a"))
+	n.submitWrite(5*time.Millisecond, exec("expired-b"))
+	n.submitWrite(5*time.Millisecond, exec("expired-c"))
+	eng.Schedule(45*time.Millisecond, func() {
+		n.submitWrite(5*time.Millisecond, exec("fresh"))
+	})
+	eng.Run()
+
+	if got := n.DroppedMutations(); got != 3 {
+		t.Errorf("dropped = %d, want 3 (the whole expired burst)", got)
+	}
+	if len(ran) != 2 || ran[0] != "head" || ran[1] != "fresh" {
+		t.Fatalf("executed %v, want [head fresh]", ran)
+	}
+	// head completes at 50ms; fresh (queued at 45ms, 5ms old — under the
+	// threshold) must start in the same event and finish at 55ms.
+	if ranAt[1] != 55*time.Millisecond {
+		t.Errorf("fresh ran at %v, want 55ms (slot must not idle after shedding)", ranAt[1])
+	}
+	if n.writeStage.busy != 0 || n.writeStage.qlen() != 0 {
+		t.Errorf("stage not drained: busy=%d queued=%d", n.writeStage.busy, n.writeStage.qlen())
+	}
+}
+
+// TestShedDisabledRunsEverything pins that with shedding off the whole
+// backlog executes in FIFO order, one per freed slot.
+func TestShedDisabledRunsEverything(t *testing.T) {
+	eng, n := newShedHarness(t, 1, 0)
+	done := 0
+	for i := 0; i < 5; i++ {
+		n.submitWrite(20*time.Millisecond, func() { done++ })
+	}
+	eng.Run()
+	if done != 5 {
+		t.Errorf("executed %d, want 5", done)
+	}
+	if n.DroppedMutations() != 0 {
+		t.Errorf("dropped = %d, want 0", n.DroppedMutations())
+	}
+	if peak := n.writeStage.peak; peak != 4 {
+		t.Errorf("peak queue = %d, want 4", peak)
+	}
+}
+
+// TestStageQueueCompaction exercises the deque's head-reclaim paths under
+// sustained churn so the consumed prefix cannot grow without bound.
+func TestStageQueueCompaction(t *testing.T) {
+	eng, n := newShedHarness(t, 1, 0)
+	total := 0
+	for i := 0; i < 500; i++ {
+		n.submitWrite(time.Millisecond, func() { total++ })
+	}
+	eng.Run()
+	if total != 500 {
+		t.Fatalf("executed %d, want 500", total)
+	}
+	if n.writeStage.head != 0 || len(n.writeStage.queue) != 0 {
+		t.Errorf("queue not reclaimed: head=%d len=%d", n.writeStage.head, len(n.writeStage.queue))
+	}
+}

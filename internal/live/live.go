@@ -112,6 +112,21 @@ func (e *Engine) Schedule(d time.Duration, fn func()) {
 	})
 }
 
+// ScheduleStop schedules fn after delay and returns a stop function that
+// cancels the timer (same cancelable-guard contract as the simulated
+// transport).
+func (e *Engine) ScheduleStop(d time.Duration, fn func()) func() {
+	t := time.AfterFunc(e.scale(d), func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if e.closed {
+			return
+		}
+		fn()
+	})
+	return func() { t.Stop() }
+}
+
 // Fail drops traffic to and from id (kv.Cluster's failure injection uses
 // it through the failer interface). Like all cluster interactions it must
 // run under the engine lock (inside Do or a handler).

@@ -12,40 +12,71 @@ import (
 // needs no locking.
 type Handler func(from NodeID, payload any)
 
+// delivery is one in-flight message parked in the transport's slab
+// between Send and its scheduled arrival. Slots are recycled through a
+// free list so the steady-state send→deliver cycle allocates nothing.
+type delivery struct {
+	from, to NodeID
+	payload  any
+	local    bool // self-message: skip the down re-check at arrival
+	nextFree int32
+}
+
+const noSlot = int32(-1)
+
 // Transport delivers messages between topology nodes over the
 // discrete-event engine, sampling per-class latency laws, applying
 // partitions, loss and node failures, and metering traffic for the cost
-// model.
+// model. Handler and failure lookups are dense slices indexed by
+// NodeID+1 (ClientID is -1), and the partition/loss checks short-circuit
+// when nothing is configured.
 type Transport struct {
-	eng      *sim.Engine
-	topo     *Topology
-	rng      *stats.Source
-	handlers map[NodeID]Handler
-	meter    TrafficMeter
+	eng   *sim.Engine
+	topo  *Topology
+	rng   *stats.Source
+	meter TrafficMeter
+
+	handlers []Handler // indexed by NodeID+1
+	down     []bool    // indexed by NodeID+1
+	downN    int       // number of nodes marked down
 
 	// Bandwidth in bytes/second per class; zero means unlimited. The
 	// transfer time size/bandwidth is added to the sampled latency.
 	Bandwidth [4]float64
 
 	lossProb  float64
-	down      map[NodeID]bool
 	partition map[[2]NodeID]bool
+
+	slab      []delivery
+	freeHead  int32
+	deliverCb func(uint32) // pre-bound e.deliver, allocated once
 }
 
 // NewTransport wires a transport for topo over eng.
 func NewTransport(eng *sim.Engine, topo *Topology) *Transport {
-	return &Transport{
-		eng:       eng,
-		topo:      topo,
-		rng:       eng.RNG().Stream("netsim.transport"),
-		handlers:  make(map[NodeID]Handler),
-		down:      make(map[NodeID]bool),
-		partition: make(map[[2]NodeID]bool),
+	t := &Transport{
+		eng:      eng,
+		topo:     topo,
+		rng:      eng.RNG().Stream("netsim.transport"),
+		handlers: make([]Handler, topo.N()+1),
+		down:     make([]bool, topo.N()+1),
+		freeHead: noSlot,
 	}
+	t.deliverCb = t.deliver
+	return t
 }
 
+// slot maps a NodeID (ClientID = -1 included) onto its dense index.
+func slot(id NodeID) int { return int(id) + 1 }
+
 // Register installs the message handler for a node (or for ClientID).
-func (t *Transport) Register(id NodeID, h Handler) { t.handlers[id] = h }
+func (t *Transport) Register(id NodeID, h Handler) {
+	for int(id)+1 >= len(t.handlers) {
+		t.handlers = append(t.handlers, nil)
+		t.down = append(t.down, false)
+	}
+	t.handlers[slot(id)] = h
+}
 
 // Topology returns the topology the transport runs over.
 func (t *Transport) Topology() *Topology { return t.topo }
@@ -61,16 +92,29 @@ func (t *Transport) SetLossProbability(p float64) { t.lossProb = p }
 // Recover. The node's local timers keep firing (its clock is alive, its
 // network is not), which models a network-isolated rather than crashed
 // machine; crashed machines are modeled at the store layer.
-func (t *Transport) Fail(id NodeID) { t.down[id] = true }
+func (t *Transport) Fail(id NodeID) {
+	if !t.down[slot(id)] {
+		t.down[slot(id)] = true
+		t.downN++
+	}
+}
 
 // Recover clears the failure of id.
-func (t *Transport) Recover(id NodeID) { delete(t.down, id) }
+func (t *Transport) Recover(id NodeID) {
+	if t.down[slot(id)] {
+		t.down[slot(id)] = false
+		t.downN--
+	}
+}
 
 // Down reports whether id is marked failed.
-func (t *Transport) Down(id NodeID) bool { return t.down[id] }
+func (t *Transport) Down(id NodeID) bool { return t.down[slot(id)] }
 
 // Partition blocks traffic between every pair in a × b (both ways).
 func (t *Transport) Partition(a, b []NodeID) {
+	if t.partition == nil {
+		t.partition = make(map[[2]NodeID]bool)
+	}
 	for _, x := range a {
 		for _, y := range b {
 			t.partition[[2]NodeID{x, y}] = true
@@ -80,7 +124,44 @@ func (t *Transport) Partition(a, b []NodeID) {
 }
 
 // Heal removes all partitions.
-func (t *Transport) Heal() { t.partition = make(map[[2]NodeID]bool) }
+func (t *Transport) Heal() { t.partition = nil }
+
+// park places one in-flight message into the slab and returns its slot.
+func (t *Transport) park(from, to NodeID, payload any, local bool) uint32 {
+	var s int32
+	if t.freeHead != noSlot {
+		s = t.freeHead
+		t.freeHead = t.slab[s].nextFree
+	} else {
+		t.slab = append(t.slab, delivery{})
+		s = int32(len(t.slab) - 1)
+	}
+	d := &t.slab[s]
+	d.from, d.to, d.payload, d.local = from, to, payload, local
+	return uint32(s)
+}
+
+// deliver hands a parked message to its destination handler; it is the
+// engine callback of every scheduled delivery.
+func (t *Transport) deliver(s uint32) {
+	d := &t.slab[s]
+	from, to, payload, local := d.from, d.to, d.payload, d.local
+	d.payload = nil
+	d.nextFree = t.freeHead
+	t.freeHead = int32(s)
+
+	if !local && t.downN > 0 && t.down[slot(to)] {
+		// Re-check failure at delivery: a node that died mid-flight does
+		// not receive the message.
+		t.meter.Dropped++
+		return
+	}
+	if h := t.handlers[slot(to)]; h != nil {
+		h(from, payload)
+	} else if !local {
+		t.meter.Dropped++
+	}
+}
 
 // Send delivers payload from → to after a sampled network delay. size is
 // the wire size in bytes, used for metering and serialization delay.
@@ -88,7 +169,11 @@ func (t *Transport) Heal() { t.partition = make(map[[2]NodeID]bool) }
 func (t *Transport) Send(from, to NodeID, payload any, size int) {
 	class := t.topo.Class(from, to)
 	t.meter.Count(class, size)
-	if t.down[from] || t.down[to] || t.partition[[2]NodeID{from, to}] {
+	if t.downN > 0 && (t.down[slot(from)] || t.down[slot(to)]) {
+		t.meter.Dropped++
+		return
+	}
+	if len(t.partition) > 0 && t.partition[[2]NodeID{from, to}] {
 		t.meter.Dropped++
 		return
 	}
@@ -100,19 +185,7 @@ func (t *Transport) Send(from, to NodeID, payload any, size int) {
 	if bw := t.Bandwidth[class]; bw > 0 && size > 0 {
 		delay += time.Duration(float64(size) / bw * float64(time.Second))
 	}
-	t.eng.Schedule(delay, func() {
-		// Re-check failure at delivery: a node that died mid-flight
-		// does not receive the message.
-		if t.down[to] {
-			t.meter.Dropped++
-			return
-		}
-		if h, ok := t.handlers[to]; ok {
-			h(from, payload)
-		} else {
-			t.meter.Dropped++
-		}
-	})
+	t.eng.ScheduleCall(delay, t.deliverCb, t.park(from, to, payload, false))
 }
 
 // SendLocal schedules a self-message on node id after delay, bypassing
@@ -120,11 +193,7 @@ func (t *Transport) Send(from, to NodeID, payload any, size int) {
 // logic uses; cancellation is expressed by the receiver ignoring stale
 // generations.
 func (t *Transport) SendLocal(id NodeID, payload any, delay time.Duration) {
-	t.eng.Schedule(delay, func() {
-		if h, ok := t.handlers[id]; ok {
-			h(id, payload)
-		}
-	})
+	t.eng.ScheduleCall(delay, t.deliverCb, t.park(id, id, payload, true))
 }
 
 // Now reports the engine's virtual time.
@@ -134,3 +203,12 @@ func (t *Transport) Now() time.Duration { return t.eng.Now() }
 // components (failure detector updates, experiment phases) defer work
 // without owning the engine.
 func (t *Transport) Schedule(d time.Duration, fn func()) { t.eng.Schedule(d, fn) }
+
+// ScheduleStop schedules fn after d and returns a stop function that
+// cancels it. Guard timers that almost always get canceled (client-side
+// operation timeouts) use it so the event queue is not dominated by dead
+// timers waiting to fire as no-ops.
+func (t *Transport) ScheduleStop(d time.Duration, fn func()) func() {
+	tm := t.eng.Schedule(d, fn)
+	return func() { tm.Stop() }
+}

@@ -6,7 +6,6 @@ package ring
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 
 	"repro/internal/netsim"
@@ -17,11 +16,20 @@ import (
 type Token uint64
 
 // KeyToken maps a key to its ring position (FNV-1a, uniform enough for
-// simulation purposes and fully deterministic).
+// simulation purposes and fully deterministic). The hash is computed
+// inline: this runs once or twice per client operation and must not
+// allocate.
 func KeyToken(key string) Token {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	return Token(h.Sum64())
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return Token(h)
 }
 
 type vnode struct {
@@ -116,25 +124,71 @@ type Strategy interface {
 	RF() int
 }
 
+// The ring is immutable, so a key's replica set depends only on the
+// vnode its token lands on. Both strategies therefore precompute the
+// replica list of every start vnode at construction and answer Replicas
+// with a shared table lookup: zero walking and zero allocation per
+// operation. Callers must not mutate the returned slice.
+
 // SimpleStrategy places replicas on the first RF distinct nodes clockwise
 // from the key's token, ignoring topology.
 type SimpleStrategy struct {
 	Ring   *Ring
 	Factor int
+
+	table [][]netsim.NodeID // lazily built per-vnode replica lists
+}
+
+// placements precomputes one replica list per start vnode using pick to
+// select from the clockwise distinct-node walk.
+func placements(r *Ring, pick func(walk []netsim.NodeID) []netsim.NodeID) [][]netsim.NodeID {
+	table := make([][]netsim.NodeID, len(r.vnodes))
+	walk := make([]netsim.NodeID, 0, len(r.nodes))
+	seen := make(map[netsim.NodeID]bool, len(r.nodes))
+	for start := range r.vnodes {
+		walk = walk[:0]
+		clear(seen)
+		for i := 0; i < len(r.vnodes) && len(walk) < len(r.nodes); i++ {
+			vn := r.vnodes[(start+i)%len(r.vnodes)]
+			if !seen[vn.node] {
+				seen[vn.node] = true
+				walk = append(walk, vn.node)
+			}
+		}
+		table[start] = pick(walk)
+	}
+	return table
+}
+
+// NewSimpleStrategy builds the strategy with its placement table.
+func NewSimpleStrategy(r *Ring, factor int) *SimpleStrategy {
+	s := &SimpleStrategy{Ring: r, Factor: factor}
+	s.table = placements(r, func(walk []netsim.NodeID) []netsim.NodeID {
+		n := factor
+		if n > len(walk) {
+			n = len(walk)
+		}
+		return append([]netsim.NodeID(nil), walk[:n]...)
+	})
+	return s
 }
 
 // Replicas implements Strategy.
-func (s SimpleStrategy) Replicas(key string) []netsim.NodeID {
-	out := make([]netsim.NodeID, 0, s.Factor)
-	s.Ring.Walk(key, func(n netsim.NodeID) bool {
-		out = append(out, n)
-		return len(out) < s.Factor
-	})
-	return out
+func (s *SimpleStrategy) Replicas(key string) []netsim.NodeID {
+	if s.table == nil {
+		// Zero-constructed strategy (tests): fall back to walking.
+		out := make([]netsim.NodeID, 0, s.Factor)
+		s.Ring.Walk(key, func(n netsim.NodeID) bool {
+			out = append(out, n)
+			return len(out) < s.Factor
+		})
+		return out
+	}
+	return s.table[s.Ring.search(KeyToken(key))]
 }
 
 // RF implements Strategy.
-func (s SimpleStrategy) RF() int { return s.Factor }
+func (s *SimpleStrategy) RF() int { return s.Factor }
 
 // NetworkTopologyStrategy places a configured number of replicas in each
 // datacenter: it walks the ring clockwise and takes nodes whose DC still
@@ -145,6 +199,7 @@ type NetworkTopologyStrategy struct {
 	PerDC   map[string]int
 	factor  int
 	factSet bool
+	table   [][]netsim.NodeID
 }
 
 // NewNetworkTopologyStrategy builds the strategy; perDC maps datacenter
@@ -158,27 +213,30 @@ func NewNetworkTopologyStrategy(r *Ring, topo *netsim.Topology, perDC map[string
 		}
 		total += n
 	}
-	return &NetworkTopologyStrategy{Ring: r, Topo: topo, PerDC: perDC, factor: total, factSet: true}
+	s := &NetworkTopologyStrategy{Ring: r, Topo: topo, PerDC: perDC, factor: total, factSet: true}
+	need := make(map[string]int, len(perDC))
+	s.table = placements(r, func(walk []netsim.NodeID) []netsim.NodeID {
+		for dc, n := range perDC {
+			need[dc] = n
+		}
+		out := make([]netsim.NodeID, 0, total)
+		for _, n := range walk {
+			if len(out) == total {
+				break
+			}
+			if dc := topo.DCOf(n); need[dc] > 0 {
+				need[dc]--
+				out = append(out, n)
+			}
+		}
+		return out
+	})
+	return s
 }
 
 // Replicas implements Strategy.
 func (s *NetworkTopologyStrategy) Replicas(key string) []netsim.NodeID {
-	need := make(map[string]int, len(s.PerDC))
-	for dc, n := range s.PerDC {
-		need[dc] = n
-	}
-	remaining := s.factor
-	out := make([]netsim.NodeID, 0, s.factor)
-	s.Ring.Walk(key, func(n netsim.NodeID) bool {
-		dc := s.Topo.DCOf(n)
-		if need[dc] > 0 {
-			need[dc]--
-			remaining--
-			out = append(out, n)
-		}
-		return remaining > 0
-	})
-	return out
+	return s.table[s.Ring.search(KeyToken(key))]
 }
 
 // RF implements Strategy.

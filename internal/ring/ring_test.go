@@ -57,6 +57,27 @@ func TestSimpleStrategyProperties(t *testing.T) {
 	}
 }
 
+// TestPlacementTableMatchesWalk pins that the precomputed placement
+// tables agree with a fresh ring walk for every key — the table is a pure
+// cache, not a semantic change.
+func TestPlacementTableMatchesWalk(t *testing.T) {
+	r := New(nodeIDs(10), 16, 7)
+	fast := NewSimpleStrategy(r, 3)
+	slow := SimpleStrategy{Ring: r, Factor: 3} // zero table: walking fallback
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key%05d", i)
+		a, b := fast.Replicas(key), slow.Replicas(key)
+		if len(a) != len(b) {
+			t.Fatalf("key %s: table %v vs walk %v", key, a, b)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("key %s: table %v vs walk %v", key, a, b)
+			}
+		}
+	}
+}
+
 func TestRingBalance(t *testing.T) {
 	r := New(nodeIDs(8), 64, 3)
 	s := SimpleStrategy{Ring: r, Factor: 1}

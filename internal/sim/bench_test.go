@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineSchedule measures the steady-state Schedule/Step cycle:
+// one event scheduled and fired per iteration over a standing queue of
+// 1024 pending events, the depth a loaded simulation actually runs at.
+// The fast path must not allocate per event.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := New(1)
+	fn := func() {}
+	// Standing backlog far in the future so every iteration exercises a
+	// realistic heap depth.
+	for i := 0; i < 1024; i++ {
+		e.Schedule(time.Hour+time.Duration(i)*time.Microsecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Microsecond, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineScheduleStop measures the Schedule+Stop cycle (timer
+// churn: armed and canceled before firing, the request-timeout pattern).
+func BenchmarkEngineScheduleStop(b *testing.B) {
+	e := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := e.Schedule(time.Microsecond, fn)
+		t.Stop()
+		e.Step()
+	}
+}

@@ -3,65 +3,70 @@
 // the start of the simulation; events scheduled at equal times fire in
 // scheduling order, so a run is a pure function of the seed and the
 // initial event set.
+//
+// The scheduler is built for throughput: callbacks live in a value-typed
+// slab recycled through a free list, ordered by an index-based 4-ary heap
+// whose entries carry their own (time, seq) keys, so the steady-state
+// Schedule/fire cycle performs zero heap allocations and comparisons
+// never touch the slab. Timer handles stay valid across slot reuse via
+// generation counters.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 
 	"repro/internal/stats"
 )
 
-// event is a scheduled callback.
+// event is a callback slot in the engine's slab. Exactly one of fn or cb
+// is set: fn is the general closure form, cb+arg the allocation-free form
+// used by pooled delivery paths (netsim).
 type event struct {
-	at       time.Duration
-	seq      uint64 // tie-breaker: FIFO among equal times
 	fn       func()
-	index    int // heap index, -1 once popped
+	cb       func(uint32)
+	arg      uint32
+	gen      uint32 // bumped on slot release; stale Timers see a mismatch
+	nextFree int32
 	canceled bool
 }
 
-type eventHeap []*event
+// heapEntry is one queued event: the ordering key lives here so heap
+// comparisons stay within the (compact, cache-resident) heap array.
+type heapEntry struct {
+	at   time.Duration
+	seq  uint64 // tie-breaker: FIFO among equal times
+	slot int32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (a heapEntry) before(b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
+
+const noIndex = int32(-1)
 
 // Timer is a handle to a scheduled event that can be stopped before it
-// fires.
-type Timer struct{ ev *event }
+// fires. The zero Timer is inert.
+type Timer struct {
+	eng  *Engine
+	slot int32
+	gen  uint32
+}
 
 // Stop cancels the timer; it reports whether the callback had not yet run
 // (and now never will).
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index == -1 {
+func (t Timer) Stop() bool {
+	if t.eng == nil {
 		return false
 	}
-	t.ev.canceled = true
+	ev := &t.eng.events[t.slot]
+	if ev.gen != t.gen || ev.canceled {
+		return false
+	}
+	ev.canceled = true
 	return true
 }
 
@@ -69,17 +74,19 @@ func (t *Timer) Stop() bool {
 // all interaction happens from event callbacks or from the goroutine
 // calling Run.
 type Engine struct {
-	now     time.Duration
-	queue   eventHeap
-	seq     uint64
-	rng     *stats.Source
-	stopped bool
-	fired   uint64
+	now      time.Duration
+	events   []event     // slab; heap entries index into it
+	heap     []heapEntry // 4-ary min-heap ordered by (at, seq)
+	freeHead int32
+	seq      uint64
+	rng      *stats.Source
+	stopped  bool
+	fired    uint64
 }
 
 // New returns an engine whose randomness derives entirely from seed.
 func New(seed uint64) *Engine {
-	return &Engine{rng: stats.NewSource(seed)}
+	return &Engine{rng: stats.NewSource(seed), freeHead: noIndex}
 }
 
 // Now reports the current virtual time.
@@ -92,13 +99,96 @@ func (e *Engine) RNG() *stats.Source { return e.rng }
 // Events reports how many events have fired so far.
 func (e *Engine) Events() uint64 { return e.fired }
 
-// Pending reports how many events are queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports how many events are queued (canceled ones included
+// until they surface).
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// alloc takes a slot from the free list (or grows the slab) and queues it
+// at time t with the next sequence number.
+func (e *Engine) alloc(t time.Duration) int32 {
+	var slot int32
+	if e.freeHead != noIndex {
+		slot = e.freeHead
+		e.freeHead = e.events[slot].nextFree
+		e.events[slot].canceled = false
+	} else {
+		e.events = append(e.events, event{})
+		slot = int32(len(e.events) - 1)
+	}
+	e.push(heapEntry{at: t, seq: e.seq, slot: slot})
+	e.seq++
+	return slot
+}
+
+// release returns a popped slot to the free list and invalidates
+// outstanding Timer handles to it.
+func (e *Engine) release(slot int32) {
+	ev := &e.events[slot]
+	ev.fn = nil
+	ev.cb = nil
+	ev.gen++
+	ev.nextFree = e.freeHead
+	e.freeHead = slot
+}
+
+// push inserts an entry into the 4-ary heap.
+func (e *Engine) push(en heapEntry) {
+	h := append(e.heap, en)
+	i := int32(len(h) - 1)
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !en.before(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = en
+	e.heap = h
+}
+
+// pop removes and returns the minimum entry; the heap must be non-empty.
+func (e *Engine) pop() heapEntry {
+	h := e.heap
+	top := h[0]
+	last := h[len(h)-1]
+	h = h[:len(h)-1]
+	e.heap = h
+	n := int32(len(h))
+	if n == 0 {
+		return top
+	}
+	// Sift the former last entry down from the root.
+	i := int32(0)
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if h[c].before(h[best]) {
+				best = c
+			}
+		}
+		if !h[best].before(last) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = last
+	return top
+}
 
 // Schedule runs fn after delay of virtual time and returns a stoppable
 // handle. A negative delay panics: the past is immutable in a
 // discrete-event world.
-func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
+func (e *Engine) Schedule(delay time.Duration, fn func()) Timer {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: scheduling %v in the past", delay))
 	}
@@ -106,27 +196,49 @@ func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
 }
 
 // ScheduleAt runs fn at absolute virtual time t.
-func (e *Engine) ScheduleAt(t time.Duration, fn func()) *Timer {
+func (e *Engine) ScheduleAt(t time.Duration, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+	slot := e.alloc(t)
+	e.events[slot].fn = fn
+	return Timer{eng: e, slot: slot, gen: e.events[slot].gen}
+}
+
+// ScheduleCall runs cb(arg) after delay of virtual time. It is the
+// allocation-free variant of Schedule for hot paths that dispatch through
+// a pre-bound callback and a slab index instead of a fresh closure
+// (netsim's pooled message delivery).
+func (e *Engine) ScheduleCall(delay time.Duration, cb func(uint32), arg uint32) Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: scheduling %v in the past", delay))
+	}
+	slot := e.alloc(e.now + delay)
+	ev := &e.events[slot]
+	ev.cb = cb
+	ev.arg = arg
+	return Timer{eng: e, slot: slot, gen: ev.gen}
 }
 
 // Step fires the next event; it reports false when the queue is empty or
 // the engine is stopped.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 && !e.stopped {
-		ev := heap.Pop(&e.queue).(*event)
+	for len(e.heap) > 0 && !e.stopped {
+		en := e.pop()
+		ev := &e.events[en.slot]
 		if ev.canceled {
+			e.release(en.slot)
 			continue
 		}
-		e.now = ev.at
+		e.now = en.at
 		e.fired++
-		ev.fn()
+		fn, cb, arg := ev.fn, ev.cb, ev.arg
+		e.release(en.slot)
+		if cb != nil {
+			cb(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -141,10 +253,10 @@ func (e *Engine) Run() {
 // RunUntil fires events with time ≤ t, then advances the clock to t.
 // Events scheduled for later remain queued.
 func (e *Engine) RunUntil(t time.Duration) {
-	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.canceled {
-			heap.Pop(&e.queue)
+	for len(e.heap) > 0 && !e.stopped {
+		next := e.heap[0]
+		if e.events[next.slot].canceled {
+			e.release(e.pop().slot)
 			continue
 		}
 		if next.at > t {

@@ -128,6 +128,87 @@ func TestStop(t *testing.T) {
 	}
 }
 
+func TestTimerStopAfterSlotReuse(t *testing.T) {
+	e := New(1)
+	fired := 0
+	t1 := e.Schedule(time.Millisecond, func() { fired++ })
+	e.Run()
+	// The slot of t1 is free now; the next event reuses it.
+	t2 := e.Schedule(time.Millisecond, func() { fired++ })
+	if t1.Stop() {
+		t.Error("stale Timer stopped a reused slot")
+	}
+	e.Run()
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2 (stale Stop must not cancel the new event)", fired)
+	}
+	if t2.Stop() {
+		t.Error("Stop after firing reported true")
+	}
+}
+
+func TestZeroTimerInert(t *testing.T) {
+	var tm Timer
+	if tm.Stop() {
+		t.Error("zero Timer Stop reported true")
+	}
+}
+
+func TestScheduleCall(t *testing.T) {
+	e := New(1)
+	var got []uint32
+	cb := func(arg uint32) { got = append(got, arg) }
+	e.ScheduleCall(2*time.Millisecond, cb, 7)
+	e.ScheduleCall(time.Millisecond, cb, 3)
+	tm := e.ScheduleCall(3*time.Millisecond, cb, 9)
+	if !tm.Stop() {
+		t.Error("ScheduleCall timer did not stop")
+	}
+	e.Run()
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Errorf("ScheduleCall order/args wrong: %v", got)
+	}
+	if e.Now() != 2*time.Millisecond {
+		t.Errorf("clock = %v", e.Now())
+	}
+}
+
+// TestHeapStress drives random interleaved schedule/cancel churn and
+// checks events fire in exact (time, seq) order.
+func TestHeapStress(t *testing.T) {
+	e := New(7)
+	rng := e.RNG().Stream("stress")
+	type rec struct {
+		at  time.Duration
+		seq int
+	}
+	var fired []rec
+	seq := 0
+	var timers []Timer
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.IntN(10000)) * time.Microsecond
+		s := seq
+		seq++
+		at := e.Now() + d
+		timers = append(timers, e.Schedule(d, func() { fired = append(fired, rec{at, s}) }))
+		if rng.IntN(4) == 0 && len(timers) > 0 {
+			timers[rng.IntN(len(timers))].Stop()
+		}
+		if rng.IntN(8) == 0 {
+			e.Step()
+		}
+	}
+	e.Run()
+	for i := 1; i < len(fired); i++ {
+		if fired[i].at < fired[i-1].at {
+			t.Fatalf("out of order at %d: %v after %v", i, fired[i].at, fired[i-1].at)
+		}
+		if fired[i].at == fired[i-1].at && fired[i].seq < fired[i-1].seq {
+			t.Fatalf("tie not FIFO at %d", i)
+		}
+	}
+}
+
 func TestDeterministicEventCount(t *testing.T) {
 	run := func() (uint64, time.Duration) {
 		e := New(99)

@@ -1,7 +1,6 @@
 package stats
 
 import (
-	"hash/fnv"
 	"math"
 	"math/bits"
 	"sort"
@@ -11,14 +10,22 @@ import (
 // the approximately most frequent keys of a stream in bounded space. The
 // monitor uses it to learn which keys absorb most writes and reads, the
 // input of the per-key stale-rate refinement.
+//
+// Entries live in a dense slice with a map index over it: the hit path is
+// one map lookup and an increment, and the eviction path is a linear scan
+// of the (cache-resident, pointer-light) slice rather than a map
+// iteration — on skewed workloads the miss path runs once per unseen key
+// and dominated monitor overhead when it walked the map.
 type HeavyHitters struct {
 	capacity int
-	entries  map[string]*hhEntry
+	idx      map[string]int32
+	entries  []hhEntry
 	total    uint64
 	seq      uint64
 }
 
 type hhEntry struct {
+	key   string
 	count uint64
 	err   uint64 // overestimation bound
 	seq   uint64 // insertion order, deterministic eviction tie-break
@@ -31,35 +38,40 @@ func NewHeavyHitters(capacity int) *HeavyHitters {
 	}
 	return &HeavyHitters{
 		capacity: capacity,
-		entries:  make(map[string]*hhEntry, capacity),
+		idx:      make(map[string]int32, capacity),
+		entries:  make([]hhEntry, 0, capacity),
 	}
 }
 
 // Observe feeds one occurrence of key.
 func (h *HeavyHitters) Observe(key string) {
 	h.total++
-	if e, ok := h.entries[key]; ok {
-		e.count++
+	if i, ok := h.idx[key]; ok {
+		h.entries[i].count++
 		return
 	}
 	h.seq++
 	if len(h.entries) < h.capacity {
-		h.entries[key] = &hhEntry{count: 1, seq: h.seq}
+		h.idx[key] = int32(len(h.entries))
+		h.entries = append(h.entries, hhEntry{key: key, count: 1, seq: h.seq})
 		return
 	}
 	// Evict the minimum-count key (oldest wins ties, which keeps the
 	// scan free of string comparisons and the result deterministic);
 	// the newcomer inherits its count as the standard space-saving
 	// overestimation.
-	var minKey string
-	minCount, minSeq := uint64(math.MaxUint64), uint64(math.MaxUint64)
-	for k, e := range h.entries {
-		if e.count < minCount || (e.count == minCount && e.seq < minSeq) {
-			minKey, minCount, minSeq = k, e.count, e.seq
+	min := 0
+	for i := 1; i < len(h.entries); i++ {
+		e, m := &h.entries[i], &h.entries[min]
+		if e.count < m.count || (e.count == m.count && e.seq < m.seq) {
+			min = i
 		}
 	}
-	delete(h.entries, minKey)
-	h.entries[key] = &hhEntry{count: minCount + 1, err: minCount, seq: h.seq}
+	old := &h.entries[min]
+	delete(h.idx, old.key)
+	minCount := old.count
+	*old = hhEntry{key: key, count: minCount + 1, err: minCount, seq: h.seq}
+	h.idx[key] = int32(min)
 }
 
 // Total reports the stream length observed.
@@ -76,8 +88,8 @@ type KeyCount struct {
 // determinism).
 func (h *HeavyHitters) Top(n int) []KeyCount {
 	out := make([]KeyCount, 0, len(h.entries))
-	for k, e := range h.entries {
-		out = append(out, KeyCount{Key: k, Count: e.count, Err: e.err})
+	for _, e := range h.entries {
+		out = append(out, KeyCount{Key: e.key, Count: e.count, Err: e.err})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
@@ -93,7 +105,8 @@ func (h *HeavyHitters) Top(n int) []KeyCount {
 
 // Reset clears the sketch.
 func (h *HeavyHitters) Reset() {
-	h.entries = make(map[string]*hhEntry, h.capacity)
+	clear(h.idx)
+	h.entries = h.entries[:0]
 	h.total = 0
 }
 
@@ -115,11 +128,19 @@ func NewDistinctCounter(logBits int) *DistinctCounter {
 	return &DistinctCounter{bits: make([]uint64, m/64), m: m}
 }
 
-// Observe feeds one key occurrence.
+// Observe feeds one key occurrence. The FNV-1a hash is computed inline:
+// this runs on every monitored operation and must not allocate.
 func (d *DistinctCounter) Observe(key string) {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	b := h.Sum64() & (d.m - 1)
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	b := h & (d.m - 1)
 	d.bits[b/64] |= 1 << (b % 64)
 }
 

@@ -64,6 +64,12 @@ type Engine struct {
 	cells   map[string]Cell
 	keyList []string // keys in first-insertion order, for deterministic sampling
 
+	// Sorted-view cache for Keys(): sorted holds the first sortedN keys
+	// of keyList in sorted order; newer insertions are merged in
+	// incrementally on demand instead of re-sorting the whole map.
+	sorted  []string
+	sortedN int
+
 	memBytes      int64 // bytes resident in the memtable since last flush
 	totalBytes    int64 // bytes resident overall (live data size)
 	flushLimit    int64 // flush threshold; 0 disables flush accounting
@@ -149,14 +155,42 @@ func (e *Engine) KeyCount() int { return len(e.keyList) }
 func (e *Engine) KeyAt(i int) string { return e.keyList[i] }
 
 // Keys returns all resident keys in sorted order; used by tests and
-// full-scan anti-entropy on small stores.
+// full-scan anti-entropy on small stores. The sorted view is cached and
+// maintained incrementally: only keys inserted since the last call are
+// sorted (O(k log k)) and merged into the cache (O(n)), so repeated
+// calls on a stable store cost nothing instead of re-sorting the whole
+// map every round. Callers must not mutate the returned slice.
 func (e *Engine) Keys() []string {
-	out := make([]string, 0, len(e.cells))
-	for k := range e.cells {
-		out = append(out, k)
+	if e.sortedN == len(e.keyList) {
+		return e.sorted
 	}
-	sort.Strings(out)
-	return out
+	fresh := make([]string, len(e.keyList)-e.sortedN)
+	copy(fresh, e.keyList[e.sortedN:])
+	sort.Strings(fresh)
+	if len(e.sorted) == 0 {
+		e.sorted = fresh
+	} else {
+		e.sorted = mergeSorted(e.sorted, fresh)
+	}
+	e.sortedN = len(e.keyList)
+	return e.sorted
+}
+
+// mergeSorted merges two sorted, duplicate-free string slices.
+func mergeSorted(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // Range calls fn for every key in unspecified order until fn returns

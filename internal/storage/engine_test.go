@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"math/rand/v2"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -168,6 +169,45 @@ func TestKeyListInsertionOrder(t *testing.T) {
 	if sorted[0] != "a" || sorted[1] != "b" || sorted[2] != "c" {
 		t.Errorf("Keys() = %v", sorted)
 	}
+}
+
+// TestKeysIncrementalSort pins the incremental sorted-view maintenance:
+// interleaved inserts and Keys() calls must always see the full sorted
+// key set, exercising the initial-sort, merge and cached (no new keys)
+// paths.
+func TestKeysIncrementalSort(t *testing.T) {
+	e := NewEngine(0)
+	var want []string
+	seq := uint64(0)
+	insert := func(keys ...string) {
+		for _, k := range keys {
+			seq++
+			e.Apply(k, Cell{Version: v(1, seq)})
+			want = append(want, k)
+		}
+	}
+	check := func() {
+		t.Helper()
+		sorted := append([]string(nil), want...)
+		sort.Strings(sorted)
+		got := e.Keys()
+		if len(got) != len(sorted) {
+			t.Fatalf("Keys() len = %d, want %d", len(got), len(sorted))
+		}
+		for i := range got {
+			if got[i] != sorted[i] {
+				t.Fatalf("Keys()[%d] = %s, want %s (full: %v)", i, got[i], sorted[i], got)
+			}
+		}
+	}
+	insert("m", "c", "x")
+	check()
+	check() // cached path: no new keys
+	insert("a", "q")
+	e.Apply("c", Cell{Version: v(2, 99)}) // overwrite: no new key
+	check()
+	insert("b")
+	check()
 }
 
 func TestRangeEarlyStop(t *testing.T) {
