@@ -1,12 +1,12 @@
 // Command benchreport runs the simulator's performance suite — the
-// micro-benchmarks of the discrete-event core plus an end-to-end
-// experiment run — and writes the numbers as JSON so the performance
-// trajectory is tracked in-repo (BENCH_PR2.json). CI runs it on every
-// push and uploads the file as an artifact.
+// micro-benchmarks of the discrete-event core and the storage engines
+// plus an end-to-end experiment run — and writes the numbers as JSON so
+// the performance trajectory is tracked in-repo (BENCH_PR3.json). CI
+// runs it on every push and uploads the file as an artifact.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-o BENCH_PR2.json] [-quick] [-baseline old.json]
+//	go run ./cmd/benchreport [-o BENCH_PR3.json] [-quick] [-baseline old.json]
 //
 // -quick shortens the measurement windows (CI smoke); -baseline embeds a
 // previously captured report under "baseline" so before/after travels in
@@ -26,6 +26,7 @@ import (
 	"repro/internal/kv"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/storage"
 )
 
 // benchScale mirrors the root bench_test.go perf-tracking scale: the
@@ -153,6 +154,59 @@ func benchKVReadQuorum(target time.Duration) Bench {
 	})
 }
 
+// benchWALAppend mirrors storage.BenchmarkWALAppend: the WAL-logged
+// apply path of the LSM engine (encode + append + per-record sync +
+// memtable insert).
+func benchWALAppend(target time.Duration) Bench {
+	e := storage.NewLSMEngine(storage.Options{FlushLimit: 0, SyncBytes: 0, MaxRuns: 64})
+	val := make([]byte, 128)
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("user%08d", i)
+	}
+	var seq uint64
+	return measure("WALAppend", target, func(n uint64) {
+		for i := uint64(0); i < n; i++ {
+			seq++
+			e.Apply(keys[i%4096], storage.Cell{
+				Version: storage.Version{Timestamp: time.Duration(seq), Seq: seq},
+				Value:   val,
+			})
+		}
+	})
+}
+
+// benchMergeRead mirrors storage.BenchmarkMergeRead: Get across a
+// populated memtable plus three striped sorted runs.
+func benchMergeRead(target time.Duration) Bench {
+	e := storage.NewLSMEngine(storage.Options{FlushLimit: 0, SyncBytes: 1 << 20, MaxRuns: 64})
+	const records = 4096
+	keys := make([]string, records)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("user%08d", i)
+	}
+	var seq uint64
+	for r := 0; r < 4; r++ {
+		for i := r; i < records; i += 4 {
+			seq++
+			e.Apply(keys[i], storage.Cell{
+				Version: storage.Version{Timestamp: time.Duration(seq), Seq: seq},
+				Value:   make([]byte, 128),
+			})
+		}
+		if r < 3 {
+			e.Flush() // the last stripe stays in the memtable
+		}
+	}
+	return measure("MergeRead", target, func(n uint64) {
+		for i := uint64(0); i < n; i++ {
+			if _, ok := e.Get(keys[i%records]); !ok {
+				panic("benchreport: merge-read miss")
+			}
+		}
+	})
+}
+
 func runExperiment() Experiment {
 	p := experiments.G5KHarmony().Scaled(benchScale)
 	start := time.Now()
@@ -179,7 +233,7 @@ func runExperiment() Experiment {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR2.json", "output path")
+	out := flag.String("o", "BENCH_PR3.json", "output path")
 	quick := flag.Bool("quick", false, "short measurement windows (CI smoke)")
 	baseline := flag.String("baseline", "", "previously captured report to embed under \"baseline\"")
 	flag.Parse()
@@ -200,6 +254,8 @@ func main() {
 		benchEngineSchedule(target),
 		benchTransportSend(target),
 		benchKVReadQuorum(target),
+		benchWALAppend(target),
+		benchMergeRead(target),
 	)
 	fmt.Fprintln(os.Stderr, "benchreport: end-to-end experiment...")
 	rep.Experiments = append(rep.Experiments, runExperiment())

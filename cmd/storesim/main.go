@@ -52,6 +52,7 @@ func main() {
 	batch := flag.Int("batch", 1, "multi-key batch size (>1 drives BatchGet/BatchPut)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	theta := flag.Float64("theta", 0.99, "zipfian skew")
+	engine := flag.String("engine", "mem", "storage engine: mem (volatile map) or lsm (WAL + sorted runs)")
 	flag.Parse()
 
 	var topo *repro.Topology
@@ -72,6 +73,15 @@ func main() {
 	cfg := repro.Defaults(topo)
 	cfg.RF = *rf
 	cfg.Seed = *seed
+	switch *engine {
+	case "mem":
+		cfg.Engine = repro.EngineMem
+	case "lsm":
+		cfg.Engine = repro.EngineLSM
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
 	sim := repro.NewSim(topo, cfg)
 
 	var cli repro.Client

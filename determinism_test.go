@@ -159,6 +159,117 @@ func TestDeterminismTranscript(t *testing.T) {
 	}
 }
 
+// crashDeterminismHashMem pins the transcript of the crash/restart
+// scenario below on the default MemEngine, captured on the tree that
+// introduced Cluster.Crash/Restart (PR 3). Same regeneration protocol as
+// determinismHash, with -run TestDeterminismCrashRestart.
+const crashDeterminismHashMem = "cf7ce4b70038e29e11fe96398e68aaa7c2c1eea2885e2fc28b67e2baa8c818aa"
+
+// crashDeterminismHashLSM pins the same scenario on the LSM engine
+// (WAL replay + run reload on restart are part of the transcript).
+const crashDeterminismHashLSM = "ccb322473dba01fb73c56853c4d2d75cf6bce17eed3caa2a40e6641cae851eb4"
+
+// crashDeterminismScenario is determinismScenario's sibling for the
+// crash/restart path: a replica crashes mid-run (losing volatile state),
+// writes keep flowing (hinted for it), it restarts (the LSM engine
+// replays its WAL) and catches up through hint replay and anti-entropy.
+// The transcript logs every op plus the recovery stats and the closing
+// accounting.
+func crashDeterminismScenario(seed uint64, lsm bool) []string {
+	topo := repro.SingleDC(5)
+	cfg := repro.Defaults(topo)
+	cfg.Seed = seed
+	cfg.AntiEntropyInterval = 150 * time.Millisecond
+	cfg.AntiEntropySample = 16
+	cfg.HintReplayInterval = 200 * time.Millisecond
+	cfg.DetectionDelay = 50 * time.Millisecond
+	if lsm {
+		cfg.Engine = repro.EngineLSM
+		cfg.FlushLimit = 768   // force runs and compactions at toy scale
+		cfg.MaxRuns = 2        // compact aggressively
+		cfg.WALSyncBytes = 320 // crashes lose a real tail
+	}
+
+	s := repro.NewSim(topo, cfg)
+	cli := s.StaticClient(repro.Quorum, repro.Quorum)
+	ctx := context.Background()
+
+	var log []string
+	record := func(format string, args ...any) { log = append(log, fmt.Sprintf(format, args...)) }
+	key := func(i int) string { return fmt.Sprintf("crash%04d", i) }
+
+	s.Preload(32, func(i uint64) string { return key(int(i)) }, []byte("seed-value"))
+
+	const victim = repro.NodeID(1)
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 10; i++ {
+			k := key((round*9 + i*5) % 32)
+			w := cli.Put(ctx, k, []byte(fmt.Sprintf("r%d-i%d", round, i)))
+			record("put %s err=%v acked=%d ver=%v", w.Key, w.Err, w.Acked, w.Version)
+			r := cli.Get(ctx, key((round*3+i)%32))
+			record("get %s val=%q exists=%v stale=%v err=%v ver=%v", r.Key, r.Value, r.Exists, r.Stale, r.Err, r.Version)
+		}
+		switch round {
+		case 1:
+			s.Cluster.Crash(victim)
+			record("crash node=%d", victim)
+		case 3:
+			rs := s.Cluster.Restart(victim)
+			record("restart node=%d runs=%d runEntries=%d walRecords=%d torn=%v keys=%d",
+				victim, rs.RunsLoaded, rs.RunEntries, rs.WALRecords, rs.TornTail, rs.Keys)
+		}
+		s.Run(300 * time.Millisecond)
+	}
+	s.Run(5 * time.Second)
+
+	u := s.Cluster.Usage()
+	record("stale-rate %.9f", s.StaleRate())
+	record("usage busy=%v repReads=%d repWrites=%d coordOps=%d repairs=%d hintsReplayed=%d ae=%d stored=%d",
+		u.BusyTime, u.ReplicaReads, u.ReplicaWrites, u.CoordOps, u.ReadRepairs,
+		u.HintsReplayed, u.AERounds, u.StoredBytes)
+	record("durability crashes=%d replays=%d walBytes=%d walSyncs=%d lost=%d compactions=%d",
+		u.Crashes, u.WALReplays, u.WALBytes, u.WALSyncs, u.LostWALRecords, u.Compactions)
+	return log
+}
+
+// TestDeterminismCrashRestart asserts the crash/restart path is a pure
+// function of the seed on BOTH engines: two in-process runs must agree
+// line for line, and the transcripts must match the hashes pinned when
+// Crash/Restart was introduced.
+func TestDeterminismCrashRestart(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		lsm  bool
+		want string
+	}{
+		{"mem", false, crashDeterminismHashMem},
+		{"lsm", true, crashDeterminismHashLSM},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			first := crashDeterminismScenario(42, tc.lsm)
+			second := crashDeterminismScenario(42, tc.lsm)
+			if len(first) != len(second) {
+				t.Fatalf("same-seed runs differ in length: %d vs %d", len(first), len(second))
+			}
+			for i := range first {
+				if first[i] != second[i] {
+					t.Fatalf("same-seed runs diverge at line %d:\n  a: %s\n  b: %s", i, first[i], second[i])
+				}
+			}
+			got := hashTranscript(first)
+			if os.Getenv("REPRO_PRINT_TRANSCRIPT") != "" {
+				for _, l := range first {
+					t.Log(l)
+				}
+				t.Logf("transcript hash: %s", got)
+			}
+			if got != tc.want {
+				t.Errorf("transcript hash = %s, want %s (rerun with REPRO_PRINT_TRANSCRIPT=1 to diff)", got, tc.want)
+			}
+		})
+	}
+}
+
 // TestDeterminismAcrossSeeds sanity-checks that the transcript actually
 // depends on the seed (the hash is not vacuous).
 func TestDeterminismAcrossSeeds(t *testing.T) {

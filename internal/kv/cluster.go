@@ -2,6 +2,7 @@ package kv
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/netsim"
@@ -82,6 +83,21 @@ type Config struct {
 	Concurrency   int        // parallel work slots per node (thread pool)
 	FlushLimit    int64      // memtable flush threshold in bytes
 
+	// Storage backend. Engine selects the per-node engine:
+	// storage.Mem (default) keeps the volatile map; storage.LSM runs the
+	// durable WAL + LSM-lite engine, making Crash/Restart meaningful.
+	Engine storage.Kind
+	// WALSyncBytes is the LSM WAL fsync cadence: the log syncs once the
+	// un-fsynced tail reaches this many bytes (a crash loses at most
+	// that tail). 0 syncs every record.
+	WALSyncBytes int64
+	// MaxRuns triggers LSM size-tiered compaction; 0 defaults to 4.
+	MaxRuns int
+	// WALDir, when set, backs each node's WAL with a real file
+	// (wal-<node>.log) so the live engine pays real I/O for appends and
+	// fsyncs; empty keeps WALs as deterministic in-memory logs.
+	WALDir string
+
 	// Read path.
 	DigestReads        bool
 	ReadRepair         bool
@@ -121,6 +137,8 @@ func DefaultConfig() Config {
 		CoordOverhead:       stats.NewLogNormal(80*time.Microsecond, 0.3),
 		Concurrency:         4,
 		FlushLimit:          64 << 20,
+		WALSyncBytes:        16 << 10,
+		MaxRuns:             4,
 		DigestReads:         true,
 		ReadRepair:          true,
 		GlobalRepairChance:  0.1,
@@ -395,22 +413,119 @@ func (c *Cluster) levelReachable(replicas []netsim.NodeID, req requirement) bool
 
 func (c *Cluster) isDown(id netsim.NodeID) bool { return len(c.down) != 0 && c.down[id] }
 
-// Fail injects a node failure: the transport drops its traffic at once
-// and the cluster-wide failure detector marks it down after the
-// configured detection delay.
+// engineOptions assembles the storage options of one node.
+func (c *Cluster) engineOptions(id netsim.NodeID) storage.Options {
+	opts := storage.Options{
+		FlushLimit: c.cfg.FlushLimit,
+		SyncBytes:  c.cfg.WALSyncBytes,
+		MaxRuns:    c.cfg.MaxRuns,
+	}
+	if c.cfg.WALDir != "" && c.cfg.Engine == storage.LSM {
+		opts.Path = filepath.Join(c.cfg.WALDir, fmt.Sprintf("wal-%d.log", id))
+	}
+	return opts
+}
+
+// Two distinct failure modes, injectable independently:
+//
+//   - Fail/Recover is a NETWORK failure: the transport drops the node's
+//     traffic, but the process keeps running and its state — engine
+//     contents, buffered hints, queued work — is fully PRESERVED. A
+//     recovered node serves exactly what it held when it was cut off.
+//   - Crash/Restart is a PROCESS failure: traffic drops the same way,
+//     but the node additionally LOSES its volatile state (for MemEngine
+//     that is every write; for the LSM engine, the memtable and the
+//     un-fsynced WAL tail). Restart rebuilds from durable state (WAL
+//     replay + sorted runs) and catches up via hinted handoff and
+//     anti-entropy.
+//
+// A node is in exactly one of three states — live, failed or crashed —
+// and the four methods enforce the transitions (live→failed→live via
+// Fail/Recover, live→crashed→live via Crash/Restart), panicking on any
+// other sequence: mispairing them would desynchronize the transport's
+// boolean down flag and the failure detector from the actor's state
+// (e.g. Restart-ing a node that was also Failed would silently heal the
+// partition). TestFailPreservesStateCrashLosesIt pins this contract.
+
+// mustBeLive panics unless node id is neither failed nor crashed.
+func (c *Cluster) mustBeLive(id netsim.NodeID, op string) *Node {
+	n := c.nodes[id]
+	switch {
+	case n.failed:
+		panic(fmt.Sprintf("kv: %s(%d) on a failed node; Recover it first", op, id))
+	case n.crashed:
+		panic(fmt.Sprintf("kv: %s(%d) on a crashed node; Restart it first", op, id))
+	}
+	return n
+}
+
+// Fail injects a network-level node failure: the transport drops its
+// traffic at once and the cluster-wide failure detector marks it down
+// after the configured detection delay. The node's state is preserved.
 func (c *Cluster) Fail(id netsim.NodeID) {
+	c.mustBeLive(id, "Fail").failed = true
 	if f, ok := c.net.(failer); ok {
 		f.Fail(id)
 	}
 	c.net.Schedule(c.cfg.DetectionDelay, func() { c.down[id] = true })
 }
 
-// Recover reverses Fail after the detection delay.
+// Recover reverses Fail after the detection delay. Recovering a node
+// that is not failed (live, or crashed — use Restart) is a contract
+// violation.
 func (c *Cluster) Recover(id netsim.NodeID) {
+	n := c.nodes[id]
+	if !n.failed {
+		panic(fmt.Sprintf("kv: Recover(%d) on a non-failed node (crashed=%v); Recover pairs with Fail", id, n.crashed))
+	}
+	n.failed = false
 	if f, ok := c.net.(failer); ok {
 		f.Recover(id)
 	}
 	c.net.Schedule(c.cfg.DetectionDelay, func() { delete(c.down, id) })
+}
+
+// Crash kills the node process: traffic drops like Fail, and the node
+// loses its volatile state — engine memtable past the last durability
+// point, coordinator contexts, queued stage work, buffered hints. The
+// failure detector marks it down after the detection delay.
+func (c *Cluster) Crash(id netsim.NodeID) {
+	n := c.mustBeLive(id, "Crash")
+	if f, ok := c.net.(failer); ok {
+		f.Fail(id)
+	}
+	n.crash()
+	c.net.Schedule(c.cfg.DetectionDelay, func() { c.down[id] = true })
+}
+
+// Restart reverses Crash: the engine recovers its durable state (the
+// LSM engine reloads sorted runs and replays the fsynced WAL prefix;
+// MemEngine restarts empty), traffic flows again at once, and the
+// detector marks the node up after the detection delay. The node then
+// converges through hinted handoff and anti-entropy like any lagging
+// replica. The returned stats report what the engine recovered.
+func (c *Cluster) Restart(id netsim.NodeID) storage.RecoverStats {
+	if !c.nodes[id].crashed {
+		panic(fmt.Sprintf("kv: Restart(%d) on a non-crashed node (failed=%v); Restart pairs with Crash", id, c.nodes[id].failed))
+	}
+	if f, ok := c.net.(failer); ok {
+		f.Recover(id)
+	}
+	rs := c.nodes[id].restart()
+	c.net.Schedule(c.cfg.DetectionDelay, func() { delete(c.down, id) })
+	return rs
+}
+
+// Close releases node engine resources (file-backed WALs under the live
+// engine). The cluster must not be used afterwards.
+func (c *Cluster) Close() error {
+	var first error
+	for _, id := range c.order {
+		if err := c.nodes[id].engine.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Oracle exposes the staleness oracle (experiments and tests).
@@ -470,6 +585,15 @@ type Usage struct {
 	AERounds      uint64
 	FlushedBytes  uint64
 	DroppedMuts   uint64
+
+	// Durability accounting (nonzero only with the LSM engine, except
+	// Crashes and WALReplays which count for both).
+	Crashes        uint64
+	WALReplays     uint64
+	WALBytes       uint64 // bytes appended to WALs
+	WALSyncs       uint64
+	LostWALRecords uint64 // un-fsynced records dropped by crashes
+	Compactions    uint64
 }
 
 // Usage gathers the resource usage snapshot.
@@ -487,8 +611,15 @@ func (c *Cluster) Usage() Usage {
 		u.HintsReplayed += n.hintsReplayed
 		u.HintsDropped += n.hintsDropped
 		u.AERounds += n.aeRounds
-		u.FlushedBytes += n.engine.FlushedBytes()
+		st := n.engine.Stats()
+		u.FlushedBytes += st.FlushedBytes
 		u.DroppedMuts += n.writeStage.dropped
+		u.Crashes += st.Crashes
+		u.WALReplays += st.Replays
+		u.WALBytes += st.WALBytes
+		u.WALSyncs += st.WALSyncs
+		u.LostWALRecords += st.LostRecords
+		u.Compactions += st.Compactions
 	}
 	return u
 }

@@ -174,11 +174,14 @@ type coordTimeout struct {
 	Write bool
 }
 
-// aeTick triggers one anti-entropy round on a node.
-type aeTick struct{}
+// aeTick triggers one anti-entropy round on a node. epoch ties the tick
+// chain to a node incarnation: ticks scheduled before a crash do not
+// duplicate the chain the restart starts.
+type aeTick struct{ epoch uint32 }
 
-// hintTick triggers hint replay attempts on a node.
-type hintTick struct{}
+// hintTick triggers hint replay attempts on a node (same epoch contract
+// as aeTick).
+type hintTick struct{ epoch uint32 }
 
 // aeOffer opens an anti-entropy exchange: the initiator offers the
 // versions of a sample of its keys.

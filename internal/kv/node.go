@@ -39,6 +39,18 @@ type stage struct {
 // qlen reports the number of queued (not yet running) work units.
 func (st *stage) qlen() int { return len(st.queue) - st.head }
 
+// reset drops all queued and running work (the node crashed; nothing in
+// a thread pool survives a process kill). The cumulative meters
+// (busyTime, done, dropped, peak) are experiment accounting and stay.
+func (st *stage) reset() {
+	for i := st.head; i < len(st.queue); i++ {
+		st.queue[i] = work{} // release the closures
+	}
+	st.queue = st.queue[:0]
+	st.head = 0
+	st.busy = 0
+}
+
 // Node is one storage server: a message-driven actor owning a storage
 // engine, a bounded-concurrency work queue (the thread-pool model that
 // produces realistic saturation), coordinator state for the requests it
@@ -47,8 +59,19 @@ func (st *stage) qlen() int { return len(st.queue) - st.head }
 type Node struct {
 	id      netsim.NodeID
 	cluster *Cluster
-	engine  *storage.Engine
+	engine  storage.Engine
 	rng     *stats.Source
+
+	// Failure-injection state machine: a node is live, failed (network
+	// cut, state intact) or crashed — never both at once; Cluster.Fail/
+	// Recover/Crash/Restart enforce the transitions. While crashed the
+	// actor processes no messages; epoch stamps the node's self-messages
+	// (work completions, admission continuations, background ticks) so
+	// ones scheduled before a crash cannot resurrect pre-crash work
+	// after a restart.
+	failed  bool
+	crashed bool
+	epoch   uint32
 
 	// SEDA stages: reads and mutations contend for separate slots.
 	readStage  stage
@@ -89,7 +112,7 @@ func newNode(id netsim.NodeID, c *Cluster) *Node {
 	n := &Node{
 		id:          id,
 		cluster:     c,
-		engine:      storage.NewEngine(c.cfg.FlushLimit),
+		engine:      storage.New(c.cfg.Engine, c.engineOptions(id)),
 		rng:         c.cfg.seedSource.StreamN("kv.node", int(id)),
 		reads:       make(map[reqID]*readCtx),
 		writes:      make(map[reqID]*writeCtx),
@@ -104,7 +127,73 @@ func newNode(id netsim.NodeID, c *Cluster) *Node {
 }
 
 // Engine exposes the node's storage engine (tests and anti-entropy).
-func (n *Node) Engine() *storage.Engine { return n.engine }
+func (n *Node) Engine() storage.Engine { return n.engine }
+
+// crash kills the node process: the engine drops its volatile state, and
+// every piece of actor state that lives in process memory — queued and
+// running stage work, coordinator contexts, buffered hints — is lost.
+// Dropped contexts are not returned to their pools (in-flight events may
+// still reference them; the GC reclaims them), and the timeout events
+// still heading here find empty maps and no-op.
+func (n *Node) crash() {
+	n.crashed = true
+	n.epoch++
+	n.engine.Crash()
+	n.readStage.reset()
+	n.writeStage.reset()
+	n.reads = make(map[reqID]*readCtx)
+	n.writes = make(map[reqID]*writeCtx)
+	n.batchReads = make(map[reqID]*batchReadCtx)
+	n.batchWrites = make(map[reqID]*batchWriteCtx)
+	n.hints = make(map[netsim.NodeID][]hintEntry)
+	n.hintCount = 0
+}
+
+// restart brings a crashed node back: the engine replays its durable
+// state, and the background tick chains (anti-entropy, hint replay) are
+// restarted under the new epoch — the pre-crash chains died with it.
+func (n *Node) restart() storage.RecoverStats {
+	n.crashed = false
+	rs := n.engine.Recover()
+	n.scheduleAE()
+	n.scheduleHintTick()
+	return rs
+}
+
+// dropWhileCrashed disposes a message delivered to a crashed node,
+// returning pooled boxes so the outage does not leak them. Only local
+// self-messages reach a crashed node (the transport drops network
+// traffic to down nodes), but every pooled type is handled for safety.
+func (n *Node) dropWhileCrashed(payload any) {
+	switch m := payload.(type) {
+	case *workDone:
+		*m = workDone{}
+		workDonePool.Put(m)
+	case *coordExec:
+		m.fn = nil
+		coordExecPool.Put(m)
+	case *coordTimeout:
+		coordTimeoutPool.Put(m)
+	case *clientRead:
+		*m = clientRead{}
+		clientReadPool.Put(m)
+	case *clientWrite:
+		*m = clientWrite{}
+		clientWritePool.Put(m)
+	case *replicaWrite:
+		*m = replicaWrite{}
+		replicaWritePool.Put(m)
+	case *replicaWriteAck:
+		*m = replicaWriteAck{}
+		replicaWriteAckPool.Put(m)
+	case *replicaRead:
+		*m = replicaRead{}
+		replicaReadPool.Put(m)
+	case *replicaReadResp:
+		*m = replicaReadResp{}
+		replicaReadRespPool.Put(m)
+	}
+}
 
 // submitRead enqueues read-stage work; submitWrite enqueues
 // mutation-stage work.
@@ -132,17 +221,22 @@ func (n *Node) run(st *stage, w work) {
 	st.busy++
 	st.busyTime += w.cost
 	st.done++
-	n.cluster.net.SendLocal(n.id, newWorkDone(st, w), w.cost)
+	n.cluster.net.SendLocal(n.id, newWorkDone(st, w, n.epoch), w.cost)
 }
 
-// workDone is the self-message marking completion of a work unit.
+// workDone is the self-message marking completion of a work unit. epoch
+// ties it to the node incarnation that scheduled it.
 type workDone struct {
-	st *stage
-	w  work
+	st    *stage
+	w     work
+	epoch uint32
 }
 
 // coordExec is the self-message completing coordinator admission work.
-type coordExec struct{ fn func() }
+type coordExec struct {
+	fn    func()
+	epoch uint32
+}
 
 // coordWork models the request-stage overhead of coordinating an
 // operation: it delays the continuation by a sampled admission cost
@@ -151,7 +245,7 @@ type coordExec struct{ fn func() }
 func (n *Node) coordWork(fn func()) {
 	cost := n.cluster.cfg.CoordOverhead.Sample(n.rng)
 	n.coordBusy += cost
-	n.cluster.net.SendLocal(n.id, newCoordExec(fn), cost)
+	n.cluster.net.SendLocal(n.id, newCoordExec(fn, n.epoch), cost)
 }
 
 func (n *Node) finishWork(st *stage, w work) {
@@ -211,17 +305,28 @@ func (n *Node) CoordOps() uint64 { return n.coordOps }
 // actor. Pooled message boxes are copied out and returned to their pool
 // before dispatch, so a box never outlives one delivery.
 func (n *Node) Handle(from netsim.NodeID, payload any) {
+	if n.crashed {
+		// A dead process handles nothing. Only local self-messages get
+		// here (the transport drops network traffic to down nodes);
+		// their pooled boxes still need returning.
+		n.dropWhileCrashed(payload)
+		return
+	}
 	switch m := payload.(type) {
 	case *workDone:
-		st, w := m.st, m.w
+		st, w, ep := m.st, m.w, m.epoch
 		*m = workDone{}
 		workDonePool.Put(m)
-		n.finishWork(st, w)
+		if ep == n.epoch {
+			n.finishWork(st, w)
+		}
 	case *coordExec:
-		fn := m.fn
+		fn, ep := m.fn, m.epoch
 		m.fn = nil
 		coordExecPool.Put(m)
-		fn()
+		if ep == n.epoch {
+			fn()
+		}
 
 	case *clientRead:
 		v := *m
@@ -272,6 +377,9 @@ func (n *Node) Handle(from netsim.NodeID, payload any) {
 		n.onBatchReadResp(*m)
 
 	case aeTick:
+		if m.epoch != n.epoch {
+			return // pre-crash tick chain; restart started a fresh one
+		}
 		n.antiEntropyRound()
 		n.scheduleAE()
 	case aeOffer:
@@ -282,6 +390,9 @@ func (n *Node) Handle(from netsim.NodeID, payload any) {
 		n.onAEPush(m)
 
 	case hintTick:
+		if m.epoch != n.epoch {
+			return
+		}
 		n.replayHints()
 		n.scheduleHintTick()
 	}
@@ -365,7 +476,7 @@ func (n *Node) replayHints() {
 
 func (n *Node) scheduleHintTick() {
 	if n.cluster.cfg.HintReplayInterval > 0 {
-		n.cluster.net.SendLocal(n.id, hintTick{}, n.cluster.cfg.HintReplayInterval)
+		n.cluster.net.SendLocal(n.id, hintTick{epoch: n.epoch}, n.cluster.cfg.HintReplayInterval)
 	}
 }
 
@@ -374,6 +485,6 @@ func (n *Node) scheduleAE() {
 		// Jitter the period ±25% so rounds don't synchronize.
 		base := n.cluster.cfg.AntiEntropyInterval
 		jitter := time.Duration((n.rng.Float64() - 0.5) * 0.5 * float64(base))
-		n.cluster.net.SendLocal(n.id, aeTick{}, base+jitter)
+		n.cluster.net.SendLocal(n.id, aeTick{epoch: n.epoch}, base+jitter)
 	}
 }

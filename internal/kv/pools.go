@@ -73,15 +73,15 @@ func newReplicaWriteAck(m replicaWriteAck) *replicaWriteAck {
 	return p
 }
 
-func newWorkDone(st *stage, w work) *workDone {
+func newWorkDone(st *stage, w work, epoch uint32) *workDone {
 	p := workDonePool.Get().(*workDone)
-	p.st, p.w = st, w
+	p.st, p.w, p.epoch = st, w, epoch
 	return p
 }
 
-func newCoordExec(fn func()) *coordExec {
+func newCoordExec(fn func(), epoch uint32) *coordExec {
 	p := coordExecPool.Get().(*coordExec)
-	p.fn = fn
+	p.fn, p.epoch = fn, epoch
 	return p
 }
 

@@ -1,0 +1,51 @@
+package storage
+
+import (
+	"fmt"
+	"time"
+)
+
+// Version orders writes. Timestamp is the coordinator's clock when the
+// write was accepted; Seq is a cluster-unique sequence number breaking
+// ties deterministically.
+type Version struct {
+	Timestamp time.Duration
+	Seq       uint64
+}
+
+// Zero reports whether v is the zero version (no write).
+func (v Version) Zero() bool { return v.Timestamp == 0 && v.Seq == 0 }
+
+// After reports whether v supersedes o under last-write-wins.
+func (v Version) After(o Version) bool {
+	if v.Timestamp != o.Timestamp {
+		return v.Timestamp > o.Timestamp
+	}
+	return v.Seq > o.Seq
+}
+
+// Compare returns -1, 0 or 1 as v is older than, equal to or newer than o.
+func (v Version) Compare(o Version) int {
+	switch {
+	case v == o:
+		return 0
+	case v.After(o):
+		return 1
+	default:
+		return -1
+	}
+}
+
+// String formats the version for logs.
+func (v Version) String() string { return fmt.Sprintf("v(%v#%d)", v.Timestamp, v.Seq) }
+
+// Cell is one versioned value. A tombstone marks a deletion that still
+// participates in last-write-wins reconciliation.
+type Cell struct {
+	Version   Version
+	Value     []byte
+	Tombstone bool
+}
+
+// Size reports the approximate resident bytes of the cell.
+func (c Cell) Size() int { return len(c.Value) + 24 }

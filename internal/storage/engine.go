@@ -1,204 +1,161 @@
-// Package storage implements the per-node storage engine of the
-// replicated store: versioned last-write-wins cells held in a memtable
-// with flush and size accounting. Conflict resolution follows Cassandra's
-// model: the cell with the highest (timestamp, sequence) wins regardless
-// of arrival order, which makes replica application commutative and
-// idempotent — the property anti-entropy and hinted handoff rely on.
+// Package storage implements the per-node storage engines of the
+// replicated store: versioned last-write-wins cells behind a common
+// Engine interface. Conflict resolution follows Cassandra's model: the
+// cell with the highest (timestamp, sequence) wins regardless of arrival
+// order, which makes replica application commutative and idempotent — the
+// property anti-entropy and hinted handoff rely on, whichever engine
+// holds the data.
+//
+// Two engines implement the interface:
+//
+//   - MemEngine: the original volatile map with flush *accounting* only.
+//     Crash loses everything; Recover starts empty.
+//   - LSMEngine: a durable LSM-lite — append-only WAL, an in-memory
+//     memtable that flushes to immutable sorted runs, merge-reads across
+//     runs with tombstone handling, and size-tiered compaction. Crash
+//     loses only the un-fsynced WAL tail; Recover reloads the runs and
+//     replays the durable WAL prefix.
 package storage
-
-import (
-	"fmt"
-	"sort"
-	"time"
-)
-
-// Version orders writes. Timestamp is the coordinator's clock when the
-// write was accepted; Seq is a cluster-unique sequence number breaking
-// ties deterministically.
-type Version struct {
-	Timestamp time.Duration
-	Seq       uint64
-}
-
-// Zero reports whether v is the zero version (no write).
-func (v Version) Zero() bool { return v.Timestamp == 0 && v.Seq == 0 }
-
-// After reports whether v supersedes o under last-write-wins.
-func (v Version) After(o Version) bool {
-	if v.Timestamp != o.Timestamp {
-		return v.Timestamp > o.Timestamp
-	}
-	return v.Seq > o.Seq
-}
-
-// Compare returns -1, 0 or 1 as v is older than, equal to or newer than o.
-func (v Version) Compare(o Version) int {
-	switch {
-	case v == o:
-		return 0
-	case v.After(o):
-		return 1
-	default:
-		return -1
-	}
-}
-
-// String formats the version for logs.
-func (v Version) String() string { return fmt.Sprintf("v(%v#%d)", v.Timestamp, v.Seq) }
-
-// Cell is one versioned value. A tombstone marks a deletion that still
-// participates in last-write-wins reconciliation.
-type Cell struct {
-	Version   Version
-	Value     []byte
-	Tombstone bool
-}
-
-// Size reports the approximate resident bytes of the cell.
-func (c Cell) Size() int { return len(c.Value) + 24 }
 
 // Engine is a single node's key-value storage. It is not safe for
 // concurrent use; node actors access it from one goroutine/event at a
 // time.
-type Engine struct {
-	cells   map[string]Cell
-	keyList []string // keys in first-insertion order, for deterministic sampling
+//
+// The lifecycle methods model the process, not the network: Flush forces
+// a durability point, Crash kills the process (volatile state is lost;
+// what survives depends on the engine), Recover rebuilds from whatever
+// survived. Network-level failure (traffic dropped, state intact) is the
+// transport's Fail/Recover, not the engine's.
+type Engine interface {
+	// Get returns the resident cell for key, counting the read.
+	// Tombstones are returned with ok=true; callers decide visibility.
+	Get(key string) (Cell, bool)
+	// Peek is Get without touching the read counters (used by repair and
+	// anti-entropy bookkeeping).
+	Peek(key string) (Cell, bool)
+	// Apply merges cell into the engine under last-write-wins and
+	// reports whether it became the resident version.
+	Apply(key string, c Cell) bool
+	// Delete applies a tombstone with the given version.
+	Delete(key string, v Version) bool
 
-	// Sorted-view cache for Keys(): sorted holds the first sortedN keys
-	// of keyList in sorted order; newer insertions are merged in
-	// incrementally on demand instead of re-sorting the whole map.
-	sorted  []string
-	sortedN int
+	// Len reports the number of resident keys (tombstones included).
+	Len() int
+	// Bytes reports the live data size in bytes (resident cells only,
+	// superseded versions in older runs excluded).
+	Bytes() int64
+	// KeyCount reports the number of distinct keys ever inserted (map
+	// iteration order is nondeterministic in Go, so deterministic
+	// sampling goes through the insertion-ordered key list instead).
+	KeyCount() int
+	// KeyAt returns the i-th key in insertion order.
+	KeyAt(i int) string
+	// Keys returns all resident keys in sorted order. Callers must not
+	// mutate the returned slice.
+	Keys() []string
+	// Scan calls fn for resident cells with from <= key < to in sorted
+	// key order until fn returns false; empty bounds are unbounded.
+	// Tombstones are included.
+	Scan(from, to string, fn func(key string, c Cell) bool)
+	// Range calls fn for every resident cell in unspecified order until
+	// fn returns false. Mutating the engine during Range is not allowed.
+	Range(fn func(key string, c Cell) bool)
 
-	memBytes      int64 // bytes resident in the memtable since last flush
-	totalBytes    int64 // bytes resident overall (live data size)
-	flushLimit    int64 // flush threshold; 0 disables flush accounting
-	flushes       uint64
-	flushedBytes  uint64
-	reads, writes uint64
-	rejected      uint64 // writes dropped as older than the resident cell
+	// Stats reports the engine's operation and durability counters.
+	Stats() Stats
+	// Flush forces a durability point: the LSM engine seals its memtable
+	// into a sorted run; the mem engine only accounts the flush.
+	Flush()
+	// Crash simulates a process kill: volatile state is dropped. The
+	// engine must not be used again until Recover.
+	Crash()
+	// Recover rebuilds the engine from its durable state (runs plus the
+	// fsynced WAL prefix for the LSM engine; nothing for the mem engine)
+	// and reports what was recovered. Without a preceding Crash it is a
+	// no-op.
+	Recover() RecoverStats
+	// Close releases external resources (the file-backed WAL); the
+	// engine must not be used afterwards.
+	Close() error
 }
 
-// NewEngine returns an empty engine with the given memtable flush
-// threshold (0 disables flush accounting).
-func NewEngine(flushLimit int64) *Engine {
-	return &Engine{cells: make(map[string]Cell), flushLimit: flushLimit}
+// Stats aggregates an engine's operation and durability counters.
+// Counters are metering infrastructure and survive Crash/Recover (the
+// experiments bill cumulative resource usage, not per-incarnation usage).
+type Stats struct {
+	Reads    uint64 // Get calls
+	Writes   uint64 // Apply calls
+	Rejected uint64 // writes dropped as older than the resident cell
+
+	Flushes      uint64 // memtable seals (LSM) or flush-accounting events (mem)
+	FlushedBytes uint64 // cumulative bytes written out by flushes
+	Crashes      uint64
+	Replays      uint64 // Recover calls
+
+	// LSM-only counters; zero for MemEngine.
+	WALAppends     uint64 // records appended to the WAL
+	WALBytes       uint64 // bytes appended to the WAL
+	WALSyncs       uint64 // fsync (durability) points
+	LostRecords    uint64 // un-fsynced records dropped by crashes
+	Runs           int    // resident sorted runs
+	RunEntries     int    // entries across resident runs (superseded included)
+	Compactions    uint64
+	CompactedBytes uint64 // bytes rewritten by compaction
 }
 
-// Get returns the resident cell for key.
-func (e *Engine) Get(key string) (Cell, bool) {
-	e.reads++
-	c, ok := e.cells[key]
-	return c, ok
+// RecoverStats reports what one Recover call rebuilt.
+type RecoverStats struct {
+	RunsLoaded int    // durable sorted runs found
+	RunEntries int    // entries across those runs
+	WALRecords uint64 // records replayed from the durable WAL prefix
+	WALBytes   uint64 // bytes of WAL replayed
+	TornTail   bool   // replay stopped at a torn or corrupt record
+	Keys       int    // distinct keys resident after recovery
 }
 
-// Peek is Get without touching the read counters (used by repair and
-// anti-entropy bookkeeping).
-func (e *Engine) Peek(key string) (Cell, bool) {
-	c, ok := e.cells[key]
-	return c, ok
-}
+// Kind selects a storage engine implementation.
+type Kind int
 
-// Apply merges cell into the engine under last-write-wins and reports
-// whether it became the resident version.
-func (e *Engine) Apply(key string, c Cell) bool {
-	e.writes++
-	old, exists := e.cells[key]
-	if exists && !c.Version.After(old.Version) {
-		e.rejected++
-		return false
+const (
+	// Mem is the volatile map engine (the default): flush accounting
+	// only, a crash loses every write.
+	Mem Kind = iota
+	// LSM is the durable WAL + LSM-lite engine: a crash loses only the
+	// un-fsynced WAL tail.
+	LSM
+)
+
+// String names the kind for tables and flags.
+func (k Kind) String() string {
+	if k == LSM {
+		return "lsm"
 	}
-	if !exists {
-		e.keyList = append(e.keyList, key)
-	}
-	e.cells[key] = c
-	delta := int64(c.Size())
-	if exists {
-		delta -= int64(old.Size())
-	}
-	e.totalBytes += delta
-	e.memBytes += int64(c.Size())
-	if e.flushLimit > 0 && e.memBytes >= e.flushLimit {
-		e.flushes++
-		e.flushedBytes += uint64(e.memBytes)
-		e.memBytes = 0
-	}
-	return true
+	return "mem"
 }
 
-// Delete applies a tombstone with the given version.
-func (e *Engine) Delete(key string, v Version) bool {
-	return e.Apply(key, Cell{Version: v, Tombstone: true})
+// Options parameterizes engine construction. The zero value is a valid
+// MemEngine configuration.
+type Options struct {
+	// FlushLimit is the memtable flush threshold in bytes; 0 disables
+	// flushing (the LSM engine then keeps everything in memtable + WAL).
+	FlushLimit int64
+	// SyncBytes is the LSM WAL fsync cadence: the log syncs once the
+	// un-fsynced tail reaches this many bytes. 0 syncs every record
+	// (nothing is ever lost to a crash).
+	SyncBytes int64
+	// MaxRuns triggers size-tiered compaction when the number of sorted
+	// runs reaches it; 0 defaults to 4.
+	MaxRuns int
+	// Path, when set, backs the LSM WAL with a real file (the live
+	// engine maps WAL latencies to real I/O this way); empty keeps the
+	// WAL as a deterministic in-memory byte log (simulation).
+	Path string
 }
 
-// Len reports the number of resident keys (tombstones included).
-func (e *Engine) Len() int { return len(e.cells) }
-
-// Bytes reports the live data size in bytes.
-func (e *Engine) Bytes() int64 { return e.totalBytes }
-
-// Stats reports operation counters.
-func (e *Engine) Stats() (reads, writes, rejected, flushes uint64) {
-	return e.reads, e.writes, e.rejected, e.flushes
-}
-
-// FlushedBytes reports the cumulative bytes written out by memtable
-// flushes (a proxy for disk write traffic, used by the power model).
-func (e *Engine) FlushedBytes() uint64 { return e.flushedBytes }
-
-// KeyCount reports the number of keys ever inserted (map iteration order
-// is nondeterministic in Go, so deterministic sampling goes through the
-// insertion-ordered key list instead).
-func (e *Engine) KeyCount() int { return len(e.keyList) }
-
-// KeyAt returns the i-th key in insertion order.
-func (e *Engine) KeyAt(i int) string { return e.keyList[i] }
-
-// Keys returns all resident keys in sorted order; used by tests and
-// full-scan anti-entropy on small stores. The sorted view is cached and
-// maintained incrementally: only keys inserted since the last call are
-// sorted (O(k log k)) and merged into the cache (O(n)), so repeated
-// calls on a stable store cost nothing instead of re-sorting the whole
-// map every round. Callers must not mutate the returned slice.
-func (e *Engine) Keys() []string {
-	if e.sortedN == len(e.keyList) {
-		return e.sorted
+// New builds an engine of the given kind.
+func New(kind Kind, opts Options) Engine {
+	if kind == LSM {
+		return NewLSMEngine(opts)
 	}
-	fresh := make([]string, len(e.keyList)-e.sortedN)
-	copy(fresh, e.keyList[e.sortedN:])
-	sort.Strings(fresh)
-	if len(e.sorted) == 0 {
-		e.sorted = fresh
-	} else {
-		e.sorted = mergeSorted(e.sorted, fresh)
-	}
-	e.sortedN = len(e.keyList)
-	return e.sorted
-}
-
-// mergeSorted merges two sorted, duplicate-free string slices.
-func mergeSorted(a, b []string) []string {
-	out := make([]string, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if a[i] <= b[j] {
-			out = append(out, a[i])
-			i++
-		} else {
-			out = append(out, b[j])
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	return append(out, b[j:]...)
-}
-
-// Range calls fn for every key in unspecified order until fn returns
-// false. Mutating the engine during Range is not allowed.
-func (e *Engine) Range(fn func(key string, c Cell) bool) {
-	for k, c := range e.cells {
-		if !fn(k, c) {
-			return
-		}
-	}
+	return NewMemEngine(opts.FlushLimit)
 }

@@ -37,7 +37,7 @@ func TestVersionOrdering(t *testing.T) {
 }
 
 func TestApplyLastWriteWins(t *testing.T) {
-	e := NewEngine(0)
+	e := NewMemEngine(0)
 	if !e.Apply("k", Cell{Version: v(10, 1), Value: []byte("a")}) {
 		t.Fatal("first apply rejected")
 	}
@@ -55,8 +55,7 @@ func TestApplyLastWriteWins(t *testing.T) {
 	if string(got.Value) != "b" {
 		t.Fatal("newer value not resident")
 	}
-	_, _, rejected, _ := e.Stats()
-	if rejected != 1 {
+	if rejected := e.Stats().Rejected; rejected != 1 {
 		t.Errorf("rejected = %d", rejected)
 	}
 }
@@ -76,7 +75,7 @@ func TestApplyOrderIndependenceProperty(t *testing.T) {
 			}
 		}
 		apply := func(perm []int) Version {
-			e := NewEngine(0)
+			e := NewMemEngine(0)
 			for _, idx := range perm {
 				e.Apply("k", cells[idx])
 			}
@@ -103,7 +102,7 @@ func TestApplyOrderIndependenceProperty(t *testing.T) {
 }
 
 func TestTombstone(t *testing.T) {
-	e := NewEngine(0)
+	e := NewMemEngine(0)
 	e.Apply("k", Cell{Version: v(1, 1), Value: []byte("x")})
 	if !e.Delete("k", v(2, 2)) {
 		t.Fatal("delete rejected")
@@ -121,7 +120,7 @@ func TestTombstone(t *testing.T) {
 }
 
 func TestBytesAccounting(t *testing.T) {
-	e := NewEngine(0)
+	e := NewMemEngine(0)
 	e.Apply("k", Cell{Version: v(1, 1), Value: make([]byte, 100)})
 	if e.Bytes() != 124 {
 		t.Errorf("bytes = %d", e.Bytes())
@@ -137,21 +136,21 @@ func TestBytesAccounting(t *testing.T) {
 }
 
 func TestFlushAccounting(t *testing.T) {
-	e := NewEngine(100)
+	e := NewMemEngine(100)
 	for i := 0; i < 10; i++ {
 		e.Apply(fmt.Sprintf("k%d", i), Cell{Version: v(1, uint64(i+1)), Value: make([]byte, 40)})
 	}
-	_, _, _, flushes := e.Stats()
-	if flushes == 0 {
+	st := e.Stats()
+	if st.Flushes == 0 {
 		t.Error("no flushes despite exceeding the limit")
 	}
-	if e.FlushedBytes() == 0 {
+	if st.FlushedBytes == 0 {
 		t.Error("flushed bytes not accounted")
 	}
 }
 
 func TestKeyListInsertionOrder(t *testing.T) {
-	e := NewEngine(0)
+	e := NewMemEngine(0)
 	keys := []string{"c", "a", "b"}
 	for i, k := range keys {
 		e.Apply(k, Cell{Version: v(1, uint64(i+1))})
@@ -176,7 +175,7 @@ func TestKeyListInsertionOrder(t *testing.T) {
 // key set, exercising the initial-sort, merge and cached (no new keys)
 // paths.
 func TestKeysIncrementalSort(t *testing.T) {
-	e := NewEngine(0)
+	e := NewMemEngine(0)
 	var want []string
 	seq := uint64(0)
 	insert := func(keys ...string) {
@@ -211,7 +210,7 @@ func TestKeysIncrementalSort(t *testing.T) {
 }
 
 func TestRangeEarlyStop(t *testing.T) {
-	e := NewEngine(0)
+	e := NewMemEngine(0)
 	for i := 0; i < 10; i++ {
 		e.Apply(fmt.Sprintf("k%d", i), Cell{Version: v(1, uint64(i+1))})
 	}
@@ -226,16 +225,14 @@ func TestRangeEarlyStop(t *testing.T) {
 }
 
 func TestPeekDoesNotCountAsRead(t *testing.T) {
-	e := NewEngine(0)
+	e := NewMemEngine(0)
 	e.Apply("k", Cell{Version: v(1, 1)})
 	e.Peek("k")
-	reads, _, _, _ := e.Stats()
-	if reads != 0 {
+	if reads := e.Stats().Reads; reads != 0 {
 		t.Errorf("peek counted as read: %d", reads)
 	}
 	e.Get("k")
-	reads, _, _, _ = e.Stats()
-	if reads != 1 {
+	if reads := e.Stats().Reads; reads != 1 {
 		t.Errorf("get not counted: %d", reads)
 	}
 }

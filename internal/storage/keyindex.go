@@ -1,0 +1,79 @@
+package storage
+
+import "sort"
+
+// keyIndex tracks the first-insertion order of keys (deterministic
+// sampling) plus an incrementally maintained sorted view, shared by both
+// engines. The sorted view holds the first sortedN keys of list in
+// sorted order; newer insertions are merged in on demand instead of
+// re-sorting the whole set.
+type keyIndex struct {
+	list    []string
+	sorted  []string
+	sortedN int
+}
+
+func (x *keyIndex) add(k string) { x.list = append(x.list, k) }
+
+func (x *keyIndex) count() int { return len(x.list) }
+
+func (x *keyIndex) at(i int) string { return x.list[i] }
+
+func (x *keyIndex) reset() { *x = keyIndex{} }
+
+// sortedKeys returns all keys in sorted order. Only keys inserted since
+// the last call are sorted (O(k log k)) and merged into the cache (O(n)),
+// so repeated calls on a stable store cost nothing. Callers must not
+// mutate the returned slice.
+func (x *keyIndex) sortedKeys() []string {
+	if x.sortedN == len(x.list) {
+		return x.sorted
+	}
+	fresh := make([]string, len(x.list)-x.sortedN)
+	copy(fresh, x.list[x.sortedN:])
+	sort.Strings(fresh)
+	if len(x.sorted) == 0 {
+		x.sorted = fresh
+	} else {
+		x.sorted = mergeSorted(x.sorted, fresh)
+	}
+	x.sortedN = len(x.list)
+	return x.sorted
+}
+
+// mergeSorted merges two sorted, duplicate-free string slices.
+func mergeSorted(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// scanSorted drives an Engine.Scan over a sorted key view using peek for
+// cell lookup (shared by both engines).
+func scanSorted(keys []string, from, to string, peek func(string) (Cell, bool), fn func(string, Cell) bool) {
+	i := 0
+	if from != "" {
+		i = sort.SearchStrings(keys, from)
+	}
+	for ; i < len(keys); i++ {
+		k := keys[i]
+		if to != "" && k >= to {
+			return
+		}
+		if c, ok := peek(k); ok {
+			if !fn(k, c) {
+				return
+			}
+		}
+	}
+}

@@ -90,8 +90,12 @@ func (l *Live) StaleRate() float64 {
 	return r
 }
 
-// Close stops the engine; outstanding timers become no-ops.
-func (l *Live) Close() { l.Engine.Close() }
+// Close stops the engine (outstanding timers become no-ops) and
+// releases the cluster's storage resources (file-backed WALs).
+func (l *Live) Close() {
+	l.Engine.Close()
+	l.Engine.Do(func() { l.Cluster.Close() })
+}
 
 // liveClient implements Client over the wall-clock engine. Futures are
 // resolved by store callbacks running under the engine lock; waiting

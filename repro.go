@@ -49,6 +49,7 @@ import (
 	"repro/internal/kv"
 	"repro/internal/monitor"
 	"repro/internal/netsim"
+	"repro/internal/storage"
 	"repro/internal/ycsb"
 )
 
@@ -104,6 +105,21 @@ var (
 
 // Count returns the generalized "k replicas" level.
 func Count(k int) Level { return kv.Count(k) }
+
+// Storage engines (Config.Engine). EngineMem is the volatile map engine
+// (the default): Cluster.Crash loses everything it held. EngineLSM is
+// the durable WAL + LSM-lite engine: a crash loses only the un-fsynced
+// WAL tail, and Cluster.Restart replays the rest before hinted handoff
+// and anti-entropy close the gap. Config.WALSyncBytes, Config.MaxRuns
+// and Config.WALDir tune it (a WALDir makes the live engine pay real
+// file I/O for WAL appends and fsyncs).
+const (
+	EngineMem = storage.Mem
+	EngineLSM = storage.LSM
+)
+
+// RecoverStats reports what a node's engine rebuilt on Cluster.Restart.
+type RecoverStats = storage.RecoverStats
 
 // Topology presets (see internal/netsim).
 var (
