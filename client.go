@@ -38,6 +38,12 @@ var (
 // A canceled context fails the operation with ErrCanceled before issue;
 // cancellation mid-wait returns a result carrying the context's error
 // while the underlying operation completes in the store regardless.
+//
+// Clients are membership-transparent: operations issued across a
+// Join/Decommission (Sim.Join, Live.Join, ...) route by whatever
+// placement is current when the coordinator admits them, and in-flight
+// operations drain on the old owners — callers never observe a
+// membership change except as shifting replica sets.
 type Client interface {
 	Get(ctx context.Context, key string, opts ...OpOption) ReadResult
 	Put(ctx context.Context, key string, value []byte, opts ...OpOption) WriteResult

@@ -1,12 +1,13 @@
 // Command benchreport runs the simulator's performance suite — the
-// micro-benchmarks of the discrete-event core and the storage engines
-// plus an end-to-end experiment run — and writes the numbers as JSON so
-// the performance trajectory is tracked in-repo (BENCH_PR3.json). CI
-// runs it on every push and uploads the file as an artifact.
+// micro-benchmarks of the discrete-event core, the storage engines and
+// the membership layer (ring rebalance, snapshot streaming) plus an
+// end-to-end experiment run — and writes the numbers as JSON so the
+// performance trajectory is tracked in-repo (BENCH_PR4.json). CI runs it
+// on every push and uploads the file as an artifact.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-o BENCH_PR3.json] [-quick] [-baseline old.json]
+//	go run ./cmd/benchreport [-o BENCH_PR4.json] [-quick] [-baseline old.json]
 //
 // -quick shortens the measurement windows (CI smoke); -baseline embeds a
 // previously captured report under "baseline" so before/after travels in
@@ -25,6 +26,7 @@ import (
 	"repro/internal/harmony"
 	"repro/internal/kv"
 	"repro/internal/netsim"
+	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -207,6 +209,58 @@ func benchMergeRead(target time.Duration) Bench {
 	})
 }
 
+// benchRingRebalance mirrors ring.BenchmarkAddRemoveNode: one scale-up +
+// scale-down cycle on a 64-node ring with incremental placement
+// recompute, the control-plane cost of a membership change.
+func benchRingRebalance(target time.Duration) Bench {
+	nodes := make([]netsim.NodeID, 64)
+	for i := range nodes {
+		nodes[i] = netsim.NodeID(i)
+	}
+	s := ring.NewSimpleStrategy(ring.New(nodes, 32, 7), 3)
+	return measure("RingRebalance", target, func(n uint64) {
+		for i := uint64(0); i < n; i++ {
+			s.AddNode(64)
+			s.RemoveNode(64)
+		}
+	})
+}
+
+// benchSnapshotStream mirrors storage.BenchmarkSnapshotStream: the
+// per-cell cost of the full rejoin pipeline — snapshot-iterate an LSM
+// engine, serialize through the framed codec, apply on a mem engine.
+func benchSnapshotStream(target time.Duration) Bench {
+	src := storage.NewLSMEngine(storage.Options{FlushLimit: 64 << 10, SyncBytes: 1 << 20, MaxRuns: 8})
+	const records = 4096
+	for i := 0; i < records; i++ {
+		seq := uint64(i + 1)
+		src.Apply(fmt.Sprintf("user%08d", i), storage.Cell{
+			Version: storage.Version{Timestamp: time.Duration(seq), Seq: seq},
+			Value:   make([]byte, 128),
+		})
+	}
+	var chunk []byte
+	return measure("SnapshotStream", target, func(n uint64) {
+		for i := uint64(0); i < n; i += records {
+			dst := storage.NewMemEngine(0)
+			it := src.Snapshot()
+			for {
+				k, c, ok := it.Next()
+				if !ok {
+					break
+				}
+				chunk = storage.EncodeCell(chunk[:0], k, c)
+				if _, _, err := storage.ApplyEncoded(dst, chunk); err != nil {
+					panic(err)
+				}
+			}
+			if dst.Len() != records {
+				panic("benchreport: snapshot stream lost cells")
+			}
+		}
+	})
+}
+
 func runExperiment() Experiment {
 	p := experiments.G5KHarmony().Scaled(benchScale)
 	start := time.Now()
@@ -233,7 +287,7 @@ func runExperiment() Experiment {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR3.json", "output path")
+	out := flag.String("o", "BENCH_PR4.json", "output path")
 	quick := flag.Bool("quick", false, "short measurement windows (CI smoke)")
 	baseline := flag.String("baseline", "", "previously captured report to embed under \"baseline\"")
 	flag.Parse()
@@ -256,6 +310,8 @@ func main() {
 		benchKVReadQuorum(target),
 		benchWALAppend(target),
 		benchMergeRead(target),
+		benchRingRebalance(target),
+		benchSnapshotStream(target),
 	)
 	fmt.Fprintln(os.Stderr, "benchreport: end-to-end experiment...")
 	rep.Experiments = append(rep.Experiments, runExperiment())

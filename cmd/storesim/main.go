@@ -2,7 +2,10 @@
 // through the unified Client API: pick a topology, replication factor,
 // consistency level (or an adaptive tuner), a workload mix and an
 // optional multi-key batch size, and get throughput, latency, staleness,
-// resource usage and the priced bill.
+// resource usage and the priced bill. The -join and -decommission flags
+// turn the run into an elasticity scenario: a spare node joins the ring
+// mid-run via snapshot-streaming bootstrap, and a member streams its
+// ownership out and leaves, with the workload running throughout.
 package main
 
 import (
@@ -53,18 +56,25 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	theta := flag.Float64("theta", 0.99, "zipfian skew")
 	engine := flag.String("engine", "mem", "storage engine: mem (volatile map) or lsm (WAL + sorted runs)")
+	join := flag.Bool("join", false, "mid-run, a spare node joins the ring (snapshot-streaming bootstrap + warming)")
+	decom := flag.Bool("decommission", false, "mid-run, the highest member streams its ownership out and leaves")
 	flag.Parse()
 
+	// An elasticity scenario needs a spare topology node to join.
+	topoNodes := *nodes
+	if *join {
+		topoNodes++
+	}
 	var topo *repro.Topology
 	switch *topoName {
 	case "g5k":
-		topo = repro.G5KTwoSites(*nodes)
+		topo = repro.G5KTwoSites(topoNodes)
 	case "ec2":
-		topo = repro.EC2TwoAZ(*nodes)
+		topo = repro.EC2TwoAZ(topoNodes)
 	case "single":
-		topo = repro.SingleDC(*nodes)
+		topo = repro.SingleDC(topoNodes)
 	case "geo":
-		topo = repro.GeoRegions(*nodes/3, "us-east", "eu-west", "ap-south")
+		topo = repro.GeoRegions(topoNodes/3, "us-east", "eu-west", "ap-south")
 	default:
 		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topoName)
 		os.Exit(2)
@@ -73,6 +83,32 @@ func main() {
 	cfg := repro.Defaults(topo)
 	cfg.RF = *rf
 	cfg.Seed = *seed
+	// Derive the member set from the topology actually built (geo rounds
+	// the node count to whole regions): with -join the last topology node
+	// is the spare that joins mid-run.
+	memberCount := topo.N()
+	if *join {
+		memberCount = topo.N() - 1
+		members := make([]repro.NodeID, memberCount)
+		for i := range members {
+			members[i] = repro.NodeID(i)
+		}
+		cfg.InitialMembers = members
+	}
+	if *join || *decom {
+		cfg.WarmupDuration = 2 * time.Second
+		cfg.AntiEntropyInterval = 500 * time.Millisecond
+	}
+	if memberCount < *rf {
+		fmt.Fprintf(os.Stderr, "only %d members for RF %d\n", memberCount, *rf)
+		os.Exit(2)
+	}
+	// With -join the decommission happens after the join, so membership
+	// never drops below the (already validated) starting count.
+	if *decom && !*join && memberCount-1 < *rf {
+		fmt.Fprintf(os.Stderr, "decommission would drop below RF (%d members, RF %d)\n", memberCount, *rf)
+		os.Exit(2)
+	}
 	switch *engine {
 	case "mem":
 		cfg.Engine = repro.EngineMem
@@ -100,37 +136,90 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Segment the run around the membership changes: join at ~1/3,
+	// decommission at ~2/3, workload running in every segment.
+	type segment struct {
+		label  string
+		ops    uint64
+		before func()
+	}
+	var segments []segment
+	victim := repro.NodeID(memberCount - 1)
+	spare := repro.NodeID(memberCount)
+	switch {
+	case *join && *decom:
+		segments = []segment{
+			{"steady", *ops / 3, nil},
+			{"after join", *ops / 3, func() { sim.Join(spare) }},
+			{"after decommission", *ops - 2*(*ops/3), func() { sim.Decommission(victim) }},
+		}
+	case *join:
+		segments = []segment{
+			{"steady", *ops / 2, nil},
+			{"after join", *ops - *ops/2, func() { sim.Join(spare) }},
+		}
+	case *decom:
+		segments = []segment{
+			{"steady", *ops / 2, nil},
+			{"after decommission", *ops - *ops/2, func() { sim.Decommission(victim) }},
+		}
+	default:
+		segments = []segment{{"steady", *ops, nil}}
+	}
+
 	w := repro.MixWorkload(*records, *readProp, 0, *theta)
 	start := time.Now()
-	m, err := cli.Run(w, repro.RunOptions{Ops: *ops, Threads: *threads, BatchSize: *batch})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var m *repro.Metrics
+	var totalOps uint64
+	var virtual time.Duration
+	for i, seg := range segments {
+		if seg.before != nil {
+			seg.before()
+			sim.Run(5 * time.Second) // streaming, flip and warmup progress
+		}
+		var err error
+		m, err = cli.Run(w, repro.RunOptions{
+			Ops: seg.ops, Threads: *threads, BatchSize: *batch, NoPreload: i > 0,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		totalOps += m.Ops
+		virtual += m.Elapsed()
+		if len(segments) > 1 {
+			fmt.Printf("%-18s %d members, %8.0f ops/s, stale %.2f%%\n",
+				seg.label+":", len(sim.Members()), m.Throughput(), 100*m.StaleRate())
+		}
 	}
 
 	fmt.Printf("workload: %d ops (%.0f%% reads, zipf θ=%.2f) on %d nodes RF %d, level %s, batch %d\n",
-		m.Ops, 100**readProp, *theta, topo.N(), *rf, *level, *batch)
+		totalOps, 100**readProp, *theta, len(sim.Members()), *rf, *level, *batch)
 	fmt.Printf("virtual duration %v (wall %v, %d events)\n",
-		m.Elapsed().Round(time.Millisecond), time.Since(start).Round(time.Millisecond), sim.Engine.Events())
-	fmt.Printf("throughput  %.0f ops/s\n", m.Throughput())
-	fmt.Printf("stale reads %.2f%% (oracle ground truth)\n", 100*m.StaleRate())
+		virtual.Round(time.Millisecond), time.Since(start).Round(time.Millisecond), sim.Engine.Events())
+	fmt.Printf("throughput  %.0f ops/s\n", float64(totalOps)/virtual.Seconds())
+	fmt.Printf("stale reads %.2f%% (oracle ground truth, whole run)\n", 100*sim.StaleRate())
 	fmt.Printf("read  lat   %s\n", m.ReadLat.String())
 	fmt.Printf("write lat   %s\n", m.WriteLat.String())
-	fmt.Printf("errors      timeouts=%d unavailable=%d\n", m.Timeouts, m.Unavailable)
+	fmt.Printf("errors      timeouts=%d unavailable=%d (last segment)\n", m.Timeouts, m.Unavailable)
 
 	u := sim.Cluster.Usage()
 	fmt.Printf("usage       replicaReads=%d replicaWrites=%d coordOps=%d repairs=%d droppedMutations=%d\n",
 		u.ReplicaReads, u.ReplicaWrites, u.CoordOps, u.ReadRepairs, u.DroppedMuts)
+	if u.Joins > 0 || u.Decommissions > 0 {
+		fmt.Printf("membership  joins=%d decommissions=%d streamed %d cells / %d KiB in %d chunks\n",
+			u.Joins, u.Decommissions, u.StreamedCells, u.StreamedBytes>>10, u.StreamChunks)
+	}
 	meter := sim.Transport.Meter()
 	interDC, interRegion := meter.BilledBytes()
 	bill := experiments.Pricing().Smooth().BillFor(repro.Usage{
-		Nodes:            topo.N(),
-		Duration:         m.Elapsed(),
+		Nodes:            len(sim.Members()),
+		Duration:         virtual,
 		StoredBytes:      float64(u.StoredBytes),
 		InterDCBytes:     float64(interDC),
 		InterRegionBytes: float64(interRegion),
 	})
-	fmt.Printf("bill        %s ($%.4f per M ops)\n", bill, bill.Total()/float64(m.Ops)*1e6)
+	fmt.Printf("bill        %s ($%.4f per M ops)\n", bill, bill.Total()/float64(totalOps)*1e6)
 	if ctl != nil {
 		fmt.Printf("adaptive    %d decisions, %d level changes\n", len(ctl.Journal()), ctl.LevelChanges())
 	}

@@ -270,6 +270,135 @@ func TestDeterminismCrashRestart(t *testing.T) {
 	}
 }
 
+// membershipDeterminismHashMem pins the transcript of the elastic
+// membership scenario below on the default MemEngine, captured on the
+// tree that introduced Join/Decommission (PR 4). Same regeneration
+// protocol as determinismHash, with -run TestDeterminismMembership.
+const membershipDeterminismHashMem = "11b96301c186139d25242d53490c566a64e6122d5c17cbd02c44077c598f759e"
+
+// membershipDeterminismHashLSM pins the same scenario on the LSM engine
+// (snapshot streaming walks sealed runs there).
+const membershipDeterminismHashLSM = "6aefdb042e0e9825c553e0890b2136193207b37311542a6f503e0cee7a1b370f"
+
+// membershipDeterminismScenario exercises the elastic-membership paths
+// end to end: a node joins via snapshot streaming and warms up, a
+// replica crashes and restarts through the warming state, and a founding
+// member decommissions by streaming its ownership out — all under
+// Quorum traffic with anti-entropy, hint replay and the failure detector
+// armed. Keys vary their prefix so the small key set still spreads over
+// the ring. The transcript logs every op, every membership transition
+// and the closing accounting.
+func membershipDeterminismScenario(seed uint64, lsm bool) []string {
+	topo := repro.SingleDC(6)
+	cfg := repro.Defaults(topo)
+	cfg.Seed = seed
+	cfg.InitialMembers = []repro.NodeID{0, 1, 2, 3}
+	cfg.WarmupDuration = 400 * time.Millisecond
+	cfg.StreamChunkBytes = 512 // several chunks per stream at toy scale
+	cfg.AntiEntropyInterval = 150 * time.Millisecond
+	cfg.AntiEntropySample = 16
+	cfg.HintReplayInterval = 200 * time.Millisecond
+	cfg.DetectionDelay = 50 * time.Millisecond
+	if lsm {
+		cfg.Engine = repro.EngineLSM
+		cfg.FlushLimit = 768
+		cfg.MaxRuns = 2
+		cfg.WALSyncBytes = 320
+	}
+
+	s := repro.NewSim(topo, cfg)
+	cli := s.StaticClient(repro.Quorum, repro.Quorum)
+	ctx := context.Background()
+
+	var log []string
+	record := func(format string, args ...any) { log = append(log, fmt.Sprintf(format, args...)) }
+	key := func(i int) string { return fmt.Sprintf("%03d-elastic", i) }
+
+	s.Preload(40, func(i uint64) string { return key(int(i)) }, []byte("seed-value"))
+
+	states := func() string {
+		var b strings.Builder
+		for id := repro.NodeID(0); int(id) < topo.N(); id++ {
+			fmt.Fprintf(&b, "%d=%v ", id, s.State(id))
+		}
+		return strings.TrimSpace(b.String())
+	}
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 8; i++ {
+			k := key((round*9 + i*5) % 40)
+			w := cli.Put(ctx, k, []byte(fmt.Sprintf("r%d-i%d", round, i)))
+			record("put %s err=%v acked=%d ver=%v", w.Key, w.Err, w.Acked, w.Version)
+			r := cli.Get(ctx, key((round*3+i)%40))
+			record("get %s val=%q exists=%v stale=%v err=%v ver=%v", r.Key, r.Value, r.Exists, r.Stale, r.Err, r.Version)
+		}
+		switch round {
+		case 1:
+			s.Join(4)
+			record("join node=4")
+		case 3:
+			s.Cluster.Crash(1)
+			record("crash node=1")
+		case 4:
+			rs := s.Cluster.Restart(1)
+			record("restart node=1 runs=%d walRecords=%d torn=%v keys=%d",
+				rs.RunsLoaded, rs.WALRecords, rs.TornTail, rs.Keys)
+		case 5:
+			s.Decommission(0)
+			record("decommission node=0")
+		}
+		s.Run(300 * time.Millisecond)
+		record("round %d members=%v states: %s", round, s.Members(), states())
+	}
+	s.Run(5 * time.Second)
+
+	u := s.Cluster.Usage()
+	record("stale-rate %.9f", s.StaleRate())
+	record("usage busy=%v repReads=%d repWrites=%d coordOps=%d repairs=%d hintsReplayed=%d hintsDropped=%d ae=%d stored=%d",
+		u.BusyTime, u.ReplicaReads, u.ReplicaWrites, u.CoordOps, u.ReadRepairs,
+		u.HintsReplayed, u.HintsDropped, u.AERounds, u.StoredBytes)
+	record("membership joins=%d decommissions=%d chunks=%d cellsOut=%d bytesOut=%d cellsIn=%d",
+		u.Joins, u.Decommissions, u.StreamChunks, u.StreamedCells, u.StreamedBytes, u.StreamInCells)
+	record("durability crashes=%d replays=%d lost=%d", u.Crashes, u.WALReplays, u.LostWALRecords)
+	return log
+}
+
+// TestDeterminismMembership asserts the elastic-membership paths are a
+// pure function of the seed on BOTH engines, pinned by hash like the
+// crash/restart scenario.
+func TestDeterminismMembership(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		lsm  bool
+		want string
+	}{
+		{"mem", false, membershipDeterminismHashMem},
+		{"lsm", true, membershipDeterminismHashLSM},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			first := membershipDeterminismScenario(42, tc.lsm)
+			second := membershipDeterminismScenario(42, tc.lsm)
+			if len(first) != len(second) {
+				t.Fatalf("same-seed runs differ in length: %d vs %d", len(first), len(second))
+			}
+			for i := range first {
+				if first[i] != second[i] {
+					t.Fatalf("same-seed runs diverge at line %d:\n  a: %s\n  b: %s", i, first[i], second[i])
+				}
+			}
+			got := hashTranscript(first)
+			if os.Getenv("REPRO_PRINT_TRANSCRIPT") != "" {
+				for _, l := range first {
+					t.Log(l)
+				}
+				t.Logf("transcript hash: %s", got)
+			}
+			if got != tc.want {
+				t.Errorf("transcript hash = %s, want %s (rerun with REPRO_PRINT_TRANSCRIPT=1 to diff)", got, tc.want)
+			}
+		})
+	}
+}
+
 // TestDeterminismAcrossSeeds sanity-checks that the transcript actually
 // depends on the seed (the hash is not vacuous).
 func TestDeterminismAcrossSeeds(t *testing.T) {

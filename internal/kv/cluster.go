@@ -3,6 +3,7 @@ package kv
 import (
 	"fmt"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"repro/internal/netsim"
@@ -108,6 +109,28 @@ type Config struct {
 	Coordinator CoordPolicy
 	CoordDC     string // for CoordLocalDC
 
+	// Elastic membership.
+	// InitialMembers, when set, starts the cluster with only these
+	// topology nodes on the ring; the rest can Join later. nil means
+	// every topology node is a founding member (the classic static
+	// cluster).
+	InitialMembers []netsim.NodeID
+	// WarmupDuration is the warming window after a Join flip or a
+	// Restart: the node serves writes but read coordinators deprioritize
+	// it (it is excluded from read quorums whenever enough converged
+	// replicas are live) until the window elapses. 0 disables warming —
+	// the node counts as fully live at once, the pre-elasticity
+	// behaviour.
+	WarmupDuration time.Duration
+	// StreamChunkBytes is the snapshot-stream chunk budget for Join and
+	// Decommission range transfers; 0 defaults to 16 KiB.
+	StreamChunkBytes int
+	// DisableJoinStream makes Join skip snapshot streaming entirely: the
+	// joiner enters the ring empty and converges through hinted handoff
+	// and anti-entropy alone (the rejoin-ablation the elasticity
+	// experiment measures against).
+	DisableJoinStream bool
+
 	// Fault handling.
 	// MutationShed drops replica mutations that waited in the mutation
 	// stage beyond this threshold (Cassandra's dropped-mutation
@@ -144,6 +167,7 @@ func DefaultConfig() Config {
 		GlobalRepairChance:  0.1,
 		ReadTargets:         TargetClosest,
 		Coordinator:         CoordRoundRobin,
+		StreamChunkBytes:    16 << 10,
 		MutationShed:        2 * time.Second,
 		Timeout:             2 * time.Second,
 		DetectionDelay:      1 * time.Second,
@@ -164,10 +188,21 @@ type Cluster struct {
 	topo     *netsim.Topology
 	net      Network
 	nodes    map[netsim.NodeID]*Node
-	order    []netsim.NodeID // deterministic node order
+	order    []netsim.NodeID // current ring members, ascending id
+	allNodes []netsim.NodeID // every node that ever had an actor (accounting)
 	strategy ring.Strategy
 	oracle   *Oracle
 	hooks    hookSet
+
+	// Elastic membership: at most one Join/Decommission is in flight at
+	// a time; warming holds the replicas read coordinators deprioritize
+	// until their post-join/post-restart catch-up window elapses.
+	pending       *membershipChange
+	membershipGen uint64
+	warming       map[netsim.NodeID]bool
+	joins         uint64
+	decommissions uint64
+	retired       Usage // meters of node incarnations replaced by a rejoin
 
 	seq     uint64
 	nextID  reqID
@@ -187,34 +222,39 @@ func New(topo *netsim.Topology, net Network, cfg Config) *Cluster {
 	}
 	cfg.seedSource = stats.NewSource(cfg.Seed).Stream("kv")
 	c := &Cluster{
-		cfg:   cfg,
-		topo:  topo,
-		net:   net,
-		nodes: make(map[netsim.NodeID]*Node, topo.N()),
-		down:  make(map[netsim.NodeID]bool),
-		rng:   stats.NewSource(cfg.Seed).Stream("kv.cluster"),
+		cfg:     cfg,
+		topo:    topo,
+		net:     net,
+		nodes:   make(map[netsim.NodeID]*Node, topo.N()),
+		warming: make(map[netsim.NodeID]bool),
+		down:    make(map[netsim.NodeID]bool),
+		rng:     stats.NewSource(cfg.Seed).Stream("kv.cluster"),
 	}
 	c.stopNet, _ = net.(stopper)
 
-	rg := ring.New(topo.Nodes(), cfg.VNodes, cfg.Seed)
-	if len(cfg.PerDC) > 0 {
-		c.strategy = ring.NewNetworkTopologyStrategy(rg, topo, cfg.PerDC)
+	members := cfg.InitialMembers
+	if members == nil {
+		members = topo.Nodes()
 	} else {
-		rf := cfg.RF
-		if rf <= 0 {
-			rf = 3
+		members = append([]netsim.NodeID(nil), members...)
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		for i, id := range members {
+			if id < 0 || int(id) >= topo.N() {
+				panic(fmt.Sprintf("kv: initial member %d outside topology (N=%d)", id, topo.N()))
+			}
+			if i > 0 && members[i-1] == id {
+				panic(fmt.Sprintf("kv: duplicate initial member %d", id))
+			}
 		}
-		if rf > topo.N() {
-			panic(fmt.Sprintf("kv: RF %d exceeds cluster size %d", rf, topo.N()))
-		}
-		c.strategy = ring.NewSimpleStrategy(rg, rf)
 	}
+	c.strategy = c.buildStrategy(members)
 	c.oracle = NewOracle(c.strategy.RF())
 
-	for _, id := range topo.Nodes() {
+	for _, id := range members {
 		n := newNode(id, c)
 		c.nodes[id] = n
 		c.order = append(c.order, id)
+		c.allNodes = append(c.allNodes, id)
 		net.Register(id, n.Handle)
 	}
 	net.Register(netsim.ClientID, c.handleClientReply)
@@ -231,6 +271,25 @@ func New(topo *netsim.Topology, net Network, cfg Config) *Cluster {
 		_ = n
 	}
 	return c
+}
+
+// buildStrategy assembles the configured placement strategy over the
+// given member set. New uses it at birth; Join/Decommission use it to
+// preview the post-change placement (which keys move) before the live
+// strategy is updated incrementally at the flip.
+func (c *Cluster) buildStrategy(members []netsim.NodeID) ring.Strategy {
+	rg := ring.New(members, c.cfg.VNodes, c.cfg.Seed)
+	if len(c.cfg.PerDC) > 0 {
+		return ring.NewNetworkTopologyStrategy(rg, c.topo, c.cfg.PerDC)
+	}
+	rf := c.cfg.RF
+	if rf <= 0 {
+		rf = 3
+	}
+	if rf > len(members) {
+		panic(fmt.Sprintf("kv: RF %d exceeds cluster size %d", rf, len(members)))
+	}
+	return ring.NewSimpleStrategy(rg, rf)
 }
 
 // handleClientReply runs result callbacks when replies reach the client
@@ -374,7 +433,7 @@ func (c *Cluster) pickCoordinator() netsim.NodeID {
 	if c.cfg.Coordinator == CoordRandom {
 		for tries := 0; tries < n*2; tries++ {
 			id := candidates[c.rng.IntN(n)]
-			if !c.down[id] {
+			if !c.down[id] && c.serving(id) {
 				return id
 			}
 		}
@@ -383,11 +442,20 @@ func (c *Cluster) pickCoordinator() netsim.NodeID {
 	for tries := 0; tries < n; tries++ {
 		id := candidates[c.rr%n]
 		c.rr++
-		if !c.down[id] {
+		if !c.down[id] && c.serving(id) {
 			return id
 		}
 	}
 	return -1
+}
+
+// serving reports whether id is a ring member able to coordinate client
+// operations (live, warming or streaming out — not bootstrapping, not
+// decommissioned, not absent). CoordLocalDC candidates come straight
+// from the topology, so non-members must be filtered here.
+func (c *Cluster) serving(id netsim.NodeID) bool {
+	n, ok := c.nodes[id]
+	return ok && (n.phase == phaseLive || n.phase == phaseWarming || n.phase == phaseLeaving)
 }
 
 // levelReachable reports whether enough replicas are live to possibly
@@ -447,10 +515,13 @@ func (c *Cluster) engineOptions(id netsim.NodeID) storage.Options {
 // (e.g. Restart-ing a node that was also Failed would silently heal the
 // partition). TestFailPreservesStateCrashLosesIt pins this contract.
 
-// mustBeLive panics unless node id is neither failed nor crashed.
+// mustBeLive panics unless node id is a member that is neither failed
+// nor crashed.
 func (c *Cluster) mustBeLive(id netsim.NodeID, op string) *Node {
 	n := c.nodes[id]
 	switch {
+	case n == nil || n.phase == phaseDecommissioned || n.phase == phaseBootstrapping:
+		panic(fmt.Sprintf("kv: %s(%d) on a non-member node", op, id))
 	case n.failed:
 		panic(fmt.Sprintf("kv: %s(%d) on a failed node; Recover it first", op, id))
 	case n.crashed:
@@ -503,8 +574,15 @@ func (c *Cluster) Crash(id netsim.NodeID) {
 // MemEngine restarts empty), traffic flows again at once, and the
 // detector marks the node up after the detection delay. The node then
 // converges through hinted handoff and anti-entropy like any lagging
-// replica. The returned stats report what the engine recovered.
+// replica. With Config.WarmupDuration set, it re-enters service through
+// the same warming state a joining node uses: it takes writes at once
+// but read coordinators deprioritize it until the window elapses, so a
+// replaying replica is not counted as fully live. The returned stats
+// report what the engine recovered.
 func (c *Cluster) Restart(id netsim.NodeID) storage.RecoverStats {
+	if c.nodes[id] == nil {
+		panic(fmt.Sprintf("kv: Restart(%d) on a non-member node", id))
+	}
 	if !c.nodes[id].crashed {
 		panic(fmt.Sprintf("kv: Restart(%d) on a non-crashed node (failed=%v); Restart pairs with Crash", id, c.nodes[id].failed))
 	}
@@ -512,15 +590,17 @@ func (c *Cluster) Restart(id netsim.NodeID) storage.RecoverStats {
 		f.Recover(id)
 	}
 	rs := c.nodes[id].restart()
+	c.markWarming(id)
 	c.net.Schedule(c.cfg.DetectionDelay, func() { delete(c.down, id) })
 	return rs
 }
 
 // Close releases node engine resources (file-backed WALs under the live
-// engine). The cluster must not be used afterwards.
+// engine), decommissioned nodes included. The cluster must not be used
+// afterwards.
 func (c *Cluster) Close() error {
 	var first error
-	for _, id := range c.order {
+	for _, id := range c.allNodes {
 		if err := c.nodes[id].engine.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -594,32 +674,61 @@ type Usage struct {
 	WALSyncs       uint64
 	LostWALRecords uint64 // un-fsynced records dropped by crashes
 	Compactions    uint64
+
+	// Elastic membership accounting. The stream counters meter the
+	// sender side of snapshot streaming (data moved by Join rebalances
+	// and Decommission handoffs).
+	Joins          uint64
+	Decommissions  uint64
+	StreamChunks   uint64
+	StreamedCells  uint64
+	StreamedBytes  uint64
+	StreamInCells  uint64 // cells applied from inbound snapshot streams
+	StreamInChunks uint64
 }
 
-// Usage gathers the resource usage snapshot.
-func (c *Cluster) Usage() Usage {
-	var u Usage
-	u.Nodes = len(c.order)
-	for _, id := range c.order {
-		n := c.nodes[id]
-		u.BusyTime += n.BusyTime()
+// accumulateNodeUsage folds one node's meters into u. StoredBytes is a
+// point-in-time gauge: data parked on a drained, off-ring node is not
+// billed capacity, so decommissioned nodes contribute only their
+// cumulative work counters.
+func accumulateNodeUsage(u *Usage, n *Node) {
+	u.BusyTime += n.BusyTime()
+	if n.phase != phaseDecommissioned {
 		u.StoredBytes += n.engine.Bytes()
-		u.ReplicaReads += n.repReads
-		u.ReplicaWrites += n.repWrites
-		u.CoordOps += n.coordOps
-		u.ReadRepairs += n.readRepairs
-		u.HintsReplayed += n.hintsReplayed
-		u.HintsDropped += n.hintsDropped
-		u.AERounds += n.aeRounds
-		st := n.engine.Stats()
-		u.FlushedBytes += st.FlushedBytes
-		u.DroppedMuts += n.writeStage.dropped
-		u.Crashes += st.Crashes
-		u.WALReplays += st.Replays
-		u.WALBytes += st.WALBytes
-		u.WALSyncs += st.WALSyncs
-		u.LostWALRecords += st.LostRecords
-		u.Compactions += st.Compactions
+	}
+	u.ReplicaReads += n.repReads
+	u.ReplicaWrites += n.repWrites
+	u.CoordOps += n.coordOps
+	u.ReadRepairs += n.readRepairs
+	u.HintsReplayed += n.hintsReplayed
+	u.HintsDropped += n.hintsDropped
+	u.AERounds += n.aeRounds
+	st := n.engine.Stats()
+	u.FlushedBytes += st.FlushedBytes
+	u.DroppedMuts += n.writeStage.dropped
+	u.Crashes += st.Crashes
+	u.WALReplays += st.Replays
+	u.WALBytes += st.WALBytes
+	u.WALSyncs += st.WALSyncs
+	u.LostWALRecords += st.LostRecords
+	u.Compactions += st.Compactions
+	u.StreamChunks += n.streamChunksOut
+	u.StreamedCells += n.streamedOutCells
+	u.StreamedBytes += n.streamedOutBytes
+	u.StreamInCells += n.streamedInCells
+	u.StreamInChunks += n.streamChunksIn
+}
+
+// Usage gathers the resource usage snapshot. Decommissioned nodes —
+// including past incarnations replaced by a rejoin — keep contributing
+// the work they did while serving.
+func (c *Cluster) Usage() Usage {
+	u := c.retired
+	u.Nodes = len(c.order)
+	u.Joins = c.joins
+	u.Decommissions = c.decommissions
+	for _, id := range c.allNodes {
+		accumulateNodeUsage(&u, c.nodes[id])
 	}
 	return u
 }

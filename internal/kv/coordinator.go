@@ -475,9 +475,12 @@ func (n *Node) replyWrite(cb func(WriteResult), res WriteResult) {
 }
 
 // pickTargets selects which replicas a read contacts: enough to satisfy
-// req, chosen among live replicas by the configured target policy. The
-// live set is built in buf (the context's recycled targets array); it
-// reports ok=false when the level is unreachable.
+// req, chosen among live replicas by the configured target policy, with
+// warming replicas (freshly joined or restarted, still converging)
+// deprioritized — they are only contacted when the level cannot be
+// satisfied from converged replicas alone. The live set is built in buf
+// (the context's recycled targets array); it reports ok=false when the
+// level is unreachable.
 func (n *Node) pickTargets(replicas []netsim.NodeID, req requirement, buf []netsim.NodeID) ([]netsim.NodeID, bool) {
 	alive := buf[:0]
 	for _, r := range replicas {
@@ -486,6 +489,21 @@ func (n *Node) pickTargets(replicas []netsim.NodeID, req requirement, buf []nets
 		}
 	}
 	n.orderByPolicy(alive)
+	if warming := n.cluster.warming; len(warming) > 0 {
+		// Stable-partition converged replicas ahead of warming ones,
+		// preserving the policy order inside each group: the prefix
+		// truncation below then excludes warming replicas from the read
+		// quorum whenever enough converged replicas are live.
+		k := 0
+		for i := 0; i < len(alive); i++ {
+			if !warming[alive[i]] {
+				x := alive[i]
+				copy(alive[k+1:i+1], alive[k:i])
+				alive[k] = x
+				k++
+			}
+		}
+	}
 
 	if req.perDC == nil {
 		if len(alive) < req.total {

@@ -1,0 +1,585 @@
+package kv
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netsim"
+	"repro/internal/ring"
+	"repro/internal/storage"
+)
+
+// Elastic membership. The cluster's node set is mutable: Join adds a
+// topology node to the ring, Decommission removes one, and both move
+// only the ~1/N of key ownership the consistent-hash rebalance shifts.
+// Data follows ownership through snapshot streaming (storage.Snapshot +
+// the framed cell codec), modeled on Cassandra's bootstrap and
+// decommission streaming:
+//
+//	Join(id):  the joiner asks every live member for the ranges it will
+//	           own under the post-join placement; each key streams from
+//	           a single source (its first live current replica). Only
+//	           when every stream completed does the placement flip —
+//	           reads and writes keep using the old owners until then —
+//	           and the node enters warming: it takes writes but read
+//	           coordinators deprioritize it until WarmupDuration
+//	           elapses, covering the writes that landed between the
+//	           snapshot point and the flip (anti-entropy and read
+//	           repair close that gap).
+//
+//	Decommission(id): the leaver streams each key it owns to the nodes
+//	           that newly own it under the post-removal placement, the
+//	           targets acknowledge, and only then does the placement
+//	           flip and the node leave the ring. Its actor stays
+//	           registered so in-flight operations drain cleanly.
+//
+// One membership change runs at a time; a second Join/Decommission
+// before the first flipped panics. Failure of a stream peer mid-change
+// cannot wedge the cluster: a guard timer forces the flip after
+// 5×Timeout and the normal repair machinery converges the stragglers.
+
+// nodePhase is the membership leg of the node state machine, orthogonal
+// to the failed/crashed failure leg.
+type nodePhase uint8
+
+const (
+	phaseLive nodePhase = iota
+	// phaseBootstrapping: joining, receiving snapshot streams; not yet
+	// in the placement, coordinates nothing.
+	phaseBootstrapping
+	// phaseWarming: in the placement and taking writes, but excluded
+	// from read quorums whenever enough converged replicas are live.
+	phaseWarming
+	// phaseLeaving: decommission in progress, streaming ownership out;
+	// still a full member until the flip.
+	phaseLeaving
+	// phaseDecommissioned: off the ring; the actor survives only to
+	// drain in-flight messages and for accounting.
+	phaseDecommissioned
+)
+
+// NodeState is the externally visible node status, combining the
+// membership phase with the failure state machine.
+type NodeState int
+
+// Node states, from Cluster.State.
+const (
+	StateNotMember NodeState = iota
+	StateLive
+	StateFailed
+	StateCrashed
+	StateBootstrapping
+	StateWarming
+	StateLeaving
+	StateDecommissioned
+)
+
+// String names the state for logs and tables.
+func (s NodeState) String() string {
+	switch s {
+	case StateLive:
+		return "live"
+	case StateFailed:
+		return "failed"
+	case StateCrashed:
+		return "crashed"
+	case StateBootstrapping:
+		return "bootstrapping"
+	case StateWarming:
+		return "warming"
+	case StateLeaving:
+		return "leaving"
+	case StateDecommissioned:
+		return "decommissioned"
+	}
+	return "not-member"
+}
+
+// membershipChange tracks the single in-flight Join or Decommission.
+// gen distinguishes successive changes involving the same node, so a
+// stale guard timer from a completed change cannot force-flip the next
+// one mid-stream.
+type membershipChange struct {
+	join bool
+	id   netsim.NodeID
+	gen  uint64
+	next ring.Strategy // post-change placement preview (streams route by it)
+}
+
+// Members returns the current ring members in ascending id order.
+func (c *Cluster) Members() []netsim.NodeID {
+	return append([]netsim.NodeID(nil), c.order...)
+}
+
+// IsMember reports whether id is currently on the ring.
+func (c *Cluster) IsMember(id netsim.NodeID) bool {
+	n, ok := c.nodes[id]
+	return ok && n.phase != phaseDecommissioned && n.phase != phaseBootstrapping
+}
+
+// State reports the node's combined membership/failure state.
+func (c *Cluster) State(id netsim.NodeID) NodeState {
+	n, ok := c.nodes[id]
+	switch {
+	case !ok:
+		return StateNotMember
+	case n.crashed:
+		return StateCrashed
+	case n.failed:
+		return StateFailed
+	case n.phase == phaseBootstrapping:
+		return StateBootstrapping
+	case n.phase == phaseWarming:
+		return StateWarming
+	case n.phase == phaseLeaving:
+		return StateLeaving
+	case n.phase == phaseDecommissioned:
+		return StateDecommissioned
+	}
+	return StateLive
+}
+
+// Join adds topology node id to the cluster. The node starts
+// bootstrapping: current owners stream it the ranges it will own under
+// the post-join placement, and only when streaming completes does the
+// placement flip and the node enter warming (see the package comment
+// above). A node that was decommissioned earlier rejoins as a fresh
+// empty machine. Joining a current member, a node outside the topology,
+// or while another membership change is in flight panics.
+func (c *Cluster) Join(id netsim.NodeID) {
+	if id < 0 || int(id) >= c.topo.N() {
+		panic(fmt.Sprintf("kv: Join(%d) outside topology (N=%d)", id, c.topo.N()))
+	}
+	if c.pending != nil {
+		panic(fmt.Sprintf("kv: Join(%d) while a membership change is in flight", id))
+	}
+	if old, ok := c.nodes[id]; ok {
+		if old.phase != phaseDecommissioned {
+			panic(fmt.Sprintf("kv: Join(%d): already a member (%v)", id, c.State(id)))
+		}
+		// The rejoin replaces the actor: bank the retiring incarnation's
+		// meters so Usage keeps billing the work it did, and release its
+		// WAL file, if any.
+		accumulateNodeUsage(&c.retired, old)
+		old.engine.Close()
+	}
+	n := newNode(id, c)
+	n.phase = phaseBootstrapping
+	c.nodes[id] = n
+	if !containsNode(c.allNodes, id) {
+		c.allNodes = append(c.allNodes, id)
+	}
+	c.net.Register(id, n.Handle)
+
+	c.membershipGen++
+	c.pending = &membershipChange{
+		join: true,
+		id:   id,
+		gen:  c.membershipGen,
+		next: c.buildStrategy(append(c.Members(), id)),
+	}
+	c.armMembershipGuard(c.pending)
+
+	if c.cfg.DisableJoinStream {
+		// Ablation: no snapshot streaming — flip at once and let hinted
+		// handoff, read repair and anti-entropy converge the empty node.
+		c.finishJoin(id)
+		return
+	}
+	var peers []netsim.NodeID
+	for _, p := range c.order {
+		if pn := c.nodes[p]; !pn.failed && !pn.crashed {
+			peers = append(peers, p)
+		}
+	}
+	if len(peers) == 0 {
+		c.finishJoin(id)
+		return
+	}
+	n.joinPending = len(peers)
+	n.streamsIn = make(map[netsim.NodeID]*streamIn, len(peers))
+	for _, p := range peers {
+		c.net.Send(id, p, newStreamRequest(streamRequest{Joiner: id}), msgOverhead)
+	}
+}
+
+// Decommission removes member id from the cluster. The leaver first
+// streams every key it owns to the nodes that newly own it under the
+// post-removal placement; once the targets acknowledge, the placement
+// flips and the node leaves the ring (its actor drains in-flight work
+// but coordinates nothing new). Decommissioning below the replication
+// factor, a non-live node, or during another membership change panics.
+func (c *Cluster) Decommission(id netsim.NodeID) {
+	if c.pending != nil {
+		panic(fmt.Sprintf("kv: Decommission(%d) while a membership change is in flight", id))
+	}
+	n := c.mustBeLive(id, "Decommission")
+	if n.phase != phaseLive {
+		panic(fmt.Sprintf("kv: Decommission(%d) on a %v node; wait for it to settle", id, c.State(id)))
+	}
+	rest := make([]netsim.NodeID, 0, len(c.order)-1)
+	for _, m := range c.order {
+		if m != id {
+			rest = append(rest, m)
+		}
+	}
+	// buildStrategy panics when the survivors cannot carry the
+	// replication factor (total or per-DC) — the under-provisioning
+	// guard for scale-down.
+	c.membershipGen++
+	c.pending = &membershipChange{join: false, id: id, gen: c.membershipGen, next: c.buildStrategy(rest)}
+	n.phase = phaseLeaving
+	c.armMembershipGuard(c.pending)
+	n.startDecommissionStream()
+}
+
+// armMembershipGuard forces the flip if streaming wedges (a stream peer
+// failed mid-change and its chunks died with it); the normal repair
+// machinery then converges whatever the stream did not carry. The
+// generation check pins the timer to exactly the change it was armed
+// for: a later change involving the same node must not be force-flipped
+// by a dead timer.
+func (c *Cluster) armMembershipGuard(p *membershipChange) {
+	c.net.Schedule(5*c.cfg.Timeout, func() {
+		if c.pending == nil || c.pending.gen != p.gen {
+			return
+		}
+		if p.join {
+			c.finishJoin(p.id)
+		} else {
+			c.finishDecommission(p.id)
+		}
+	})
+}
+
+// finishJoin flips the placement: the live strategy incorporates the
+// joiner incrementally (moving only the affected arc of the placement
+// table), the node joins the coordinator rotation and its background
+// chains start. With WarmupDuration set it warms first.
+func (c *Cluster) finishJoin(id netsim.NodeID) {
+	p := c.pending
+	if p == nil || !p.join || p.id != id {
+		return
+	}
+	c.pending = nil
+	c.joins++
+	c.strategy.AddNode(id)
+	c.insertMember(id)
+	n := c.nodes[id]
+	n.streamsIn = nil
+	n.joinPending = 0
+	n.phase = phaseLive
+	c.markWarming(id)
+	n.scheduleAE()
+	n.scheduleHintTick()
+}
+
+// finishDecommission flips the placement: the leaver's vnodes come off
+// the ring (placement recomputed incrementally), it leaves the
+// coordinator rotation, and its actor lingers only to drain.
+func (c *Cluster) finishDecommission(id netsim.NodeID) {
+	p := c.pending
+	if p == nil || p.join || p.id != id {
+		return
+	}
+	c.pending = nil
+	c.decommissions++
+	c.strategy.RemoveNode(id)
+	c.removeMember(id)
+	n := c.nodes[id]
+	n.phase = phaseDecommissioned
+	n.decomPending = 0
+	delete(c.warming, id)
+}
+
+// markWarming puts id into the warming window: it serves writes but read
+// coordinators deprioritize it until the window elapses. A no-op when
+// WarmupDuration is 0 (warming disabled) or when the node is not plainly
+// live — in particular, a node whose decommission completed while it was
+// crashed must stay decommissioned through Restart, not resurrect into
+// the member states.
+func (c *Cluster) markWarming(id netsim.NodeID) {
+	if c.cfg.WarmupDuration <= 0 {
+		return
+	}
+	n := c.nodes[id]
+	if n.phase != phaseLive {
+		return
+	}
+	n.phase = phaseWarming
+	c.warming[id] = true
+	epoch := n.epoch
+	c.net.Schedule(c.cfg.WarmupDuration, func() {
+		// A crash (epoch bump) or decommission during the window
+		// invalidates this timer; the next restart re-arms its own.
+		if n.epoch == epoch && n.phase == phaseWarming {
+			delete(c.warming, id)
+			n.phase = phaseLive
+		}
+	})
+}
+
+func (c *Cluster) insertMember(id netsim.NodeID) {
+	i := sort.Search(len(c.order), func(i int) bool { return c.order[i] >= id })
+	c.order = append(c.order, 0)
+	copy(c.order[i+1:], c.order[i:])
+	c.order[i] = id
+}
+
+func (c *Cluster) removeMember(id netsim.NodeID) {
+	for i, m := range c.order {
+		if m == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			return
+		}
+	}
+}
+
+func containsNode(list []netsim.NodeID, id netsim.NodeID) bool {
+	for _, n := range list {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+// streamIn tracks one inbound snapshot stream (from one peer).
+type streamIn struct {
+	chunks int
+	done   bool
+	expect int           // chunk count announced by streamDone
+	ackTo  netsim.NodeID // send streamAck here when complete; -1 for join streams
+}
+
+// complete reports whether every announced chunk has been applied.
+func (s *streamIn) complete() bool { return s.done && s.chunks >= s.expect }
+
+// streamSourceFor deterministically picks the single member that streams
+// key k to a joiner: the first current replica that can serve. Every
+// peer evaluates the same rule, so exactly one of them ships each key.
+func (c *Cluster) streamSourceFor(k string) netsim.NodeID {
+	for _, r := range c.strategy.Replicas(k) {
+		if n, ok := c.nodes[r]; ok && !n.failed && !n.crashed && n.phase != phaseDecommissioned {
+			return r
+		}
+	}
+	return -1
+}
+
+// onStreamRequest serves a joiner's range request: walk a point-in-time
+// engine snapshot, keep the keys the joiner will own under the pending
+// placement (single-source rule above), frame them into chunks, and ship
+// each chunk through the read stage — streaming contends with foreground
+// reads for service slots, exactly like Cassandra's bootstrap streaming
+// competing for disk.
+func (n *Node) onStreamRequest(m streamRequest) {
+	c := n.cluster
+	p := c.pending
+	if p == nil || !p.join || p.id != m.Joiner {
+		return // the join already flipped (guard timer) or was superseded
+	}
+	next := p.next
+	budget := c.cfg.StreamChunkBytes
+	if budget <= 0 {
+		budget = 16 << 10
+	}
+	var chunks [][]byte
+	var counts []int
+	var buf []byte
+	count, cells := 0, 0
+	it := n.engine.Snapshot()
+	for {
+		k, cell, ok := it.Next()
+		if !ok {
+			break
+		}
+		if !containsNode(next.Replicas(k), m.Joiner) || c.streamSourceFor(k) != n.id {
+			continue
+		}
+		buf = storage.EncodeCell(buf, k, cell)
+		count++
+		cells++
+		if len(buf) >= budget {
+			chunks, counts = append(chunks, buf), append(counts, count)
+			buf, count = nil, 0
+		}
+	}
+	if count > 0 {
+		chunks, counts = append(chunks, buf), append(counts, count)
+	}
+	n.sendStream(m.Joiner, chunks, counts, cells, false)
+}
+
+// startDecommissionStream streams every key the leaver owns to the nodes
+// that newly own it under the pending placement.
+func (n *Node) startDecommissionStream() {
+	c := n.cluster
+	p := c.pending
+	next := p.next
+	budget := c.cfg.StreamChunkBytes
+	if budget <= 0 {
+		budget = 16 << 10
+	}
+	type outStream struct {
+		chunks [][]byte
+		counts []int
+		buf    []byte
+		count  int
+		cells  int
+	}
+	perTarget := make(map[netsim.NodeID]*outStream)
+	var order []netsim.NodeID
+	it := n.engine.Snapshot()
+	for {
+		k, cell, ok := it.Next()
+		if !ok {
+			break
+		}
+		cur := c.strategy.Replicas(k)
+		if !containsNode(cur, n.id) {
+			continue // resident but not owned (old stream residue); its owners handle it
+		}
+		for _, t := range next.Replicas(k) {
+			if containsNode(cur, t) || c.isDown(t) {
+				continue // already holds the range, or unreachable (AE heals later)
+			}
+			os := perTarget[t]
+			if os == nil {
+				os = &outStream{}
+				perTarget[t] = os
+				order = append(order, t)
+			}
+			os.buf = storage.EncodeCell(os.buf, k, cell)
+			os.count++
+			os.cells++
+			if len(os.buf) >= budget {
+				os.chunks, os.counts = append(os.chunks, os.buf), append(os.counts, os.count)
+				os.buf, os.count = nil, 0
+			}
+		}
+	}
+	if len(order) == 0 {
+		c.finishDecommission(n.id)
+		return
+	}
+	n.decomPending = len(order)
+	for _, t := range order {
+		os := perTarget[t]
+		if os.count > 0 {
+			os.chunks, os.counts = append(os.chunks, os.buf), append(os.counts, os.count)
+		}
+		n.sendStream(t, os.chunks, os.counts, os.cells, true)
+	}
+}
+
+// sendStream ships framed chunks plus the closing streamDone to one
+// receiver, one read-stage work unit per chunk (paced by the node's
+// service capacity). needAck marks decommission streams, whose receiver
+// acknowledges completion back to the sender.
+func (n *Node) sendStream(to netsim.NodeID, chunks [][]byte, counts []int, cells int, needAck bool) {
+	c := n.cluster
+	total := 0
+	for i := range chunks {
+		data, cnt := chunks[i], counts[i]
+		total += len(data)
+		n.submitRead(c.cfg.ReadService.Sample(n.rng), func() {
+			n.streamChunksOut++
+			n.streamedOutCells += uint64(cnt)
+			n.streamedOutBytes += uint64(len(data))
+			c.net.Send(n.id, to, newStreamChunk(streamChunk{From: n.id, Data: data, Count: cnt}),
+				msgOverhead+len(data))
+		})
+	}
+	nChunks := len(chunks)
+	n.submitRead(c.cfg.CoordOverhead.Sample(n.rng), func() {
+		c.net.Send(n.id, to, newStreamDone(streamDone{
+			From: n.id, Chunks: nChunks, Cells: cells, Bytes: total, NeedAck: needAck,
+		}), msgOverhead)
+	})
+}
+
+// inStream returns (creating if needed) the tracking entry for an
+// inbound stream from peer.
+func (n *Node) inStream(peer netsim.NodeID) *streamIn {
+	if n.streamsIn == nil {
+		n.streamsIn = make(map[netsim.NodeID]*streamIn)
+	}
+	st := n.streamsIn[peer]
+	if st == nil {
+		st = &streamIn{expect: -1, ackTo: -1}
+		n.streamsIn[peer] = st
+	}
+	return st
+}
+
+// onStreamChunk applies one chunk of an inbound snapshot stream through
+// the write stage and the normal last-write-wins path — a streamed cell
+// can never clobber a newer resident version, so streams overlap hints
+// and anti-entropy safely.
+func (n *Node) onStreamChunk(m streamChunk) {
+	cost := n.cluster.cfg.WriteService.Sample(n.rng)
+	n.submitWrite(cost, func() {
+		n.streamChunksIn++
+		off := 0
+		for off < len(m.Data) {
+			key, cell, size, err := storage.DecodeCell(m.Data, off)
+			if err != nil {
+				break // torn/corrupt tail: keep the consistent prefix, AE heals the rest
+			}
+			if n.engine.Apply(key, cell) {
+				n.streamedInCells++
+				n.cluster.oracle.Applied(n.id, cell.Version, n.cluster.net.Now())
+			}
+			off += size
+		}
+		st := n.inStream(m.From)
+		st.chunks++
+		n.streamProgress(m.From, st)
+	})
+}
+
+// onStreamDone records a stream's announced totals; completion may
+// already hold (all chunks applied) or arrive with a later chunk.
+func (n *Node) onStreamDone(m streamDone) {
+	st := n.inStream(m.From)
+	st.done = true
+	st.expect = m.Chunks
+	if m.NeedAck {
+		st.ackTo = m.From
+	}
+	n.streamProgress(m.From, st)
+}
+
+// streamProgress advances the join/decommission handshake when the
+// stream from peer has fully applied.
+func (n *Node) streamProgress(peer netsim.NodeID, st *streamIn) {
+	if !st.complete() {
+		return
+	}
+	delete(n.streamsIn, peer)
+	if st.ackTo >= 0 {
+		// Decommission handoff: tell the leaver this range landed.
+		n.cluster.net.Send(n.id, st.ackTo, newStreamAck(streamAck{From: n.id}), msgOverhead)
+		return
+	}
+	// Join bootstrap: one source down, flip when the last completes.
+	if n.phase == phaseBootstrapping && n.joinPending > 0 {
+		n.joinPending--
+		if n.joinPending == 0 {
+			n.cluster.finishJoin(n.id)
+		}
+	}
+}
+
+// onStreamAck counts a decommission target's completion; the last ack
+// flips the placement.
+func (n *Node) onStreamAck(m streamAck) {
+	if n.phase != phaseLeaving || n.decomPending == 0 {
+		return
+	}
+	n.decomPending--
+	if n.decomPending == 0 {
+		n.cluster.finishDecommission(n.id)
+	}
+}

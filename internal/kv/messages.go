@@ -210,6 +210,37 @@ type aeCell struct {
 	Cell storage.Cell
 }
 
+// streamRequest asks a current member to snapshot-stream the ranges the
+// joiner will own under the pending post-join placement.
+type streamRequest struct {
+	Joiner netsim.NodeID
+}
+
+// streamChunk carries framed cells (storage.EncodeCell records) of a
+// snapshot stream; Count is the number of cells in Data.
+type streamChunk struct {
+	From  netsim.NodeID
+	Data  []byte
+	Count int
+}
+
+// streamDone closes one snapshot stream, announcing its totals so the
+// receiver can detect chunks still in flight. NeedAck marks decommission
+// handoffs: the receiver acknowledges completion with a streamAck.
+type streamDone struct {
+	From    netsim.NodeID
+	Chunks  int
+	Cells   int
+	Bytes   int
+	NeedAck bool
+}
+
+// streamAck confirms a decommission handoff stream fully applied on the
+// new owner.
+type streamAck struct {
+	From netsim.NodeID
+}
+
 // ReadResult reports the outcome of a read operation.
 type ReadResult struct {
 	Err     error

@@ -73,6 +73,22 @@ type Node struct {
 	crashed bool
 	epoch   uint32
 
+	// Membership phase (orthogonal to the failure leg; see
+	// membership.go) plus the snapshot-streaming state of an in-flight
+	// Join (streamsIn/joinPending on the joiner) or Decommission
+	// (decomPending on the leaver).
+	phase        nodePhase
+	streamsIn    map[netsim.NodeID]*streamIn
+	joinPending  int
+	decomPending int
+
+	// Snapshot-streaming meters (both directions).
+	streamChunksOut  uint64
+	streamedOutCells uint64
+	streamedOutBytes uint64
+	streamChunksIn   uint64
+	streamedInCells  uint64
+
 	// SEDA stages: reads and mutations contend for separate slots.
 	readStage  stage
 	writeStage stage
@@ -147,6 +163,15 @@ func (n *Node) crash() {
 	n.batchWrites = make(map[reqID]*batchWriteCtx)
 	n.hints = make(map[netsim.NodeID][]hintEntry)
 	n.hintCount = 0
+	// In-flight inbound streams die with the process; the senders' guard
+	// timer (membership.go) keeps the membership change from wedging.
+	n.streamsIn = nil
+	// A crashed warming node is no longer converging; Restart re-arms
+	// its own warming window.
+	if n.phase == phaseWarming {
+		n.phase = phaseLive
+		delete(n.cluster.warming, n.id)
+	}
 }
 
 // restart brings a crashed node back: the engine replays its durable
@@ -192,6 +217,18 @@ func (n *Node) dropWhileCrashed(payload any) {
 	case *replicaReadResp:
 		*m = replicaReadResp{}
 		replicaReadRespPool.Put(m)
+	case *streamRequest:
+		*m = streamRequest{}
+		streamRequestPool.Put(m)
+	case *streamChunk:
+		*m = streamChunk{}
+		streamChunkPool.Put(m)
+	case *streamDone:
+		*m = streamDone{}
+		streamDonePool.Put(m)
+	case *streamAck:
+		*m = streamAck{}
+		streamAckPool.Put(m)
 	}
 }
 
@@ -380,6 +417,9 @@ func (n *Node) Handle(from netsim.NodeID, payload any) {
 		if m.epoch != n.epoch {
 			return // pre-crash tick chain; restart started a fresh one
 		}
+		if n.phase == phaseDecommissioned {
+			return // off the ring: the chain ends; the actor only drains
+		}
 		n.antiEntropyRound()
 		n.scheduleAE()
 	case aeOffer:
@@ -393,8 +433,32 @@ func (n *Node) Handle(from netsim.NodeID, payload any) {
 		if m.epoch != n.epoch {
 			return
 		}
+		if n.phase == phaseDecommissioned {
+			return // same chain-termination as aeTick
+		}
 		n.replayHints()
 		n.scheduleHintTick()
+
+	case *streamRequest:
+		v := *m
+		*m = streamRequest{}
+		streamRequestPool.Put(m)
+		n.onStreamRequest(v)
+	case *streamChunk:
+		v := *m
+		*m = streamChunk{}
+		streamChunkPool.Put(m)
+		n.onStreamChunk(v)
+	case *streamDone:
+		v := *m
+		*m = streamDone{}
+		streamDonePool.Put(m)
+		n.onStreamDone(v)
+	case *streamAck:
+		v := *m
+		*m = streamAck{}
+		streamAckPool.Put(m)
+		n.onStreamAck(v)
 	}
 }
 
@@ -461,6 +525,14 @@ func (n *Node) replayHints() {
 	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
 	for _, target := range targets {
 		entries := n.hints[target]
+		if !n.cluster.IsMember(target) {
+			// The target left the ring (decommissioned); its hints will
+			// never be wanted again.
+			n.hintsDropped += uint64(len(entries))
+			n.hintCount -= len(entries)
+			delete(n.hints, target)
+			continue
+		}
 		if n.cluster.isDown(target) {
 			continue
 		}

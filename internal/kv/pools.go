@@ -23,6 +23,10 @@ var (
 	workDonePool        = sync.Pool{New: func() any { return new(workDone) }}
 	coordExecPool       = sync.Pool{New: func() any { return new(coordExec) }}
 	coordTimeoutPool    = sync.Pool{New: func() any { return new(coordTimeout) }}
+	streamRequestPool   = sync.Pool{New: func() any { return new(streamRequest) }}
+	streamChunkPool     = sync.Pool{New: func() any { return new(streamChunk) }}
+	streamDonePool      = sync.Pool{New: func() any { return new(streamDone) }}
+	streamAckPool       = sync.Pool{New: func() any { return new(streamAck) }}
 )
 
 func newClientRead(m clientRead) *clientRead {
@@ -88,5 +92,29 @@ func newCoordExec(fn func(), epoch uint32) *coordExec {
 func newCoordTimeout(id reqID, write bool) *coordTimeout {
 	p := coordTimeoutPool.Get().(*coordTimeout)
 	p.ID, p.Write = id, write
+	return p
+}
+
+func newStreamRequest(m streamRequest) *streamRequest {
+	p := streamRequestPool.Get().(*streamRequest)
+	*p = m
+	return p
+}
+
+func newStreamChunk(m streamChunk) *streamChunk {
+	p := streamChunkPool.Get().(*streamChunk)
+	*p = m
+	return p
+}
+
+func newStreamDone(m streamDone) *streamDone {
+	p := streamDonePool.Get().(*streamDone)
+	*p = m
+	return p
+}
+
+func newStreamAck(m streamAck) *streamAck {
+	p := streamAckPool.Get().(*streamAck)
+	*p = m
 	return p
 }

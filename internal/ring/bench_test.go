@@ -1,0 +1,36 @@
+package ring
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// BenchmarkAddRemoveNode measures one scale-up + scale-down cycle on a
+// 64-node ring with incremental placement recompute — the rebalance cost
+// a membership change pays before any data moves.
+func BenchmarkAddRemoveNode(b *testing.B) {
+	s := NewSimpleStrategy(New(nodeIDs(64), 32, 7), 3)
+	joiner := netsim.NodeID(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AddNode(joiner)
+		s.RemoveNode(joiner)
+	}
+}
+
+// BenchmarkReplicasLookup pins the per-operation placement lookup cost
+// after a membership change (the table must stay a zero-alloc cache).
+func BenchmarkReplicasLookup(b *testing.B) {
+	s := NewSimpleStrategy(New(nodeIDs(16), 32, 7), 3)
+	s.AddNode(16)
+	keys := sampleKeys(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(s.Replicas(keys[i%len(keys)])) != 3 {
+			b.Fatal("bad replica set")
+		}
+	}
+}

@@ -55,6 +55,42 @@ func BenchmarkMergeRead(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotStream measures the full rejoin-streaming pipeline:
+// snapshot-iterate a populated LSM engine, serialize every cell through
+// the framed codec, and apply the chunks on a fresh mem engine — the
+// per-cell cost of moving a replica's range during Join/Decommission.
+func BenchmarkSnapshotStream(b *testing.B) {
+	src := NewLSMEngine(Options{FlushLimit: 64 << 10, SyncBytes: 1 << 20, MaxRuns: 8})
+	const records = 4096
+	for i := 0; i < records; i++ {
+		seq := uint64(i + 1)
+		src.Apply(fmt.Sprintf("user%08d", i), Cell{
+			Version: Version{Timestamp: time.Duration(seq), Seq: seq},
+			Value:   make([]byte, 128),
+		})
+	}
+	var chunk []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += records {
+		dst := NewMemEngine(0)
+		it := src.Snapshot()
+		for {
+			k, c, ok := it.Next()
+			if !ok {
+				break
+			}
+			chunk = EncodeCell(chunk[:0], k, c)
+			if _, _, err := ApplyEncoded(dst, chunk); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if dst.Len() != records {
+			b.Fatalf("streamed %d of %d cells", dst.Len(), records)
+		}
+	}
+}
+
 // BenchmarkMemApply pins the volatile engine's apply path for
 // comparison.
 func BenchmarkMemApply(b *testing.B) {

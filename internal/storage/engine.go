@@ -60,6 +60,12 @@ type Engine interface {
 	// Range calls fn for every resident cell in unspecified order until
 	// fn returns false. Mutating the engine during Range is not allowed.
 	Range(fn func(key string, c Cell) bool)
+	// Snapshot returns a point-in-time iterator over the resident cells
+	// in sorted key order (the snapshot-streaming source for bootstrap
+	// and rejoin). The LSM engine seals its memtable first, so the
+	// snapshot is exactly its immutable sorted runs; the mem engine
+	// copies its cells out. Mutations after the call do not appear.
+	Snapshot() SnapshotIter
 
 	// Stats reports the engine's operation and durability counters.
 	Stats() Stats

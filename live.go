@@ -90,6 +90,33 @@ func (l *Live) StaleRate() float64 {
 	return r
 }
 
+// Join adds topology node id to the live cluster (snapshot-streaming
+// bootstrap, placement flip, warming — see Sim.Join). The change
+// progresses on the engine's own goroutines; poll State to observe it.
+func (l *Live) Join(id NodeID) {
+	l.Engine.Do(func() { l.Cluster.Join(id) })
+}
+
+// Decommission removes member id from the live cluster after streaming
+// its ownership to the new owners.
+func (l *Live) Decommission(id NodeID) {
+	l.Engine.Do(func() { l.Cluster.Decommission(id) })
+}
+
+// Members returns the current ring members.
+func (l *Live) Members() []NodeID {
+	var m []NodeID
+	l.Engine.Do(func() { m = l.Cluster.Members() })
+	return m
+}
+
+// State reports a node's combined membership/failure state.
+func (l *Live) State(id NodeID) NodeState {
+	var s NodeState
+	l.Engine.Do(func() { s = l.Cluster.State(id) })
+	return s
+}
+
 // Close stops the engine (outstanding timers become no-ops) and
 // releases the cluster's storage resources (file-backed WALs).
 func (l *Live) Close() {

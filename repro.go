@@ -121,6 +121,26 @@ const (
 // RecoverStats reports what a node's engine rebuilt on Cluster.Restart.
 type RecoverStats = storage.RecoverStats
 
+// NodeState is a node's combined membership/failure status (Sim.State,
+// Live.State). The cluster's member set is elastic: Join adds a topology
+// node to the ring through snapshot-streaming bootstrap, Decommission
+// streams a member's ownership out before removing it, and a joining or
+// restarted node passes through a warming window (Config.WarmupDuration)
+// in which read coordinators deprioritize it until it has converged.
+type NodeState = kv.NodeState
+
+// Node states.
+const (
+	StateNotMember      = kv.StateNotMember
+	StateLive           = kv.StateLive
+	StateFailed         = kv.StateFailed
+	StateCrashed        = kv.StateCrashed
+	StateBootstrapping  = kv.StateBootstrapping
+	StateWarming        = kv.StateWarming
+	StateLeaving        = kv.StateLeaving
+	StateDecommissioned = kv.StateDecommissioned
+)
+
 // Topology presets (see internal/netsim).
 var (
 	// EC2TwoAZ builds n VMs across two us-east-1 availability zones.

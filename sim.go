@@ -120,6 +120,24 @@ func (s *Sim) Preload(n uint64, key func(uint64) string, value []byte) {
 	s.Cluster.Preload(n, key, value)
 }
 
+// Join adds topology node id to the cluster: it bootstraps by snapshot
+// streaming the ranges it will own from current members, the placement
+// flips when streaming completes, and the node warms up before read
+// coordinators count it as fully live. Drive the simulation (Run) for
+// the change to make progress.
+func (s *Sim) Join(id NodeID) { s.Cluster.Join(id) }
+
+// Decommission removes member id: it streams its ownership to the new
+// owners, then leaves the ring. Drive the simulation for the change to
+// make progress.
+func (s *Sim) Decommission(id NodeID) { s.Cluster.Decommission(id) }
+
+// Members returns the current ring members.
+func (s *Sim) Members() []NodeID { return s.Cluster.Members() }
+
+// State reports a node's combined membership/failure state.
+func (s *Sim) State(id NodeID) NodeState { return s.Cluster.State(id) }
+
 // Run advances virtual time by d.
 func (s *Sim) Run(d time.Duration) { s.Engine.RunFor(d) }
 
