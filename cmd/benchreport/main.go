@@ -1,13 +1,14 @@
 // Command benchreport runs the simulator's performance suite — the
-// micro-benchmarks of the discrete-event core, the storage engines and
-// the membership layer (ring rebalance, snapshot streaming) plus an
-// end-to-end experiment run — and writes the numbers as JSON so the
-// performance trajectory is tracked in-repo (BENCH_PR4.json). CI runs it
-// on every push and uploads the file as an artifact.
+// micro-benchmarks of the discrete-event core, the storage engines, the
+// membership layer (ring rebalance, snapshot streaming) and the
+// autoscale decision loop, plus an end-to-end experiment run — and
+// writes the numbers as JSON so the performance trajectory is tracked
+// in-repo (BENCH_PR5.json). CI runs it on every push and uploads the
+// file as an artifact.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-o BENCH_PR4.json] [-quick] [-baseline old.json]
+//	go run ./cmd/benchreport [-o BENCH_PR5.json] [-quick] [-baseline old.json]
 //
 // -quick shortens the measurement windows (CI smoke); -baseline embeds a
 // previously captured report under "baseline" so before/after travels in
@@ -22,10 +23,14 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/autoscale"
+	"repro/internal/cost"
 	"repro/internal/experiments"
 	"repro/internal/harmony"
 	"repro/internal/kv"
+	"repro/internal/monitor"
 	"repro/internal/netsim"
+	"repro/internal/provision"
 	"repro/internal/ring"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -261,6 +266,74 @@ func benchSnapshotStream(target time.Duration) Bench {
 	})
 }
 
+// benchStore is an always-settled fixed-size store; the bench feeds a
+// workload whose recommendation equals the current size, so Step runs
+// the full sample → optimize → judge pipeline without enacting.
+type benchStore struct{ members []netsim.NodeID }
+
+func (s *benchStore) Members() []netsim.NodeID            { return s.members }
+func (s *benchStore) State(netsim.NodeID) kv.NodeState    { return kv.StateLive }
+func (s *benchStore) MembershipSettled() bool             { return true }
+func (s *benchStore) TryJoin(netsim.NodeID) error         { return nil }
+func (s *benchStore) TryDecommission(netsim.NodeID) error { return nil }
+
+// benchSampler returns a fixed, fully populated snapshot (top keys and
+// tail included, so the workload distillation is paid too).
+type benchSampler struct{ snap monitor.Snapshot }
+
+func (s *benchSampler) Snapshot() monitor.Snapshot { return s.snap }
+
+type benchClock struct{ now time.Duration }
+
+func (c *benchClock) Now() time.Duration             { return c.now }
+func (c *benchClock) Schedule(time.Duration, func()) {}
+
+// benchAutoscaleDecide measures one autoscale control period: distill
+// the monitor snapshot, run provision.Optimize over the size range and
+// judge hysteresis/cooldown/boundary — the recurring cost of keeping
+// the cost loop closed.
+func benchAutoscaleDecide(target time.Duration) Bench {
+	members := make([]netsim.NodeID, 6)
+	candidates := make([]netsim.NodeID, 16)
+	for i := range candidates {
+		candidates[i] = netsim.NodeID(i)
+	}
+	copy(members, candidates[:6])
+	// 7000 ops/s at this node model recommends exactly 6 nodes — the
+	// current size — so every Step exercises the full pipeline and
+	// holds.
+	snap := monitor.Snapshot{
+		ReadRate:  5600,
+		WriteRate: 1400,
+		TopKeys: []monitor.KeyRate{
+			{Key: "a", ReadShare: 0.2, WriteRate: 80},
+			{Key: "b", ReadShare: 0.1, WriteRate: 40},
+			{Key: "c", ReadShare: 0.05, WriteRate: 20},
+		},
+		TailKeys: 5000, TailReadShr: 0.65, TailWriteRte: 860,
+	}
+	clock := &benchClock{}
+	ctl := autoscale.New(&benchStore{members: members}, &benchSampler{snap: snap}, clock, autoscale.Config{
+		NodeType: provision.NodeType{
+			Name: "bench", HourlyCost: 0.24, Concurrency: 2,
+			ReadServiceMean:  time.Millisecond,
+			WriteServiceMean: time.Millisecond,
+		},
+		Constraints: provision.Constraints{RF: 3, ReadLevel: 1, WriteLevel: 1,
+			MaxStaleRate: 1, FailureBudget: 1},
+		Pricing:    cost.EC2East2013().PerSecond(),
+		Candidates: candidates,
+		Interval:   time.Second,
+		LogLimit:   64,
+	})
+	return measure("AutoscaleDecide", target, func(n uint64) {
+		for i := uint64(0); i < n; i++ {
+			ctl.Step()
+			clock.now += time.Second
+		}
+	})
+}
+
 func runExperiment() Experiment {
 	p := experiments.G5KHarmony().Scaled(benchScale)
 	start := time.Now()
@@ -287,7 +360,7 @@ func runExperiment() Experiment {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR4.json", "output path")
+	out := flag.String("o", "BENCH_PR5.json", "output path")
 	quick := flag.Bool("quick", false, "short measurement windows (CI smoke)")
 	baseline := flag.String("baseline", "", "previously captured report to embed under \"baseline\"")
 	flag.Parse()
@@ -312,6 +385,7 @@ func main() {
 		benchMergeRead(target),
 		benchRingRebalance(target),
 		benchSnapshotStream(target),
+		benchAutoscaleDecide(target),
 	)
 	fmt.Fprintln(os.Stderr, "benchreport: end-to-end experiment...")
 	rep.Experiments = append(rep.Experiments, runExperiment())

@@ -58,7 +58,13 @@ func main() {
 	engine := flag.String("engine", "mem", "storage engine: mem (volatile map) or lsm (WAL + sorted runs)")
 	join := flag.Bool("join", false, "mid-run, a spare node joins the ring (snapshot-streaming bootstrap + warming)")
 	decom := flag.Bool("decommission", false, "mid-run, the highest member streams its ownership out and leaves")
+	autoscaleOn := flag.Bool("autoscale", false, "start at the RF+1 provisioning floor and let the cost-loop controller size the cluster from the observed load")
 	flag.Parse()
+
+	if *autoscaleOn && (*join || *decom) {
+		fmt.Fprintln(os.Stderr, "-autoscale drives membership itself; drop -join/-decommission")
+		os.Exit(2)
+	}
 
 	// An elasticity scenario needs a spare topology node to join.
 	topoNodes := *nodes
@@ -99,6 +105,21 @@ func main() {
 		cfg.WarmupDuration = 2 * time.Second
 		cfg.AntiEntropyInterval = 500 * time.Millisecond
 	}
+	if *autoscaleOn {
+		// Start at the provisioning floor (RF + one tolerated failure)
+		// and let the controller grow into the rest of the topology.
+		memberCount = *rf + 1
+		if memberCount > topo.N() {
+			memberCount = topo.N()
+		}
+		members := make([]repro.NodeID, memberCount)
+		for i := range members {
+			members[i] = repro.NodeID(i)
+		}
+		cfg.InitialMembers = members
+		cfg.WarmupDuration = time.Second
+		cfg.AntiEntropyInterval = 500 * time.Millisecond
+	}
 	if memberCount < *rf {
 		fmt.Fprintf(os.Stderr, "only %d members for RF %d\n", memberCount, *rf)
 		os.Exit(2)
@@ -134,6 +155,45 @@ func main() {
 	} else {
 		fmt.Fprintf(os.Stderr, "bad level %q\n", *level)
 		os.Exit(2)
+	}
+
+	// The cost loop: observed workload → provision.Optimize →
+	// Join/Decommission. The node model mirrors the store's configured
+	// service profile; billing is per-second so scale-down never waits
+	// for an hour boundary inside a short run.
+	var asc *repro.Autoscaler
+	if *autoscaleOn {
+		// Derive a failure budget and read level the replication factor
+		// can actually carry — RF−FailureBudget must cover the level, or
+		// every plan is "level unreachable" and the controller holds
+		// forever.
+		failures := 1
+		if *rf < 2 {
+			failures = 0
+		}
+		readLevel := *rf - failures
+		if readLevel > 2 {
+			readLevel = 2
+		}
+		if readLevel < 1 {
+			readLevel = 1
+		}
+		asc = sim.Autoscale(repro.AutoscaleConfig{
+			NodeType: repro.NodeType{
+				Name:             "sim-node",
+				HourlyCost:       experiments.Pricing().InstanceHour,
+				Concurrency:      cfg.Concurrency,
+				ReadServiceMean:  cfg.ReadService.Mean(),
+				WriteServiceMean: cfg.WriteService.Mean(),
+			},
+			Constraints: repro.ProvisionConstraints{
+				RF: *rf, ReadLevel: readLevel, WriteLevel: 1,
+				MaxStaleRate: 0.10, FailureBudget: failures,
+			},
+			Pricing:  experiments.Pricing().PerSecond(),
+			Interval: 200 * time.Millisecond,
+			Cooldown: time.Second,
+		})
 	}
 
 	// Segment the run around the membership changes: join at ~1/3,
@@ -222,5 +282,23 @@ func main() {
 	fmt.Printf("bill        %s ($%.4f per M ops)\n", bill, bill.Total()/float64(totalOps)*1e6)
 	if ctl != nil {
 		fmt.Printf("adaptive    %d decisions, %d level changes\n", len(ctl.Journal()), ctl.LevelChanges())
+	}
+	if asc != nil {
+		asc.Stop()
+		log := asc.Log()
+		enacted := 0
+		for _, d := range log {
+			if d.Action.Enacted() {
+				enacted++
+			}
+		}
+		fmt.Printf("autoscale   %d control periods, %d enacted, final members %d\n",
+			len(log), enacted, len(sim.Members()))
+		for _, d := range log {
+			if d.Action.Enacted() || d.Action == repro.AutoscaleDeferBoundary {
+				fmt.Printf("  @%-8v %-16s node=%-3d members=%d target=%d  %s\n",
+					d.At.Round(time.Millisecond), d.Action, d.Node, d.Members, d.Target, d.Reason)
+			}
+		}
 	}
 }

@@ -282,3 +282,55 @@ func TestCountLevelClamp(t *testing.T) {
 		t.Error("Count must clamp to ONE")
 	}
 }
+
+// TestSimAutoscale drives sustained load at a cluster sitting at the
+// provisioning floor and checks the facade-level autoscaler grows it,
+// journaling its decisions.
+func TestSimAutoscale(t *testing.T) {
+	topo := repro.SingleDC(6)
+	cfg := repro.Defaults(topo)
+	cfg.Seed = 11
+	cfg.InitialMembers = []repro.NodeID{0, 1, 2, 3}
+	cfg.WarmupDuration = 200 * time.Millisecond
+	cfg.AntiEntropyInterval = 500 * time.Millisecond
+	s := repro.NewSim(topo, cfg)
+
+	asc := s.Autoscale(repro.AutoscaleConfig{
+		// A deliberately small node model: the observed load (smeared
+		// over the monitor's 10 s default window) still exceeds what the
+		// model says the floor can carry, so the controller must grow.
+		NodeType: repro.NodeType{
+			Name: "sim", HourlyCost: 0.24, Concurrency: 1,
+			ReadServiceMean:  2 * time.Millisecond,
+			WriteServiceMean: 2 * time.Millisecond,
+		},
+		Constraints: repro.ProvisionConstraints{
+			RF: 3, ReadLevel: 1, WriteLevel: 1, MaxStaleRate: 1, FailureBudget: 1,
+		},
+		Pricing:  repro.EC2Pricing2013().PerSecond(),
+		Interval: 100 * time.Millisecond,
+		Cooldown: 400 * time.Millisecond,
+	})
+	cli := s.StaticClient(repro.One, repro.One)
+	if _, err := cli.Run(repro.WorkloadB(500), repro.RunOptions{Ops: 40_000, Threads: 64}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2 * time.Second)
+	asc.Stop()
+
+	if len(asc.Log()) == 0 {
+		t.Fatal("no autoscale decisions journaled")
+	}
+	joined := false
+	for _, d := range asc.Log() {
+		if d.Action == repro.AutoscaleJoin {
+			joined = true
+		}
+	}
+	if !joined {
+		t.Fatalf("sustained load at the floor never scaled up; members=%d", len(s.Members()))
+	}
+	if got := len(s.Members()); got <= 4 {
+		t.Fatalf("members = %d after autoscaling, want > 4", got)
+	}
+}

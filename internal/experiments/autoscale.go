@@ -1,0 +1,423 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/harmony"
+	"repro/internal/kv"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+	"repro/internal/provision"
+	"repro/internal/sim"
+	"repro/internal/ycsb"
+)
+
+// The autoscale study (PR 5): does closing the cost loop — the
+// provisioning optimizer *enacting* Join/Decommission instead of only
+// recommending sizes — actually save money without blowing the
+// staleness budget? Three deployments run the phased Bismar workload
+// (BismarPhases: quiet → busy → peak → evening, with the offered load
+// varying per phase) under a Harmony controller (α=10%):
+//
+//	static-min   — fixed at the floor RF+FailureBudget: cheapest
+//	               possible, saturates at peak;
+//	static-peak  — fixed at the size the peak needs: never saturates,
+//	               pays for idle capacity all day;
+//	autoscale    — starts at the floor; the internal/autoscale
+//	               controller samples the monitor, runs
+//	               provision.Optimize and enacts the recommendation
+//	               one membership change at a time.
+//
+// Per phase the study reports member count, throughput, oracle
+// stale-read rate, Harmony's time-weighted read level, node-seconds and
+// the phase bill; per variant it reports the total bill under
+// granularity-aware instance billing plus the controller's decision
+// log. The pinned headline: the autoscaled run bills less than
+// static-peak while keeping its stale rate within the constraint.
+
+// autoscaleAlpha is the Harmony stale tolerance and the provisioning
+// staleness constraint of the study.
+const autoscaleAlpha = 0.10
+
+// autoscaleVariant describes one deployment.
+type autoscaleVariant struct {
+	Name string
+	Size int // initial member count
+	Auto bool
+}
+
+// AutoscalePhase is one phase's measurement.
+type AutoscalePhase struct {
+	Name        string
+	Members     int // at phase end
+	Ops         uint64
+	Throughput  float64
+	StaleRate   float64
+	AvgReadK    float64
+	NodeSeconds float64
+	Bill        cost.Bill // exact node-time integral + storage + billed traffic
+	Changes     int       // membership changes enacted during the phase
+}
+
+// AutoscaleOutcome is one variant's full measurement.
+type AutoscaleOutcome struct {
+	Variant       string
+	Phases        []AutoscalePhase
+	Decisions     []autoscale.Decision // empty for the static variants
+	TotalBill     cost.Bill            // instances billed in whole granularity units per lease
+	StaleRate     float64              // aggregate oracle stale fraction
+	Joins         uint64
+	Decommissions uint64
+	Usage         kv.Usage
+}
+
+// AutoscaleResult carries the study's outcomes plus the rendered table.
+type AutoscaleResult struct {
+	Outcomes []AutoscaleOutcome
+	Table    *Table
+}
+
+// autoscaleThreadFrac scales the platform's client pressure per Bismar
+// phase: the offered load — not just the mix — varies over the
+// application's day, which is what makes elasticity worth money.
+var autoscaleThreadFrac = []float64{0.15, 0.5, 1.0, 0.18}
+
+// RunAutoscale runs the study on platform p: the topology is the
+// scale-up ceiling, RF+1 the floor. The three variants fan out over the
+// parallel driver.
+func RunAutoscale(p Platform, seed uint64) *AutoscaleResult {
+	floor := p.RF + 1 // FailureBudget 1 throughout the study
+	variants := []autoscaleVariant{
+		{Name: "static-min", Size: floor},
+		{Name: "static-peak", Size: p.Nodes},
+		{Name: "autoscale", Size: floor, Auto: true},
+	}
+	outcomes := parallelMap(variants, func(v autoscaleVariant) AutoscaleOutcome {
+		return runAutoscaleVariant(p, v, seed)
+	})
+
+	t := NewTable(fmt.Sprintf("Autoscale (PR 5): closing the cost loop — {static-%d, static-%d, autoscale %d..%d} "+
+		"across the phased Bismar workload — %s", floor, p.Nodes, floor, p.Nodes, p.Name),
+		"variant", "phase", "members", "ops", "throughput(op/s)", "stale", "avg read k", "node·s", "bill")
+	for _, out := range outcomes {
+		for _, ph := range out.Phases {
+			t.Add(out.Variant, ph.Name, fmt.Sprintf("%d", ph.Members),
+				fmt.Sprintf("%d", ph.Ops), fmt.Sprintf("%.0f", ph.Throughput),
+				pct(ph.StaleRate), fmt.Sprintf("%.2f", ph.AvgReadK),
+				fmt.Sprintf("%.1f", ph.NodeSeconds), fmt.Sprintf("$%.4f", ph.Bill.Total()))
+		}
+		t.Note("%s: total bill %s (granularity-aware instance billing), stale %s, %d joins / %d decommissions",
+			out.Variant, out.TotalBill, pct(out.StaleRate), out.Joins, out.Decommissions)
+	}
+	if auto := outcomes[2]; len(auto.Decisions) > 0 {
+		enacted := 0
+		for _, d := range auto.Decisions {
+			if d.Action.Enacted() {
+				enacted++
+				t.Note("decision @%v: %s node %d (members %d → target %d)",
+					d.At.Round(time.Millisecond), d.Action, d.Node, d.Members, d.Target)
+			}
+		}
+		t.Note("autoscale controller: %d control periods, %d enacted; stale constraint α=%s",
+			len(auto.Decisions), enacted, pct(autoscaleAlpha))
+	}
+	return &AutoscaleResult{Outcomes: outcomes, Table: t}
+}
+
+// autoscalePhaseRaw is the in-run measurement of one phase, billed
+// after the decision log is complete.
+type autoscalePhaseRaw struct {
+	name       string
+	start, end time.Duration
+	ops        uint64
+	stale      float64
+	readK      float64
+	members    int
+	dcBytes    uint64
+	regBytes   uint64
+}
+
+// runAutoscaleVariant drives the four phases over one cluster, one
+// Harmony controller and (for the autoscale variant) one autoscale
+// controller.
+func runAutoscaleVariant(p Platform, v autoscaleVariant, seed uint64) AutoscaleOutcome {
+	if seed == 0 {
+		seed = 1
+	}
+	cfg := p.Config(seed)
+	initial := make([]netsim.NodeID, v.Size)
+	for i := range initial {
+		initial[i] = netsim.NodeID(i)
+	}
+	cfg.InitialMembers = initial
+	cfg.WarmupDuration = 300 * time.Millisecond
+	cfg.AntiEntropyInterval = 500 * time.Millisecond
+	cfg.AntiEntropySample = 1024
+	cfg.HintReplayInterval = 250 * time.Millisecond
+	cfg.DetectionDelay = 500 * time.Millisecond
+
+	eng := sim.New(seed)
+	topo := p.Build()
+	tr := netsim.NewTransport(eng, topo)
+	cl := kv.New(topo, tr, cfg)
+	// Short monitoring window so the controller sees phase shifts at
+	// test scale.
+	mon := monitor.New(cl.RF(), tr, monitor.Options{
+		Window: time.Second, Slots: 10, RankAlpha: 0.2, TopKeys: 64, LatencyWindowOps: 50_000,
+	})
+	cl.AddHooks(mon.Hooks())
+	ctl := core.NewController(mon, harmony.New(autoscaleAlpha, cl.RF()), tr, 100*time.Millisecond)
+
+	granular := Pricing()
+	granular.BillingGranularity = time.Second // billed units at simulation scale
+
+	var asc *autoscale.Controller
+	if v.Auto {
+		asc = autoscale.New(cl, mon, tr, autoscale.Config{
+			NodeType: provision.NodeType{
+				Name:             "sim-node",
+				HourlyCost:       granular.InstanceHour,
+				Concurrency:      p.Concurrency,
+				ReadServiceMean:  p.ReadService.Mean(),
+				WriteServiceMean: p.WriteService.Mean(),
+			},
+			Constraints: provision.Constraints{
+				RF: p.RF, ReadLevel: 2, WriteLevel: 1,
+				MaxStaleRate: autoscaleAlpha, FailureBudget: 1,
+			},
+			Pricing:     granular,
+			Candidates:  topo.Nodes(),
+			Interval:    150 * time.Millisecond,
+			Cooldown:    900 * time.Millisecond,
+			UpStreak:    2,
+			DownStreak:  4,
+			Headroom:    0.15,
+			MaxNodes:    p.Nodes,
+			BaseLatency: topo.MeanLatency(0, netsim.NodeID(topo.N()-1)),
+		})
+	}
+
+	phases := BismarPhases(p, 1)
+	var maxRecords uint64
+	for _, ph := range phases {
+		if ph.Workload.RecordCount > maxRecords {
+			maxRecords = ph.Workload.RecordCount
+		}
+	}
+	loader, err := ycsb.NewRunner(kv.StaticSession{Cluster: cl, ReadLevel: kv.One, WriteLevel: kv.One},
+		ycsb.HeavyReadUpdate(maxRecords), tr, seed)
+	if err != nil {
+		panic(err)
+	}
+	cl.Preload(maxRecords, loader.Keys, loader.Value())
+	ctl.Start()
+	if asc != nil {
+		asc.Start()
+	}
+
+	out := AutoscaleOutcome{Variant: v.Name}
+	lastStale, lastFresh, _ := cl.Oracle().Counts()
+	var lastDC, lastRegion uint64
+	var raws []autoscalePhaseRaw
+
+	for i, ph := range phases {
+		w := ph.Workload
+		w.ValueSize = p.ValueBytes
+		threads := int(float64(p.Threads) * autoscaleThreadFrac[i%len(autoscaleThreadFrac)])
+		if threads < 8 {
+			threads = 8
+		}
+		r, err := ycsb.NewRunner(ctl.Session(cl), w, tr, seed+uint64(i+1)*1000)
+		if err != nil {
+			panic(err)
+		}
+		r.OpCount = ph.Ops
+		r.Threads = threads
+		start := eng.Now()
+		r.Start()
+		for !r.Finished() && eng.Step() {
+		}
+		if !r.Finished() {
+			panic(fmt.Sprintf("experiments: autoscale phase %q stalled", ph.Name))
+		}
+		end := eng.Now()
+		stale, fresh, failed := cl.Oracle().Counts()
+		judged := (stale - lastStale) + (fresh - lastFresh)
+		m := tr.Meter()
+		dc, region := m.BilledBytes()
+		raw := autoscalePhaseRaw{
+			name:     ph.Name,
+			start:    start,
+			end:      end,
+			ops:      r.Metrics().Ops,
+			readK:    avgReadKWindow(ctl.Journal(), start, end, cl.RF()),
+			members:  len(cl.Members()),
+			dcBytes:  dc - lastDC,
+			regBytes: region - lastRegion,
+		}
+		if judged > 0 {
+			raw.stale = float64(stale-lastStale) / float64(judged)
+		}
+		lastStale, lastFresh = stale, fresh
+		lastDC, lastRegion = dc, region
+		_ = failed
+		raws = append(raws, raw)
+	}
+	// Drain in-flight repair and membership work, then stop the loops.
+	eng.RunFor(2 * time.Second)
+	ctl.Stop()
+	if asc != nil {
+		asc.Stop()
+		out.Decisions = asc.Log()
+	}
+	endTime := eng.Now()
+
+	// Node-time accounting: initial members lease from time zero; every
+	// enacted decision opens or closes a lease at its timestamp.
+	tl := newNodeTimeline(initial, out.Decisions, endTime)
+	smooth := Pricing().Smooth()
+	for _, raw := range raws {
+		ns := tl.nodeSeconds(raw.start, raw.end)
+		ph := AutoscalePhase{
+			Name:        raw.name,
+			Members:     raw.members,
+			Ops:         raw.ops,
+			StaleRate:   raw.stale,
+			AvgReadK:    raw.readK,
+			NodeSeconds: ns,
+			Changes:     tl.changesIn(raw.start, raw.end),
+		}
+		if d := raw.end - raw.start; d > 0 {
+			ph.Throughput = float64(raw.ops) / d.Seconds()
+		}
+		// Instance cost over the exact node-time integral, plus storage
+		// and the phase's billed traffic.
+		ph.Bill = smooth.BillFor(cost.Usage{
+			Nodes:            1,
+			Duration:         time.Duration(ns * float64(time.Second)),
+			StoredBytes:      float64(cl.Usage().StoredBytes),
+			InterDCBytes:     float64(raw.dcBytes),
+			InterRegionBytes: float64(raw.regBytes),
+		})
+		// BillFor prorates storage by the usage duration; re-prorate to
+		// the phase duration instead of the node-time integral.
+		ph.Bill.Storage = (float64(cl.Usage().StoredBytes) / cost.GB) * smooth.StorageGBMonth *
+			((raw.end - raw.start).Hours() / cost.HoursPerMonth)
+		out.Phases = append(out.Phases, ph)
+	}
+
+	// Total bill: every lease billed in whole granularity units — the
+	// 2013-cloud convention the controller's boundary-aware scale-down
+	// respects.
+	finalMeter := tr.Meter()
+	totalDC, totalRegion := finalMeter.BilledBytes()
+	out.TotalBill = cost.Bill{
+		Instances: tl.granularInstanceCost(granular),
+		Storage: (float64(cl.Usage().StoredBytes) / cost.GB) * granular.StorageGBMonth *
+			(endTime.Hours() / cost.HoursPerMonth),
+		Network: (float64(totalDC)/cost.GB)*granular.InterDCPerGB +
+			(float64(totalRegion)/cost.GB)*granular.InterRegionPerGB,
+	}
+	stale, fresh, _ := cl.Oracle().Counts()
+	if judged := stale + fresh; judged > 0 {
+		out.StaleRate = float64(stale) / float64(judged)
+	}
+	u := cl.Usage()
+	out.Joins, out.Decommissions = u.Joins, u.Decommissions
+	out.Usage = u
+	return out
+}
+
+// nodeTimeline tracks cluster size over time as a step function plus
+// the per-node leases, both derived from the initial member set and the
+// enacted autoscale decisions.
+type nodeTimeline struct {
+	times  []time.Duration
+	counts []int
+	leases [][2]time.Duration // [from, to)
+}
+
+func newNodeTimeline(initial []netsim.NodeID, decisions []autoscale.Decision, end time.Duration) *nodeTimeline {
+	tl := &nodeTimeline{times: []time.Duration{0}, counts: []int{len(initial)}}
+	open := make(map[netsim.NodeID]time.Duration, len(initial))
+	for _, id := range initial {
+		open[id] = 0
+	}
+	cur := len(initial)
+	for _, d := range decisions {
+		switch d.Action {
+		case autoscale.ActionJoin:
+			cur++
+			open[d.Node] = d.At
+		case autoscale.ActionDecommission:
+			cur--
+			tl.leases = append(tl.leases, [2]time.Duration{open[d.Node], d.At})
+			delete(open, d.Node)
+		default:
+			continue
+		}
+		tl.times = append(tl.times, d.At)
+		tl.counts = append(tl.counts, cur)
+	}
+	for _, from := range open {
+		tl.leases = append(tl.leases, [2]time.Duration{from, end})
+	}
+	return tl
+}
+
+// nodeSeconds integrates cluster size over [start, end).
+func (tl *nodeTimeline) nodeSeconds(start, end time.Duration) float64 {
+	var total float64
+	for i := range tl.times {
+		segStart := tl.times[i]
+		segEnd := end
+		if i+1 < len(tl.times) {
+			segEnd = tl.times[i+1]
+		}
+		if segStart < start {
+			segStart = start
+		}
+		if segEnd > end {
+			segEnd = end
+		}
+		if segEnd > segStart {
+			total += float64(tl.counts[i]) * (segEnd - segStart).Seconds()
+		}
+	}
+	return total
+}
+
+// changesIn counts membership changes inside [start, end).
+func (tl *nodeTimeline) changesIn(start, end time.Duration) int {
+	n := 0
+	for _, at := range tl.times[1:] {
+		if at >= start && at < end {
+			n++
+		}
+	}
+	return n
+}
+
+// granularInstanceCost bills every lease in whole BillingGranularity
+// units, the per-node equivalent of cost.Pricing.BillFor.
+func (tl *nodeTimeline) granularInstanceCost(p cost.Pricing) float64 {
+	g := p.BillingGranularity
+	if g <= 0 {
+		g = time.Hour
+	}
+	var total float64
+	for _, l := range tl.leases {
+		dur := l[1] - l[0]
+		if dur <= 0 {
+			continue
+		}
+		units := math.Ceil(float64(dur) / float64(g))
+		total += units * p.InstanceHour * (float64(g) / float64(time.Hour))
+	}
+	return total
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/autoscale"
+	"repro/internal/netsim"
+)
+
+// autoscaleTestPlatform is an 8-node ceiling with a 4-node floor at
+// test scale; the phased thread fractions swing the offered load
+// between "fits the floor" and "needs the ceiling".
+func autoscaleTestPlatform() Platform {
+	p := Platform{
+		Name:       "g5k-autoscale-test",
+		Build:      func() *netsim.Topology { return netsim.G5KTwoSites(8) },
+		Nodes:      8,
+		RF:         3,
+		Threads:    112,
+		Records:    2_000,
+		Ops:        16_000,
+		ValueBytes: 256,
+	}
+	g5kProfile(&p)
+	return p
+}
+
+func TestAutoscaleStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := RunAutoscale(autoscaleTestPlatform(), 1)
+	if len(res.Outcomes) != 3 {
+		t.Fatalf("outcomes = %d", len(res.Outcomes))
+	}
+	byName := map[string]AutoscaleOutcome{}
+	for _, out := range res.Outcomes {
+		byName[out.Variant] = out
+		if len(out.Phases) != 4 {
+			t.Fatalf("%s: %d phases, want 4", out.Variant, len(out.Phases))
+		}
+	}
+	if len(res.Table.Rows) != 3*4 {
+		t.Fatalf("rows = %d, want 3 variants × 4 phases", len(res.Table.Rows))
+	}
+	min, peak, auto := byName["static-min"], byName["static-peak"], byName["autoscale"]
+
+	// Static deployments must not change membership.
+	if min.Joins+min.Decommissions+peak.Joins+peak.Decommissions != 0 {
+		t.Fatalf("static variants changed membership: min %d/%d peak %d/%d",
+			min.Joins, min.Decommissions, peak.Joins, peak.Decommissions)
+	}
+	// The controller must have both grown the cluster for the peak and
+	// shrunk it again when the load receded.
+	if auto.Joins == 0 {
+		t.Error("autoscale never scaled up")
+	}
+	if auto.Decommissions == 0 {
+		t.Error("autoscale never scaled down")
+	}
+	peakMembers := 0
+	for _, ph := range auto.Phases {
+		if ph.Members > peakMembers {
+			peakMembers = ph.Members
+		}
+	}
+	if peakMembers <= 4 {
+		t.Errorf("autoscale peak membership = %d, never left the floor", peakMembers)
+	}
+
+	// The pinned headline relations (deterministic seed):
+	// 1. the autoscaled run bills less than static-peak — elasticity
+	//    converts idle capacity into money;
+	if a, p := auto.TotalBill.Total(), peak.TotalBill.Total(); a >= p {
+		t.Errorf("autoscale bill $%.4f ≥ static-peak $%.4f", a, p)
+	}
+	// 2. while keeping the stale rate within the study's constraint
+	//    (α=10%, the same bound Harmony and the provisioning
+	//    constraints enforce).
+	if auto.StaleRate > autoscaleAlpha {
+		t.Errorf("autoscale stale rate %.4f above the α=%.2f constraint", auto.StaleRate, autoscaleAlpha)
+	}
+	// 3. and cheaper-than-peak must not come from undershooting work:
+	//    every variant ran the same phase operation counts.
+	for i := range auto.Phases {
+		if auto.Phases[i].Ops != peak.Phases[i].Ops {
+			t.Errorf("phase %d ops differ: autoscale %d vs static-peak %d",
+				i, auto.Phases[i].Ops, peak.Phases[i].Ops)
+		}
+	}
+
+	// Node-time sanity: autoscale spent less node-time than static-peak
+	// and at least the floor's worth.
+	nodeSeconds := func(o AutoscaleOutcome) (s float64) {
+		for _, ph := range o.Phases {
+			s += ph.NodeSeconds
+		}
+		return s
+	}
+	if a, p := nodeSeconds(auto), nodeSeconds(peak); a >= p {
+		t.Errorf("autoscale node·s %.1f ≥ static-peak %.1f", a, p)
+	}
+}
+
+// TestAutoscaleDeterministic pins the controller end to end: the same
+// seed must reproduce the identical decision log.
+func TestAutoscaleDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := autoscaleTestPlatform()
+	format := func(ds []autoscale.Decision) []string {
+		var lines []string
+		for _, d := range ds {
+			lines = append(lines, d.String())
+		}
+		return lines
+	}
+	a := format(runAutoscaleVariant(p, autoscaleVariant{Name: "autoscale", Size: 4, Auto: true}, 1).Decisions)
+	b := format(runAutoscaleVariant(p, autoscaleVariant{Name: "autoscale", Size: 4, Auto: true}, 1).Decisions)
+	if len(a) == 0 {
+		t.Fatal("no decisions logged")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("decision logs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision logs diverge at %d:\n  a: %s\n  b: %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAutoscaleRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var b strings.Builder
+	RunAutoscale(autoscaleTestPlatform(), 7).Table.Render(&b)
+	s := b.String()
+	for _, want := range []string{"static-min", "static-peak", "autoscale", "peak/update-heavy", "total bill"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render missing %q:\n%s", want, s)
+		}
+	}
+}

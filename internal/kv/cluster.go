@@ -197,12 +197,13 @@ type Cluster struct {
 	// Elastic membership: at most one Join/Decommission is in flight at
 	// a time; warming holds the replicas read coordinators deprioritize
 	// until their post-join/post-restart catch-up window elapses.
-	pending       *membershipChange
-	membershipGen uint64
-	warming       map[netsim.NodeID]bool
-	joins         uint64
-	decommissions uint64
-	retired       Usage // meters of node incarnations replaced by a rejoin
+	pending         *membershipChange
+	membershipGen   uint64
+	membershipQueue []queuedChange
+	warming         map[netsim.NodeID]bool
+	joins           uint64
+	decommissions   uint64
+	retired         Usage // meters of node incarnations replaced by a rejoin
 
 	seq     uint64
 	nextID  reqID

@@ -145,18 +145,32 @@ func (c *Cluster) State(id netsim.NodeID) NodeState {
 // placement flip and the node enter warming (see the package comment
 // above). A node that was decommissioned earlier rejoins as a fresh
 // empty machine. Joining a current member, a node outside the topology,
-// or while another membership change is in flight panics.
+// or while another membership change is in flight panics; TryJoin is
+// the non-panicking, queueing variant automation should drive.
 func (c *Cluster) Join(id netsim.NodeID) {
-	if id < 0 || int(id) >= c.topo.N() {
-		panic(fmt.Sprintf("kv: Join(%d) outside topology (N=%d)", id, c.topo.N()))
+	if err := c.validateJoin(id); err != nil {
+		panic("kv: " + err.Error())
 	}
 	if c.pending != nil {
 		panic(fmt.Sprintf("kv: Join(%d) while a membership change is in flight", id))
 	}
+	c.startJoin(id)
+}
+
+// validateJoin reports why a Join cannot be issued, or nil.
+func (c *Cluster) validateJoin(id netsim.NodeID) error {
+	if id < 0 || int(id) >= c.topo.N() {
+		return fmt.Errorf("Join(%d) outside topology (N=%d)", id, c.topo.N())
+	}
+	if old, ok := c.nodes[id]; ok && old.phase != phaseDecommissioned {
+		return fmt.Errorf("Join(%d): already a member (%v)", id, c.State(id))
+	}
+	return nil
+}
+
+// startJoin begins a validated join while no other change is in flight.
+func (c *Cluster) startJoin(id netsim.NodeID) {
 	if old, ok := c.nodes[id]; ok {
-		if old.phase != phaseDecommissioned {
-			panic(fmt.Sprintf("kv: Join(%d): already a member (%v)", id, c.State(id)))
-		}
 		// The rejoin replaces the actor: bank the retiring incarnation's
 		// meters so Usage keeps billing the work it did, and release its
 		// WAL file, if any.
@@ -208,7 +222,9 @@ func (c *Cluster) Join(id netsim.NodeID) {
 // post-removal placement; once the targets acknowledge, the placement
 // flips and the node leaves the ring (its actor drains in-flight work
 // but coordinates nothing new). Decommissioning below the replication
-// factor, a non-live node, or during another membership change panics.
+// factor, a non-live node, or during another membership change panics;
+// TryDecommission is the non-panicking, queueing variant automation
+// should drive.
 func (c *Cluster) Decommission(id netsim.NodeID) {
 	if c.pending != nil {
 		panic(fmt.Sprintf("kv: Decommission(%d) while a membership change is in flight", id))
@@ -217,6 +233,48 @@ func (c *Cluster) Decommission(id netsim.NodeID) {
 	if n.phase != phaseLive {
 		panic(fmt.Sprintf("kv: Decommission(%d) on a %v node; wait for it to settle", id, c.State(id)))
 	}
+	c.startDecommission(id)
+}
+
+// validateDecommission reports why a Decommission cannot be issued, or
+// nil. It mirrors Decommission's panic conditions plus the
+// under-replication guard buildStrategy would otherwise panic on.
+func (c *Cluster) validateDecommission(id netsim.NodeID) error {
+	n, ok := c.nodes[id]
+	switch {
+	case !ok || n.phase == phaseDecommissioned || n.phase == phaseBootstrapping:
+		return fmt.Errorf("Decommission(%d): not a member", id)
+	case n.failed:
+		return fmt.Errorf("Decommission(%d): node is failed; Recover it first", id)
+	case n.crashed:
+		return fmt.Errorf("Decommission(%d): node is crashed; Restart it first", id)
+	case n.phase != phaseLive:
+		return fmt.Errorf("Decommission(%d): node is %v; wait for it to settle", id, c.State(id))
+	}
+	if len(c.order)-1 < c.strategy.RF() {
+		return fmt.Errorf("Decommission(%d): %d survivors cannot carry RF %d",
+			id, len(c.order)-1, c.strategy.RF())
+	}
+	if len(c.cfg.PerDC) > 0 {
+		dc := c.topo.DCOf(id)
+		left := 0
+		for _, m := range c.order {
+			if m != id && c.topo.DCOf(m) == dc {
+				left++
+			}
+		}
+		if left < c.cfg.PerDC[dc] {
+			return fmt.Errorf("Decommission(%d): DC %s would drop to %d members below its replication count %d",
+				id, dc, left, c.cfg.PerDC[dc])
+		}
+	}
+	return nil
+}
+
+// startDecommission begins a validated decommission while no other
+// change is in flight.
+func (c *Cluster) startDecommission(id netsim.NodeID) {
+	n := c.nodes[id]
 	rest := make([]netsim.NodeID, 0, len(c.order)-1)
 	for _, m := range c.order {
 		if m != id {
@@ -231,6 +289,112 @@ func (c *Cluster) Decommission(id netsim.NodeID) {
 	n.phase = phaseLeaving
 	c.armMembershipGuard(c.pending)
 	n.startDecommissionStream()
+}
+
+// A membership change issued while another is still in flight must not
+// race the placement flip. Join/Decommission keep the loud contract —
+// they panic — while TryJoin/TryDecommission queue the request
+// deterministically: FIFO, at most one queued change per node, drained
+// one at a time once the cluster settles (previous change flipped and
+// every warming window elapsed). Queued requests are re-validated at
+// drain time; a request the intervening changes made invalid (its node
+// crashed, left, or would under-replicate a DC) is dropped.
+
+// queuedChange is one deferred TryJoin/TryDecommission request.
+type queuedChange struct {
+	join bool
+	id   netsim.NodeID
+}
+
+// MembershipSettled reports whether the cluster is quiescent membership-
+// wise: no Join/Decommission in flight, none queued, and no node still
+// inside its post-join/post-restart warming window. Controllers pace
+// one change at a time on this.
+func (c *Cluster) MembershipSettled() bool {
+	return c.pending == nil && len(c.membershipQueue) == 0 && len(c.warming) == 0
+}
+
+// membershipIdle is MembershipSettled without the queue: the drain may
+// run exactly when it holds.
+func (c *Cluster) membershipIdle() bool {
+	return c.pending == nil && len(c.warming) == 0
+}
+
+// TryJoin is Join without panics: an invalid request returns an error,
+// and a valid one arriving while the cluster is unsettled is queued
+// (see queuedChange above). Returning nil means the join was started or
+// deterministically queued.
+func (c *Cluster) TryJoin(id netsim.NodeID) error {
+	if err := c.validateJoin(id); err != nil {
+		return err
+	}
+	if c.queuedChangeFor(id) {
+		return fmt.Errorf("Join(%d): a change for the node is already queued", id)
+	}
+	if !c.MembershipSettled() {
+		c.membershipQueue = append(c.membershipQueue, queuedChange{join: true, id: id})
+		return nil
+	}
+	c.startJoin(id)
+	return nil
+}
+
+// TryDecommission is Decommission without panics, queueing like TryJoin.
+func (c *Cluster) TryDecommission(id netsim.NodeID) error {
+	if err := c.validateDecommission(id); err != nil {
+		return err
+	}
+	if c.queuedChangeFor(id) {
+		return fmt.Errorf("Decommission(%d): a change for the node is already queued", id)
+	}
+	if !c.MembershipSettled() {
+		c.membershipQueue = append(c.membershipQueue, queuedChange{join: false, id: id})
+		return nil
+	}
+	c.startDecommission(id)
+	return nil
+}
+
+func (c *Cluster) queuedChangeFor(id netsim.NodeID) bool {
+	for _, q := range c.membershipQueue {
+		if q.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// drainMembershipQueue schedules the next queued change once the
+// cluster is idle. The zero-delay event (rather than a direct call)
+// keeps the start out of the flip/warmup handlers that trigger it, so
+// queued changes interleave with other same-time events exactly like
+// fresh Join/Decommission calls would.
+func (c *Cluster) drainMembershipQueue() {
+	if len(c.membershipQueue) == 0 || !c.membershipIdle() {
+		return
+	}
+	c.net.Schedule(0, c.runQueuedChange)
+}
+
+// runQueuedChange pops queued requests until one starts (dropping the
+// ones the intervening changes invalidated) or the queue empties.
+func (c *Cluster) runQueuedChange() {
+	if !c.membershipIdle() {
+		return // a fresh change beat the drain event; its finish re-drains
+	}
+	for len(c.membershipQueue) > 0 {
+		q := c.membershipQueue[0]
+		c.membershipQueue = c.membershipQueue[1:]
+		if q.join {
+			if c.validateJoin(q.id) == nil {
+				c.startJoin(q.id)
+				return
+			}
+		} else if c.validateDecommission(q.id) == nil {
+			c.startDecommission(q.id)
+			return
+		}
+	}
 }
 
 // armMembershipGuard forces the flip if streaming wedges (a stream peer
@@ -272,6 +436,8 @@ func (c *Cluster) finishJoin(id netsim.NodeID) {
 	c.markWarming(id)
 	n.scheduleAE()
 	n.scheduleHintTick()
+	// With warming enabled the window's expiry drains instead.
+	c.drainMembershipQueue()
 }
 
 // finishDecommission flips the placement: the leaver's vnodes come off
@@ -290,6 +456,7 @@ func (c *Cluster) finishDecommission(id netsim.NodeID) {
 	n.phase = phaseDecommissioned
 	n.decomPending = 0
 	delete(c.warming, id)
+	c.drainMembershipQueue()
 }
 
 // markWarming puts id into the warming window: it serves writes but read
@@ -315,6 +482,7 @@ func (c *Cluster) markWarming(id netsim.NodeID) {
 		if n.epoch == epoch && n.phase == phaseWarming {
 			delete(c.warming, id)
 			n.phase = phaseLive
+			c.drainMembershipQueue()
 		}
 	})
 }

@@ -5,8 +5,12 @@
 // produces the Snapshot the adaptive consistency modules consume.
 //
 // The monitor sees only client-observable signals (request streams and
-// coordinator-side acknowledgement timings), never the staleness oracle's
-// ground truth.
+// coordinator-side acknowledgement timings); the consistency tuners
+// never consume the staleness oracle's ground truth. The one exception
+// is Snapshot.ObservedStaleRate, which counts the per-result staleness
+// verdicts as a stand-in for the client-side staleness probes a real
+// deployment would run — it feeds the autoscale controller's constraint
+// check, not the tuners' estimators.
 package monitor
 
 import (
@@ -60,6 +64,13 @@ type Monitor struct {
 	readRate  *stats.RateEstimator
 	writeRate *stats.RateEstimator
 
+	// Windowed staleness feedback: completed reads and how many of them
+	// returned a stale value (the verdict rides on completed results as
+	// measurement infrastructure; a real deployment would wire
+	// client-side staleness probes into the same counters).
+	doneReads  *stats.RateEstimator
+	staleReads *stats.RateEstimator
+
 	rankEWMA []stats.EWMA // ack delay until the i-th replica, i=1..RF
 
 	readLat  stats.Histogram
@@ -79,15 +90,17 @@ func New(rf int, clock Clock, opts Options) *Monitor {
 		opts = DefaultOptions()
 	}
 	m := &Monitor{
-		clock:     clock,
-		opts:      opts,
-		rf:        rf,
-		readRate:  stats.NewRateEstimator(opts.Window, opts.Slots),
-		writeRate: stats.NewRateEstimator(opts.Window, opts.Slots),
-		rankEWMA:  make([]stats.EWMA, rf),
-		writeKeys: stats.NewHeavyHitters(opts.TopKeys),
-		readKeys:  stats.NewHeavyHitters(opts.TopKeys),
-		distinct:  stats.NewDistinctCounter(16),
+		clock:      clock,
+		opts:       opts,
+		rf:         rf,
+		readRate:   stats.NewRateEstimator(opts.Window, opts.Slots),
+		writeRate:  stats.NewRateEstimator(opts.Window, opts.Slots),
+		doneReads:  stats.NewRateEstimator(opts.Window, opts.Slots),
+		staleReads: stats.NewRateEstimator(opts.Window, opts.Slots),
+		rankEWMA:   make([]stats.EWMA, rf),
+		writeKeys:  stats.NewHeavyHitters(opts.TopKeys),
+		readKeys:   stats.NewHeavyHitters(opts.TopKeys),
+		distinct:   stats.NewDistinctCounter(16),
 	}
 	for i := range m.rankEWMA {
 		m.rankEWMA[i].Alpha = opts.RankAlpha
@@ -104,9 +117,13 @@ func (m *Monitor) Hooks() *kv.Hooks {
 			m.readKeys.Observe(key)
 			m.distinct.Observe(key)
 		},
-		ReadCompleted: func(_ time.Duration, res kv.ReadResult) {
+		ReadCompleted: func(now time.Duration, res kv.ReadResult) {
 			if res.Err == nil {
 				m.readLat.Record(res.Latency)
+				m.doneReads.Add(now, 1)
+				if res.Stale {
+					m.staleReads.Add(now, 1)
+				}
 			}
 		},
 		WriteStarted: func(now time.Duration, key string, _ storage.Version, _ int) {
@@ -151,6 +168,12 @@ type Snapshot struct {
 	ReadLatencyP95   time.Duration
 	WriteLatencyMean time.Duration
 
+	// ObservedStaleRate is the fraction of reads completed inside the
+	// window that returned a stale value — the measured feedback signal
+	// the autoscale controller checks provisioning constraints against
+	// (tuners keep using the model-based estimators).
+	ObservedStaleRate float64
+
 	// Access profile for the per-key refinement.
 	TopKeys      []KeyRate
 	TailKeys     float64 // estimated distinct keys outside TopKeys
@@ -182,6 +205,9 @@ func (m *Monitor) Snapshot() Snapshot {
 		WriteLatencyMean: m.writeLat.Mean(),
 		Reads:            m.reads,
 		Writes:           m.writes,
+	}
+	if done := m.doneReads.Rate(now); done > 0 {
+		s.ObservedStaleRate = m.staleReads.Rate(now) / done
 	}
 	// Enforce monotone non-decreasing rank delays: EWMAs of different
 	// ranks can momentarily cross right after startup.

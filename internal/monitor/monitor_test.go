@@ -145,3 +145,30 @@ func TestBadOptionsFallBack(t *testing.T) {
 		t.Error("defaults not applied")
 	}
 }
+
+func TestObservedStaleRate(t *testing.T) {
+	clock := &testClock{}
+	m := New(3, clock, DefaultOptions())
+	h := m.Hooks()
+	// 1000 completed reads over the window, every fourth one stale.
+	for i := 0; i < 1000; i++ {
+		clock.now = time.Duration(i) * 5 * time.Millisecond
+		h.ReadCompleted(clock.now, kv.ReadResult{Stale: i%4 == 0, Latency: time.Millisecond})
+	}
+	snap := m.Snapshot()
+	if math.Abs(snap.ObservedStaleRate-0.25) > 0.02 {
+		t.Errorf("observed stale rate %.3f, want ≈0.25", snap.ObservedStaleRate)
+	}
+	// Errored reads must not count toward the verdict base.
+	for i := 0; i < 100; i++ {
+		h.ReadCompleted(clock.now, kv.ReadResult{Err: kv.ErrTimeout, Stale: true})
+	}
+	if got := m.Snapshot().ObservedStaleRate; math.Abs(got-0.25) > 0.02 {
+		t.Errorf("errored reads moved the stale rate to %.3f", got)
+	}
+	// The signal decays with the window: quiescence drains it.
+	clock.now += 2 * DefaultOptions().Window
+	if got := m.Snapshot().ObservedStaleRate; got != 0 {
+		t.Errorf("stale rate %.3f after the window rolled off, want 0", got)
+	}
+}

@@ -57,6 +57,47 @@ type Constraints struct {
 	MaxUtilization float64 // headroom cap, default 0.85
 }
 
+// Verdict classifies a plan evaluation: which constraint (if any)
+// rejected the candidate. Callers that react to infeasibility — the
+// autoscale controller deciding whether adding nodes would even help —
+// branch on it instead of parsing Reason strings.
+type Verdict int
+
+// Evaluation verdicts.
+const (
+	// VerdictOK: the candidate meets every constraint.
+	VerdictOK Verdict = iota
+	// VerdictInvalidInput: degenerate workload or constraints (RF ≤ 0,
+	// zero service means, no offered load) — no size fixes this.
+	VerdictInvalidInput
+	// VerdictTooFewNodes: below the RF+FailureBudget floor.
+	VerdictTooFewNodes
+	// VerdictLevelUnreachable: the consistency level cannot survive the
+	// failure budget at this RF — no size fixes this.
+	VerdictLevelUnreachable
+	// VerdictCapacity: predicted throughput below the requirement.
+	VerdictCapacity
+	// VerdictUtilization: above the utilization headroom cap.
+	VerdictUtilization
+	// VerdictStaleness: predicted stale rate above the tolerance.
+	VerdictStaleness
+	// VerdictNoPlan: an Optimize search found no feasible size.
+	VerdictNoPlan
+)
+
+// ScalingHelps reports whether adding nodes can address the verdict:
+// capacity, utilization and staleness all improve with cluster size,
+// while invalid inputs and unreachable levels do not. A VerdictNoPlan
+// search result does not say by itself — re-Evaluate at the search
+// bound and ask its verdict.
+func (v Verdict) ScalingHelps() bool {
+	switch v {
+	case VerdictTooFewNodes, VerdictCapacity, VerdictUtilization, VerdictStaleness:
+		return true
+	}
+	return false
+}
+
 // Plan is one candidate deployment with its predictions.
 type Plan struct {
 	Type            NodeType
@@ -66,23 +107,47 @@ type Plan struct {
 	PredStaleRate   float64
 	PredUtilization float64
 	Feasible        bool
+	Verdict         Verdict
 	Reason          string
 }
 
-// String renders the plan.
+// String renders the plan; infeasible plans say so instead of showing a
+// bogus zero-node deployment.
 func (p Plan) String() string {
+	if !p.Feasible {
+		reason := p.Reason
+		if reason == "" {
+			reason = "infeasible"
+		}
+		if p.Nodes <= 0 {
+			return fmt.Sprintf("no feasible plan (%s)", reason)
+		}
+		return fmt.Sprintf("%d × %s ($%.2f/h): infeasible — %s",
+			p.Nodes, p.Type.Name, p.HourlyCost, reason)
+	}
 	return fmt.Sprintf("%d × %s ($%.2f/h): thr=%.0f/s stale=%.1f%% util=%.0f%%",
 		p.Nodes, p.Type.Name, p.HourlyCost, p.PredThroughput, 100*p.PredStaleRate, 100*p.PredUtilization)
 }
 
 // Evaluate predicts one candidate's behaviour against the constraints.
+// Degenerate inputs — non-positive RF or levels, zero service means, no
+// offered load — return an infeasible plan with VerdictInvalidInput
+// instead of reaching the capacity and staleness models with NaN-prone
+// values.
 func Evaluate(t NodeType, nodes int, w Workload, c Constraints) Plan {
 	p := Plan{Type: t, Nodes: nodes, HourlyCost: float64(nodes) * t.HourlyCost}
+	if reason := degenerate(t, w, c); reason != "" {
+		p.Verdict = VerdictInvalidInput
+		p.Reason = reason
+		return p
+	}
 	if nodes < c.RF+c.FailureBudget {
+		p.Verdict = VerdictTooFewNodes
 		p.Reason = fmt.Sprintf("needs ≥ RF+failures = %d nodes", c.RF+c.FailureBudget)
 		return p
 	}
 	if c.RF-c.FailureBudget < c.ReadLevel || c.RF-c.FailureBudget < c.WriteLevel {
+		p.Verdict = VerdictLevelUnreachable
 		p.Reason = "level unreachable after tolerated failures"
 		return p
 	}
@@ -124,21 +189,75 @@ func Evaluate(t NodeType, nodes int, w Workload, c Constraints) Plan {
 
 	switch {
 	case capOps < c.MinThroughput:
+		p.Verdict = VerdictCapacity
 		p.Reason = fmt.Sprintf("capacity %.0f/s below required %.0f/s", capOps, c.MinThroughput)
 	case util > maxUtil:
+		p.Verdict = VerdictUtilization
 		p.Reason = fmt.Sprintf("utilization %.0f%% above cap %.0f%%", 100*util, 100*maxUtil)
 	case p.PredStaleRate > c.MaxStaleRate:
+		p.Verdict = VerdictStaleness
 		p.Reason = fmt.Sprintf("predicted stale %.1f%% above tolerated %.1f%%",
 			100*p.PredStaleRate, 100*c.MaxStaleRate)
 	default:
 		p.Feasible = true
+		p.Verdict = VerdictOK
 		p.Reason = "ok"
 	}
 	return p
 }
 
+// UnconstrainedSize reports the smallest node count whose utilization
+// fits the offered load under the headroom cap, ignoring the
+// RF+FailureBudget floor and the staleness model (capacity is the only
+// constraint that scales purely with node count) — how small the
+// deployment *could* be if durability did not hold it up. Zero for
+// degenerate inputs.
+func UnconstrainedSize(t NodeType, w Workload, c Constraints) int {
+	if degenerate(t, w, c) != "" {
+		return 0
+	}
+	maxUtil := c.MaxUtilization
+	if maxUtil <= 0 {
+		maxUtil = 0.85
+	}
+	offered := math.Max(w.OpsPerSecond, c.MinThroughput)
+	readWork := w.ReadFraction * float64(c.ReadLevel) * t.ReadServiceMean.Seconds()
+	writeWork := (1 - w.ReadFraction) * float64(c.RF) * t.WriteServiceMean.Seconds()
+	perNode := float64(t.Concurrency) * maxUtil
+	n := int(math.Ceil(offered * (readWork + writeWork) / perNode))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// degenerate reports why the inputs cannot be evaluated, or "" when they
+// can.
+func degenerate(t NodeType, w Workload, c Constraints) string {
+	switch {
+	case c.RF <= 0:
+		return fmt.Sprintf("invalid constraints: RF %d must be positive", c.RF)
+	case c.ReadLevel <= 0 || c.WriteLevel <= 0:
+		return fmt.Sprintf("invalid constraints: levels R%d/W%d must be positive", c.ReadLevel, c.WriteLevel)
+	case c.FailureBudget < 0:
+		return fmt.Sprintf("invalid constraints: failure budget %d is negative", c.FailureBudget)
+	case t.Concurrency <= 0 || t.ReadServiceMean <= 0 || t.WriteServiceMean <= 0:
+		return fmt.Sprintf("invalid node type %q: concurrency and service means must be positive", t.Name)
+	case w.OpsPerSecond <= 0 && c.MinThroughput <= 0:
+		return "no offered load: OpsPerSecond and MinThroughput are both zero"
+	case w.ReadFraction < 0 || w.ReadFraction > 1:
+		return fmt.Sprintf("invalid workload: read fraction %.2f outside [0, 1]", w.ReadFraction)
+	case w.WriteRate < 0:
+		return fmt.Sprintf("invalid workload: negative per-key write rate %.2f", w.WriteRate)
+	}
+	return ""
+}
+
 // Optimize searches the catalog for the cheapest feasible plan; maxNodes
-// bounds the search (default 200).
+// bounds the search (default 200). When no candidate satisfies the
+// constraints the returned plan is explicitly infeasible (VerdictNoPlan,
+// Reason set) rather than a zero value, so callers never render a bogus
+// "0 × ($0.00/h)" deployment.
 func Optimize(catalog []NodeType, w Workload, c Constraints, maxNodes int) (Plan, []Plan) {
 	if maxNodes <= 0 {
 		maxNodes = 200
@@ -147,7 +266,7 @@ func Optimize(catalog []NodeType, w Workload, c Constraints, maxNodes int) (Plan
 	var considered []Plan
 	bestSet := false
 	for _, t := range catalog {
-		for n := c.RF + c.FailureBudget; n <= maxNodes; n++ {
+		for n := max(1, c.RF+c.FailureBudget); n <= maxNodes; n++ {
 			p := Evaluate(t, n, w, c)
 			considered = append(considered, p)
 			if !p.Feasible {
@@ -158,6 +277,12 @@ func Optimize(catalog []NodeType, w Workload, c Constraints, maxNodes int) (Plan
 				bestSet = true
 			}
 			break // larger n of the same type only costs more
+		}
+	}
+	if !bestSet {
+		best = Plan{
+			Verdict: VerdictNoPlan,
+			Reason:  fmt.Sprintf("no feasible plan within %d nodes over %d instance types", maxNodes, len(catalog)),
 		}
 	}
 	return best, considered

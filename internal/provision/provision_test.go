@@ -1,6 +1,7 @@
 package provision
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -106,6 +107,96 @@ func TestMoreNodesLowerStaleness(t *testing.T) {
 	}
 	if big.PredUtilization >= small.PredUtilization {
 		t.Error("more nodes must lower utilization")
+	}
+}
+
+func TestEvaluateDegenerateInputs(t *testing.T) {
+	okC := Constraints{RF: 3, ReadLevel: 1, WriteLevel: 1, MaxStaleRate: 1, MinThroughput: 100}
+	okT := DefaultCatalog()[1]
+	okW := testWorkload()
+	cases := []struct {
+		name string
+		t    NodeType
+		w    Workload
+		c    Constraints
+	}{
+		{"zero RF", okT, okW, Constraints{RF: 0, ReadLevel: 1, WriteLevel: 1, MaxStaleRate: 1}},
+		{"negative RF", okT, okW, Constraints{RF: -2, ReadLevel: 1, WriteLevel: 1, MaxStaleRate: 1}},
+		{"zero read level", okT, okW, Constraints{RF: 3, ReadLevel: 0, WriteLevel: 1, MaxStaleRate: 1}},
+		{"negative failure budget", okT, okW, Constraints{RF: 3, ReadLevel: 1, WriteLevel: 1, MaxStaleRate: 1, FailureBudget: -1}},
+		{"zero service means", NodeType{Name: "broken", HourlyCost: 0.1, Concurrency: 1}, okW, okC},
+		{"zero concurrency", NodeType{Name: "broken", HourlyCost: 0.1,
+			ReadServiceMean: time.Millisecond, WriteServiceMean: time.Millisecond}, okW, okC},
+		{"no offered load", okT, Workload{}, Constraints{RF: 3, ReadLevel: 1, WriteLevel: 1, MaxStaleRate: 1}},
+		{"read fraction above one", okT, Workload{OpsPerSecond: 100, ReadFraction: 1.5}, okC},
+		{"negative write rate", okT, Workload{OpsPerSecond: 100, ReadFraction: 0.5, WriteRate: -1}, okC},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Evaluate(tc.t, 10, tc.w, tc.c)
+			if p.Feasible {
+				t.Fatalf("degenerate input evaluated feasible: %+v", p)
+			}
+			if p.Verdict != VerdictInvalidInput {
+				t.Errorf("verdict = %v, want VerdictInvalidInput", p.Verdict)
+			}
+			if p.Reason == "" {
+				t.Error("infeasible plan carries no reason")
+			}
+			if math.IsNaN(p.PredStaleRate) || math.IsNaN(p.PredUtilization) || math.IsNaN(p.PredThroughput) {
+				t.Errorf("degenerate input leaked NaN predictions: %+v", p)
+			}
+		})
+	}
+}
+
+func TestEvaluateVerdicts(t *testing.T) {
+	okT := DefaultCatalog()[1]
+	w := testWorkload()
+	caseC := Constraints{RF: 3, ReadLevel: 1, WriteLevel: 1, MaxStaleRate: 1, MinThroughput: 50000}
+	if p := Evaluate(okT, 4, w, caseC); p.Verdict != VerdictCapacity || p.Verdict.ScalingHelps() != true {
+		t.Errorf("capacity verdict: %v", p.Verdict)
+	}
+	lvl := Constraints{RF: 3, ReadLevel: 3, WriteLevel: 1, MaxStaleRate: 1, FailureBudget: 1}
+	if p := Evaluate(okT, 10, w, lvl); p.Verdict != VerdictLevelUnreachable || p.Verdict.ScalingHelps() {
+		t.Errorf("level verdict: %v", p.Verdict)
+	}
+	okC := Constraints{RF: 3, ReadLevel: 1, WriteLevel: 1, MaxStaleRate: 1, MinThroughput: 100}
+	if p := Evaluate(okT, 40, w, okC); p.Verdict != VerdictOK || !p.Feasible {
+		t.Errorf("ok verdict: %v feasible=%v", p.Verdict, p.Feasible)
+	}
+}
+
+func TestOptimizeNoFeasiblePlan(t *testing.T) {
+	// 50k ops/s cannot fit within 4 nodes of any catalog type.
+	c := Constraints{RF: 3, ReadLevel: 1, WriteLevel: 1, MaxStaleRate: 1, MinThroughput: 50000}
+	best, considered := Optimize(DefaultCatalog(), testWorkload(), c, 4)
+	if best.Feasible {
+		t.Fatalf("plan should be infeasible: %+v", best)
+	}
+	if best.Verdict != VerdictNoPlan {
+		t.Errorf("verdict = %v, want VerdictNoPlan", best.Verdict)
+	}
+	if !strings.Contains(best.Reason, "no feasible plan within 4 nodes") {
+		t.Errorf("reason = %q", best.Reason)
+	}
+	if s := best.String(); !strings.Contains(s, "no feasible plan") || strings.Contains(s, "$0.00/h") {
+		t.Errorf("infeasible plan renders as a deployment: %q", s)
+	}
+	if len(considered) == 0 {
+		t.Error("no candidates considered")
+	}
+}
+
+func TestInfeasiblePlanString(t *testing.T) {
+	c := Constraints{RF: 3, ReadLevel: 1, WriteLevel: 1, MaxStaleRate: 1, MinThroughput: 50000}
+	p := Evaluate(DefaultCatalog()[0], 4, testWorkload(), c)
+	if p.Feasible {
+		t.Fatal("expected infeasible")
+	}
+	s := p.String()
+	if !strings.Contains(s, "infeasible") || !strings.Contains(s, p.Reason) {
+		t.Errorf("infeasible evaluation renders without its reason: %q", s)
 	}
 }
 

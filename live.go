@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/core"
 	"repro/internal/kv"
 	"repro/internal/live"
@@ -101,6 +102,20 @@ func (l *Live) Join(id NodeID) {
 // its ownership to the new owners.
 func (l *Live) Decommission(id NodeID) {
 	l.Engine.Do(func() { l.Cluster.Decommission(id) })
+}
+
+// Autoscale starts the cost-loop controller over the live cluster (see
+// Sim.Autoscale); the control loop runs on the engine's timers.
+func (l *Live) Autoscale(cfg AutoscaleConfig) *Autoscaler {
+	if cfg.Candidates == nil {
+		cfg.Candidates = l.Cluster.Topology().Nodes()
+	}
+	var ctl *autoscale.Controller
+	l.Engine.Do(func() {
+		ctl = autoscale.New(l.Cluster, l.Monitor, l.Engine, cfg)
+		ctl.Start()
+	})
+	return ctl
 }
 
 // Members returns the current ring members.

@@ -41,6 +41,7 @@ package repro
 import (
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/behavior"
 	"repro/internal/bismar"
 	"repro/internal/core"
@@ -49,6 +50,7 @@ import (
 	"repro/internal/kv"
 	"repro/internal/monitor"
 	"repro/internal/netsim"
+	"repro/internal/provision"
 	"repro/internal/storage"
 	"repro/internal/ycsb"
 )
@@ -175,6 +177,55 @@ var (
 
 // EC2Pricing2013 is the paper-era us-east-1 price catalog.
 func EC2Pricing2013() Pricing { return cost.EC2East2013() }
+
+// Provisioning and autoscaling (§V future work, closed end to end): the
+// optimizer searches instance types and cluster sizes for the cheapest
+// deployment meeting consistency, throughput and failure constraints,
+// and the autoscale controller (Sim.Autoscale, Live.Autoscale) enacts
+// its recommendation through Join/Decommission at runtime.
+type (
+	// NodeType is a leasable instance profile.
+	NodeType = provision.NodeType
+	// ProvisionConstraints bound acceptable deployments.
+	ProvisionConstraints = provision.Constraints
+	// ProvisionWorkload is the offered load a deployment must sustain.
+	ProvisionWorkload = provision.Workload
+	// ProvisionPlan is one candidate deployment with its predictions.
+	ProvisionPlan = provision.Plan
+	// AutoscaleConfig parameterizes the autoscale controller.
+	AutoscaleConfig = autoscale.Config
+	// AutoscaleDecision is one control period's journal entry.
+	AutoscaleDecision = autoscale.Decision
+	// AutoscaleAction is what a control period did (join, decommission,
+	// or a named deferral).
+	AutoscaleAction = autoscale.Action
+	// Autoscaler is the running cost-loop controller.
+	Autoscaler = autoscale.Controller
+)
+
+// Autoscale actions, for inspecting decision logs.
+const (
+	AutoscaleHold            = autoscale.ActionHold
+	AutoscaleJoin            = autoscale.ActionJoin
+	AutoscaleDecommission    = autoscale.ActionDecommission
+	AutoscaleDeferHysteresis = autoscale.ActionDeferHysteresis
+	AutoscaleDeferCooldown   = autoscale.ActionDeferCooldown
+	AutoscaleDeferSettling   = autoscale.ActionDeferSettling
+	AutoscaleDeferBoundary   = autoscale.ActionDeferBoundary
+	AutoscaleBlockedFloor    = autoscale.ActionBlockedFloor
+	AutoscaleBlockedCeiling  = autoscale.ActionBlockedCeiling
+	AutoscaleBlockedNoSpare  = autoscale.ActionBlockedNoSpare
+)
+
+// DefaultNodeCatalog is the 2013-flavoured EC2 instance menu the
+// provisioning examples search over.
+func DefaultNodeCatalog() []NodeType { return provision.DefaultCatalog() }
+
+// OptimizeProvision searches the catalog for the cheapest feasible
+// deployment; see internal/provision.
+func OptimizeProvision(catalog []NodeType, w ProvisionWorkload, c ProvisionConstraints, maxNodes int) (ProvisionPlan, []ProvisionPlan) {
+	return provision.Optimize(catalog, w, c, maxNodes)
+}
 
 // NewHarmonyTuner returns the Harmony tuner: smallest read level whose
 // estimated stale-read rate stays under alpha (§III-A).

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/behavior"
 	"repro/internal/core"
 	"repro/internal/kv"
@@ -137,6 +138,23 @@ func (s *Sim) Members() []NodeID { return s.Cluster.Members() }
 
 // State reports a node's combined membership/failure state.
 func (s *Sim) State(id NodeID) NodeState { return s.Cluster.State(id) }
+
+// Autoscale starts the cost-loop controller: it samples the monitor
+// every cfg.Interval, feeds the observed workload to the provisioning
+// optimizer and enacts the recommended cluster size through
+// Join/Decommission — one membership change at a time, with hysteresis,
+// cooldown, an RF+FailureBudget floor and billing-boundary-aware
+// scale-down. Candidates defaults to every topology node. Inspect the
+// controller's Log for the decision journal; Stop it to freeze the
+// cluster size.
+func (s *Sim) Autoscale(cfg AutoscaleConfig) *Autoscaler {
+	if cfg.Candidates == nil {
+		cfg.Candidates = s.Cluster.Topology().Nodes()
+	}
+	ctl := autoscale.New(s.Cluster, s.Monitor, s.Transport, cfg)
+	ctl.Start()
+	return ctl
+}
 
 // Run advances virtual time by d.
 func (s *Sim) Run(d time.Duration) { s.Engine.RunFor(d) }
