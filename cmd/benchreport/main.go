@@ -1,14 +1,14 @@
 // Command benchreport runs the simulator's performance suite — the
 // micro-benchmarks of the discrete-event core, the storage engines, the
 // membership layer (ring rebalance, snapshot streaming) and the
-// autoscale decision loop, plus an end-to-end experiment run — and
-// writes the numbers as JSON so the performance trajectory is tracked
-// in-repo (BENCH_PR5.json). CI runs it on every push and uploads the
-// file as an artifact.
+// autoscale decision loop, plus an end-to-end experiment run and a
+// whole-repo repolint pass — and writes the numbers as JSON so the
+// performance trajectory is tracked in-repo (BENCH_PR6.json). CI runs
+// it on every push and uploads the file as an artifact.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-o BENCH_PR5.json] [-quick] [-baseline old.json]
+//	go run ./cmd/benchreport [-o BENCH_PR6.json] [-quick] [-baseline old.json]
 //
 // -quick shortens the measurement windows (CI smoke); -baseline embeds a
 // previously captured report under "baseline" so before/after travels in
@@ -23,6 +23,9 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/suite"
 	"repro/internal/autoscale"
 	"repro/internal/cost"
 	"repro/internal/experiments"
@@ -60,6 +63,14 @@ type Experiment struct {
 	StaleRate    float64 `json:"stale_rate"`
 }
 
+// Tool is one developer-tooling wall-time measurement.
+type Tool struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Packages    int     `json:"packages"`
+	Findings    int     `json:"findings"`
+}
+
 // Report is the benchreport output schema.
 type Report struct {
 	GeneratedBy string       `json:"generated_by"`
@@ -68,6 +79,7 @@ type Report struct {
 	Scale       float64      `json:"bench_scale"`
 	Benchmarks  []Bench      `json:"benchmarks"`
 	Experiments []Experiment `json:"experiments"`
+	Tools       []Tool       `json:"tools,omitempty"`
 	Baseline    *Report      `json:"baseline,omitempty"`
 }
 
@@ -359,8 +371,29 @@ func runExperiment() Experiment {
 	return e
 }
 
+// runRepolint measures a whole-repo repolint pass: load and type-check
+// the module from source, run all four analyzers. This is the wall
+// time a developer pays for `go run ./cmd/repolint ./...` from a warm
+// go list cache, tracked so the suite cannot quietly become too slow
+// to run locally.
+func runRepolint() Tool {
+	start := time.Now()
+	pkgs, err := load.Packages(".", "./...")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: repolint load: %v\n", err)
+		os.Exit(1)
+	}
+	findings := analysis.Run(pkgs, suite.All())
+	return Tool{
+		Name:        "RepolintWholeRepo",
+		WallSeconds: time.Since(start).Seconds(),
+		Packages:    len(pkgs),
+		Findings:    len(findings),
+	}
+}
+
 func main() {
-	out := flag.String("o", "BENCH_PR5.json", "output path")
+	out := flag.String("o", "BENCH_PR6.json", "output path")
 	quick := flag.Bool("quick", false, "short measurement windows (CI smoke)")
 	baseline := flag.String("baseline", "", "previously captured report to embed under \"baseline\"")
 	flag.Parse()
@@ -389,6 +422,8 @@ func main() {
 	)
 	fmt.Fprintln(os.Stderr, "benchreport: end-to-end experiment...")
 	rep.Experiments = append(rep.Experiments, runExperiment())
+	fmt.Fprintln(os.Stderr, "benchreport: whole-repo repolint...")
+	rep.Tools = append(rep.Tools, runRepolint())
 
 	if *baseline != "" {
 		raw, err := os.ReadFile(*baseline)
@@ -421,6 +456,10 @@ func main() {
 	for _, e := range rep.Experiments {
 		fmt.Printf("%-40s %6.2fs wall  %8.0f vops/s  %9.0f events/s  stale=%.2f%%\n",
 			e.Name, e.WallSeconds, e.VopsPerSec, e.EventsPerSec, 100*e.StaleRate)
+	}
+	for _, tl := range rep.Tools {
+		fmt.Printf("%-40s %6.2fs wall  %4d packages  %d findings\n",
+			tl.Name, tl.WallSeconds, tl.Packages, tl.Findings)
 	}
 	fmt.Printf("wrote %s\n", *out)
 }

@@ -1,0 +1,84 @@
+// Command repolint machine-checks the repo's determinism, pool
+// lifecycle, sim-purity and error-flow invariants (see internal/analysis
+// and its analyzer subpackages).
+//
+// It speaks two protocols:
+//
+//	repolint [packages]             # standalone: load, analyze, report
+//	go vet -vettool=$(which repolint) ./...   # unitchecker protocol
+//
+// The vet protocol is the one CI uses: the go command hands the tool a
+// JSON .cfg describing one compilation unit (files, import map, export
+// data), the tool type-checks against the compiler's export data and
+// reports findings as file:line:col lines on stderr, exit 1. The
+// -V=full and -flags handshakes exist for the go command's build cache
+// and flag discovery.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/suite"
+)
+
+func main() {
+	args := os.Args[1:]
+	// go vet handshakes.
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" {
+			fmt.Printf("repolint version devel buildID=%s\n", selfID())
+			return
+		}
+		if a == "-flags" || a == "--flags" {
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnit(args[0]) // go vet -vettool mode; exits
+		return
+	}
+	runStandalone(args)
+}
+
+// selfID hashes the executable so the go command's build cache
+// invalidates vet results whenever the tool changes.
+func selfID() string {
+	exe, err := os.Executable()
+	if err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			return fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	return "unknown"
+}
+
+func runStandalone(patterns []string) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := load.Packages(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		os.Exit(2)
+	}
+	findings := analysis.Run(pkgs, suite.All())
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s\n", f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d findings\n", len(findings))
+		os.Exit(1)
+	}
+}

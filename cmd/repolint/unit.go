@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/suite"
+)
+
+// vetConfig mirrors the JSON compilation-unit description the go
+// command writes for `go vet -vettool` tools (the unitchecker
+// protocol). Fields the suite does not consume are omitted.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one compilation unit described by cfgPath and exits.
+func runUnit(cfgPath string) {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(raw, cfg); err != nil {
+		fatal(fmt.Errorf("decoding %s: %v", cfgPath, err))
+	}
+
+	// The go command caches this tool's output per package and may ask
+	// for facts-only runs over dependencies. The suite has no
+	// cross-package facts, so those runs only need the (empty) vetx
+	// file to exist.
+	writeVetx(cfg)
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0) // the compiler will report it better
+			}
+			fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	// Type-check against the compiler's export data, exactly as the
+	// x/tools unitchecker does: cfg.ImportMap resolves source import
+	// strings to package paths, cfg.PackageFile locates each package's
+	// export file, and the gc importer reads them.
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tconf := &types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		fatal(err)
+	}
+
+	findings := analysis.Run([]*load.Package{{
+		Path:  cfg.ImportPath,
+		Fset:  fset,
+		Files: files,
+		Types: pkg,
+		Info:  info,
+	}}, suite.All())
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s\n", f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func writeVetx(cfg *vetConfig) {
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+	os.Exit(2)
+}

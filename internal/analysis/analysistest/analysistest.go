@@ -1,0 +1,127 @@
+// Package analysistest runs repolint analyzers over testdata fixture
+// packages and checks their findings against `// want` comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest (reimplemented
+// offline on the repo's own loader).
+//
+// A fixture line that should be flagged carries a trailing comment with
+// one quoted regexp per expected finding on that line:
+//
+//	t := time.Now() // want `wall-clock time\.Now`
+//
+// Lines without a want comment must produce no findings.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// Run loads every package under dir (testdata layout: one directory per
+// package) and checks analyzer findings against want comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := load.Dir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages under %s", dir)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			collectWants(t, pkg.Fset, f, func(file string, line int, res []*regexp.Regexp) {
+				wants[key{file, line}] = res
+			})
+		}
+	}
+
+	findings := analysis.Run(pkgs, analyzers)
+	matched := map[key][]bool{}
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, fd := range findings {
+		k := key{fd.Pos.Filename, fd.Pos.Line}
+		res := wants[k]
+		ok := false
+		for i, re := range res {
+			if !matched[k][i] && re.MatchString(fd.Message) {
+				matched[k][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding at %s: %s: %s", fd.Pos, fd.Rule, fd.Message)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// collectWants parses `// want` trailing comments.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File, add func(string, int, []*regexp.Regexp)) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "want ") && text != "want" {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			var res []*regexp.Regexp
+			for _, m := range wantRE.FindAllStringSubmatch(text[4:], -1) {
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+				}
+				res = append(res, re)
+			}
+			if len(res) == 0 {
+				t.Fatalf("%s: want comment with no patterns", pos)
+			}
+			add(pos.Filename, pos.Line, res)
+		}
+	}
+}
+
+// CheckClean asserts the packages matching patterns in dir produce zero
+// findings across the given analyzers.
+func CheckClean(t *testing.T, dir string, analyzers []*analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := load.Packages(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", patterns, err)
+	}
+	findings := analysis.Run(pkgs, analyzers)
+	for _, fd := range findings {
+		t.Errorf("%s", fd)
+	}
+	if len(findings) > 0 {
+		t.Errorf("%d repolint findings; the repo must be repolint-clean (fix or annotate with //repolint:allow <rule> <reason>)", len(findings))
+	}
+}

@@ -1,0 +1,15 @@
+// Package driver sits in cmd/ scope: drivers run in real time, so the
+// wall-clock and map-order rules do not bind here.
+package driver
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

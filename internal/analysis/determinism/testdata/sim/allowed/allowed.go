@@ -1,0 +1,30 @@
+// Package allowed exercises the //repolint:allow directive: a directive
+// with a reason suppresses its own line and the line below, and only
+// for the named rule.
+package allowed
+
+import "time"
+
+// The directive on the line above a finding suppresses it.
+func boot() int64 {
+	//repolint:allow determinism boot stamp, never fed into a transcript
+	return time.Now().UnixNano()
+}
+
+// A trailing directive suppresses its own line.
+func stamp() int64 {
+	return time.Now().UnixNano() //repolint:allow determinism boot stamp, never fed into a transcript
+}
+
+// A directive for a different rule suppresses nothing here.
+func wrongRule() time.Time {
+	//repolint:allow simpure timers are fine here
+	return time.Now() // want `wall-clock time\.Now`
+}
+
+// A directive two lines above the finding is out of range.
+func tooFar() time.Time {
+	//repolint:allow determinism boot stamp, never fed into a transcript
+
+	return time.Now() // want `wall-clock time\.Now`
+}

@@ -1,0 +1,23 @@
+// Package clock exercises the wall-clock rules: every nondeterministic
+// time entry point is flagged, pure time arithmetic is not.
+package clock
+
+import "time"
+
+func bad() (time.Time, time.Time) {
+	time.Sleep(50 * time.Millisecond) // want `wall-clock time\.Sleep`
+	t := time.Now()                   // want `wall-clock time\.Now`
+	<-time.After(time.Second)         // want `wall-clock time\.After`
+	_ = time.Since(t)                 // want `wall-clock time\.Since`
+	_ = time.Until(t)                 // want `wall-clock time\.Until`
+	tk := time.NewTicker(time.Second) // want `wall-clock time\.NewTicker`
+	tk.Stop()
+	return t, <-tk.C
+}
+
+// Pure time arithmetic stays legal: durations and explicit instants
+// carry no wall-clock reads.
+func good(d time.Duration) time.Time {
+	deadline := time.Unix(0, 0).Add(d)
+	return deadline.Add(3 * time.Millisecond)
+}

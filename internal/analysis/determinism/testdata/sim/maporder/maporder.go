@@ -1,0 +1,61 @@
+// Package maporder exercises the map-iteration-order rules: building a
+// slice from a map range without sorting it, or feeding map order into
+// scheduling or hashing, makes map order program behavior.
+package maporder
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration appends to out`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Sorting after the loop erases the map order; this is the blessed
+// collect-then-sort idiom.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type scheduler struct{}
+
+func (scheduler) Schedule(at int, f func()) {}
+
+func driveUnsorted(s scheduler, jobs map[int]func()) {
+	for at, f := range jobs {
+		s.Schedule(at, f) // want `map iteration drives`
+	}
+}
+
+func digestUnsorted(m map[string]string) uint32 {
+	h := fnv.New32a()
+	for k, v := range m {
+		h.Write([]byte(k + v)) // want `map iteration drives`
+	}
+	return h.Sum32()
+}
+
+// Hashing over sorted keys is order-independent: the map range only
+// collects, the hash loop ranges over the sorted slice.
+func digestSorted(m map[string]string) uint32 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := fnv.New32a()
+	for _, k := range keys {
+		h.Write([]byte(k + m[k]))
+	}
+	return h.Sum32()
+}

@@ -1,0 +1,7 @@
+// Package randpkg exercises the RNG rule: importing the global
+// math/rand families outside the stats packages is forbidden.
+package randpkg
+
+import "math/rand" // want `import of math/rand in sim-reachable package`
+
+func roll(r *rand.Rand) int { return r.Intn(6) }

@@ -1,0 +1,5 @@
+package randpkg
+
+import randv2 "math/rand/v2" // want `import of math/rand/v2 in sim-reachable package`
+
+func rollV2(r *randv2.Rand) int { return r.IntN(6) }

@@ -1,0 +1,160 @@
+// Package errflow checks that errors on the storage, WAL and
+// snapshot-stream paths are propagated, not dropped.
+//
+// Consistent-prefix recovery is an error-flow property: the LSM engine
+// recovers exactly the WAL prefix that was durably acked, which is only
+// true if every append/sync/close error made it back to the caller
+// that acked. A swallowed fsync error converts "crash loses the
+// un-synced suffix" into "crash silently loses acked writes". The
+// analyzer flags any statement that discards an error result —
+// `eng.Apply(...)` as a bare statement, `_ =` in the error position, or
+// a deferred call — when the callee is storage-critical:
+//
+//   - any function or method defined in a package with a "storage"
+//     path segment (engines, WAL, snapshot codec), including calls
+//     through the Engine interface;
+//   - write-side file primitives ((*os.File).Write/Sync/Close/Truncate,
+//     (*bufio.Writer).Write/Flush) when the caller itself is in a
+//     storage or live package, where the file-backed WAL runs.
+package errflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errflow",
+	Doc: "flag discarded errors on storage/WAL/stream paths: consistent-prefix recovery " +
+		"semantics depend on append/sync/close errors reaching the caller",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	path := pass.Pkg.Path()
+	if !analysis.ErrflowScope(path) {
+		return
+	}
+	fileCritical := analysis.SegmentIn(path, "storage", "live")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				checkDiscard(pass, s.X, fileCritical, "result")
+			case *ast.DeferStmt:
+				checkDiscard(pass, s.Call, fileCritical, "deferred result")
+			case *ast.GoStmt:
+				checkDiscard(pass, s.Call, fileCritical, "result")
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, s, fileCritical)
+			}
+			return true
+		})
+	}
+}
+
+// checkDiscard flags a call used as a bare statement when it returns an
+// error from a storage-critical callee.
+func checkDiscard(pass *analysis.Pass, e ast.Expr, fileCritical bool, what string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	_, _, hasErr := analysis.ResultError(pass.TypesInfo, call)
+	if !hasErr {
+		return
+	}
+	if name := criticalCallee(pass, call, fileCritical); name != "" {
+		pass.Reportf(call.Pos(), "discarded error %s of %s: recovery semantics on this path depend on the error reaching the caller", what, name)
+	}
+}
+
+// checkBlankAssign flags `_ = ...` (or `v, _ := ...`) where the blank
+// swallows the error position of a storage-critical call.
+func checkBlankAssign(pass *analysis.Pass, s *ast.AssignStmt, fileCritical bool) {
+	// Only the single-call multi-assign form `a, _ := f()` and the
+	// direct `_ = f()` can hide an error result.
+	if len(s.Rhs) == 1 && len(s.Lhs) >= 1 {
+		call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		errIdx, n, hasErr := analysis.ResultError(pass.TypesInfo, call)
+		if !hasErr {
+			return
+		}
+		var blankAt int = -1
+		if n == 1 && len(s.Lhs) == 1 {
+			blankAt = 0
+		} else if len(s.Lhs) == n {
+			blankAt = errIdx
+		}
+		if blankAt < 0 {
+			return
+		}
+		if id, ok := s.Lhs[blankAt].(*ast.Ident); !ok || id.Name != "_" {
+			return
+		}
+		if name := criticalCallee(pass, call, fileCritical); name != "" {
+			pass.Reportf(s.Pos(), "error result of %s assigned to _: recovery semantics on this path depend on the error reaching the caller", name)
+		}
+		return
+	}
+	// a, b = f(), g(): per-position expressions, no tuple to hide in.
+	for i, rhs := range s.Rhs {
+		if i >= len(s.Lhs) {
+			break
+		}
+		id, ok := s.Lhs[i].(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if _, _, hasErr := analysis.ResultError(pass.TypesInfo, call); !hasErr {
+			continue
+		}
+		if name := criticalCallee(pass, call, fileCritical); name != "" {
+			pass.Reportf(s.Pos(), "error result of %s assigned to _: recovery semantics on this path depend on the error reaching the caller", name)
+		}
+	}
+}
+
+// criticalCallee classifies the call's static callee; it returns a
+// display name when the callee is storage-critical, else "".
+func criticalCallee(pass *analysis.Pass, call *ast.CallExpr, fileCritical bool) string {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return ""
+	}
+	if analysis.SegmentIn(analysis.PkgPathOf(fn), "storage") {
+		return fn.FullName()
+	}
+	if !fileCritical {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	rp, rn, m := named.Obj().Pkg().Path(), named.Obj().Name(), fn.Name()
+	if rp == "os" && rn == "File" && (m == "Write" || m == "WriteString" || m == "Sync" || m == "Close" || m == "Truncate") {
+		return fn.FullName()
+	}
+	if rp == "bufio" && rn == "Writer" && (m == "Write" || m == "Flush" || m == "WriteString") {
+		return fn.FullName()
+	}
+	return ""
+}

@@ -1,0 +1,9 @@
+// Package tool sits in cmd/ scope: drivers report errors to the
+// terminal on their own terms, so errflow does not bind.
+package tool
+
+import "storage/engine"
+
+func run(e engine.Engine) {
+	e.Apply(nil)
+}

@@ -1,0 +1,31 @@
+// Package kvnode calls into the storage fixture: discarding any of
+// those errors is a finding; propagating them is not.
+package kvnode
+
+import "storage/engine"
+
+func apply(e engine.Engine, b []byte) {
+	e.Apply(b)      // want `discarded error result`
+	_ = e.Apply(b)  // want `assigned to _`
+	defer e.Close() // want `discarded error deferred result`
+}
+
+func open(path string) *engine.WAL {
+	w, _ := engine.Open(path) // want `assigned to _`
+	return w
+}
+
+// Propagating the errors is the correct shape.
+func applyChecked(e engine.Engine, b []byte) error {
+	if err := e.Apply(b); err != nil {
+		return err
+	}
+	return e.Close()
+}
+
+func localErr() error { return nil }
+
+// Discarding a non-storage error is outside this analyzer's charter.
+func fine() {
+	localErr()
+}

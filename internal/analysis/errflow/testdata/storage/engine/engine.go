@@ -1,0 +1,29 @@
+// Package engine is a storage-segment fixture: by path, every
+// error-returning function and method here is storage-critical,
+// including calls through the Engine interface.
+package engine
+
+import "errors"
+
+type Engine interface {
+	Apply(b []byte) error
+	Close() error
+}
+
+type WAL struct{ sealed bool }
+
+func (w *WAL) Append(b []byte) error {
+	if w.sealed {
+		return errors.New("append to sealed wal")
+	}
+	return nil
+}
+
+func (w *WAL) Sync() error { return nil }
+
+func Open(path string) (*WAL, error) {
+	if path == "" {
+		return nil, errors.New("empty path")
+	}
+	return &WAL{}, nil
+}

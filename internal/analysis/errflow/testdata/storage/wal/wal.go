@@ -1,0 +1,28 @@
+// Package wal sits in a storage segment, so the write-side file
+// primitives become storage-critical too: a swallowed fsync error turns
+// "crash loses the un-synced suffix" into "crash loses acked writes".
+package wal
+
+import "os"
+
+func flush(f *os.File, b []byte) {
+	f.Write(b)      // want `discarded error result of \(\*os\.File\)\.Write`
+	defer f.Close() // want `discarded error deferred result of \(\*os\.File\)\.Close`
+}
+
+func sync(f *os.File) {
+	_ = f.Sync() // want `error result of \(\*os\.File\)\.Sync assigned to _`
+}
+
+// Checked propagation is clean.
+func flushChecked(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// A justified discard carries a directive with its reason.
+func bestEffort(f *os.File) {
+	f.Sync() //repolint:allow errflow best-effort readahead warm-up; durability is not promised here
+}

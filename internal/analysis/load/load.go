@@ -1,0 +1,296 @@
+// Package load type-checks Go packages for the repolint analyzers using
+// only the standard library. The usual driver for go/analysis tooling is
+// golang.org/x/tools/go/packages; this repo builds offline, so the loader
+// reimplements the small slice it needs: `go list -deps -json` supplies
+// the file sets and import graphs, and go/types checks everything from
+// source in dependency order. Standard-library packages are checked once
+// per process and cached; module packages are re-checked per call so
+// tests always see fresh code.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listed mirrors the `go list -json` fields the loader consumes.
+type listed struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+}
+
+// loadMu serializes whole loads: std packages are checked once per
+// process and shared by identity, so two interleaved loads must never
+// build the same std package twice. Loads are rare (a handful per test
+// binary); coarse serialization is free and removes every identity race.
+var (
+	loadMu sync.Mutex
+
+	listCache = map[string]*listed{} // import path -> metadata
+
+	stdFset  = token.NewFileSet()
+	stdCache = map[string]*types.Package{} // std import path -> checked package
+)
+
+// goList runs `go list -deps -json` for args in dir and folds the
+// results into the process-wide metadata cache. CGO is disabled so the
+// pure-Go file sets are selected and everything type-checks from source.
+func goList(dir string, args ...string) error {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-deps", "-json=ImportPath,Name,Dir,Standard,GoFiles,Imports,ImportMap"}, args...)...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		p := new(listed)
+		if err := dec.Decode(p); err != nil {
+			return fmt.Errorf("go list %s: decoding: %v", strings.Join(args, " "), err)
+		}
+		listCache[p.ImportPath] = p
+	}
+	return nil
+}
+
+func lookupListed(dir, path string) (*listed, error) {
+	if p := listCache[path]; p != nil {
+		return p, nil
+	}
+	if err := goList(dir, path); err != nil {
+		return nil, err
+	}
+	p := listCache[path]
+	if p == nil {
+		return nil, fmt.Errorf("go list did not resolve %q", path)
+	}
+	return p, nil
+}
+
+// checker builds types.Package values from source, memoizing standard
+// library results across the whole process.
+type checker struct {
+	dir      string // directory for go list invocations
+	fset     *token.FileSet
+	mine     map[string]*types.Package // every package resolved this call
+	testdata map[string]string         // import path -> dir overrides (analysistest)
+	out      []*Package
+}
+
+func (c *checker) check(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := c.mine[path]; ok {
+		return p, nil
+	}
+	if cached := stdCache[path]; cached != nil {
+		c.mine[path] = cached
+		return cached, nil
+	}
+
+	var (
+		dir       string
+		files     []string
+		importMap map[string]string
+		std       bool
+	)
+	if tdir, ok := c.testdata[path]; ok {
+		dir = tdir
+		ents, err := os.ReadDir(tdir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				files = append(files, n)
+			}
+		}
+		sort.Strings(files)
+	} else {
+		l, err := lookupListed(c.dir, path)
+		if err != nil {
+			return nil, err
+		}
+		if l.Name == "" || len(l.GoFiles) == 0 {
+			return nil, fmt.Errorf("package %s has no Go files", path)
+		}
+		dir, files, importMap, std = l.Dir, l.GoFiles, l.ImportMap, l.Standard
+	}
+
+	// Std files live in the shared std FileSet so cached std packages
+	// keep valid positions across calls; module files use the per-call
+	// FileSet handed to the analyzers.
+	fset := c.fset
+	if std {
+		fset = stdFset
+	}
+	var astFiles []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		astFiles = append(astFiles, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := &types.Config{
+		Importer: importerFunc(func(imp string) (*types.Package, error) {
+			if mapped, ok := importMap[imp]; ok {
+				imp = mapped
+			} else if c.testdata != nil {
+				if _, ok := c.testdata[imp]; ok {
+					return c.check(imp)
+				}
+			}
+			return c.check(imp)
+		}),
+		// The compiled stdlib carries build-constraint knowledge the
+		// source checker lacks; ignoring FakeImportC-style edge cases,
+		// source-checking std is supported (go/types' TestStdlib does
+		// exactly this).
+		Error: func(err error) {},
+	}
+	pkg, err := conf.Check(path, fset, astFiles, info)
+	if err != nil && !std {
+		// Std packages occasionally produce benign soft errors under
+		// source checking; module packages must check cleanly.
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	if std {
+		stdCache[path] = pkg
+		c.mine[path] = pkg
+		return pkg, nil
+	}
+	c.mine[path] = pkg
+	c.out = append(c.out, &Package{Path: path, Fset: fset, Files: astFiles, Types: pkg, Info: info})
+	return pkg, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Packages loads and type-checks the module packages matching patterns
+// (resolved by `go list` in dir), returning one Package per non-std
+// package in the match set, sorted by import path.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// Enumerate the match set (not its deps) first so only matched
+	// packages are returned, then check them, pulling deps as needed.
+	cmd := exec.Command("go", append([]string{"list"}, patterns...)...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var roots []string
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			roots = append(roots, line)
+		}
+	}
+	// One batched -deps walk primes the metadata cache for the closure.
+	if err := goList(dir, patterns...); err != nil {
+		return nil, err
+	}
+
+	c := &checker{dir: dir, fset: token.NewFileSet(), mine: map[string]*types.Package{}}
+	var pkgs []*Package
+	for _, root := range roots {
+		if _, err := c.check(root); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range c.out {
+		for _, root := range roots {
+			if p.Path == root {
+				pkgs = append(pkgs, p)
+				break
+			}
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// Dir loads analysistest-style packages: every directory under root that
+// contains .go files becomes a package whose import path is its
+// root-relative slash path. Imports resolve against sibling testdata
+// packages first, then the standard library.
+func Dir(root string) ([]*Package, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	testdata := map[string]string{}
+	err := filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {
+		if err != nil || fi.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		testdata[filepath.ToSlash(rel)] = filepath.Dir(path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &checker{dir: root, fset: token.NewFileSet(), mine: map[string]*types.Package{}, testdata: testdata}
+	var paths []string
+	for p := range testdata {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, err := c.check(p); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(c.out, func(i, j int) bool { return c.out[i].Path < c.out[j].Path })
+	return c.out, nil
+}

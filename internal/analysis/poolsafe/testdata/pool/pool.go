@@ -1,0 +1,26 @@
+// Package pool exercises the poolsafe lifecycle rules against a
+// miniature of the kv message pools: a pooled box type, an acquire
+// wrapper (newMsg) and a release wrapper (releaseMsg), both discovered
+// by the analyzer rather than hard-coded.
+package pool
+
+import "sync"
+
+type msg struct {
+	key string
+	val []byte
+}
+
+var msgPool = sync.Pool{New: func() any { return new(msg) }}
+
+func newMsg(key string) *msg {
+	m := msgPool.Get().(*msg)
+	m.key = key
+	return m
+}
+
+func releaseMsg(m *msg) {
+	m.key = ""
+	m.val = nil
+	msgPool.Put(m)
+}

@@ -1,0 +1,12 @@
+package simpure_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/simpure"
+)
+
+func TestSimpure(t *testing.T) {
+	analysistest.Run(t, "testdata", simpure.Analyzer)
+}

@@ -1,0 +1,19 @@
+// Package engine sits in live scope: wall-clock concurrency is its
+// whole job, so none of the simpure rules bind.
+package engine
+
+import "sync"
+
+type Engine struct {
+	mu sync.Mutex
+}
+
+func (e *Engine) Do(f func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f()
+}
+
+func (e *Engine) Spawn(f func()) {
+	go e.Do(f)
+}

@@ -1,0 +1,16 @@
+// Package gostmt exercises the goroutine rule: under the discrete-event
+// engine there is exactly one goroutine.
+package gostmt
+
+func fanOut(fs []func()) {
+	for _, f := range fs {
+		go f() // want `go statement in deterministic sim package`
+	}
+}
+
+// Plain calls are, of course, fine.
+func inline(fs []func()) {
+	for _, f := range fs {
+		f()
+	}
+}

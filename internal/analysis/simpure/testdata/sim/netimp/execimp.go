@@ -1,0 +1,5 @@
+package netimp
+
+import "os/exec" // want `import of os/exec in deterministic sim package`
+
+var _ = exec.Command

@@ -1,0 +1,6 @@
+// Package netimp exercises the real-I/O import rule.
+package netimp
+
+import "net" // want `import of net in deterministic sim package`
+
+var _ = net.JoinHostPort

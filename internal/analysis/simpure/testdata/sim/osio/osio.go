@@ -1,0 +1,17 @@
+// Package osio exercises the real-file-I/O rule: files, directories and
+// processes touch the machine; reading configuration does not.
+package osio
+
+import "os"
+
+func persist(path string, b []byte) {
+	_ = os.WriteFile(path, b, 0o644) // want `os\.WriteFile in deterministic sim package`
+	f, err := os.Open(path)          // want `os\.Open in deterministic sim package`
+	if err == nil {
+		_ = f
+	}
+	_ = os.Remove(path) // want `os\.Remove in deterministic sim package`
+}
+
+// Environment reads are deterministic per process and stay legal.
+func workers() string { return os.Getenv("REPRO_WORKERS") }

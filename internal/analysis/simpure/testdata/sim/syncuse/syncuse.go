@@ -1,0 +1,29 @@
+// Package syncuse exercises the sync rule: the single-goroutine sim
+// needs no locking, and only sync.Pool is blessed.
+package syncuse
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var mu sync.Mutex // want `sync\.Mutex in deterministic sim package`
+
+var count atomic.Int64 // want `sync/atomic\.Int64 in deterministic sim package`
+
+func bump() {
+	mu.Lock()    // want `sync\.Lock in deterministic sim package`
+	count.Add(1) // want `sync/atomic\.Add in deterministic sim package`
+	mu.Unlock()  // want `sync\.Unlock in deterministic sim package`
+}
+
+type box struct{ n int }
+
+var boxes = sync.Pool{New: func() any { return new(box) }}
+
+// sync.Pool and its methods are the blessed exception (message pools).
+func roundTrip() {
+	b := boxes.Get().(*box)
+	b.n++
+	boxes.Put(b)
+}

@@ -1,0 +1,18 @@
+package suite_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/suite"
+)
+
+// TestRepoIsRepolintClean is the meta-invariant: the module itself must
+// stay clean under its own analyzers. Every new finding must be fixed
+// or carry a //repolint:allow <rule> <reason> directive.
+func TestRepoIsRepolintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo type-check is slow; the CI lint job runs the same check via go vet -vettool")
+	}
+	analysistest.CheckClean(t, "../../..", suite.All(), "./...")
+}

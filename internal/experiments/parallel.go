@@ -50,24 +50,24 @@ func parallelMap[T, R any](items []T, f func(T) R) []R {
 		return results
 	}
 	var (
-		next      atomic.Int64
-		wg        sync.WaitGroup
-		panicOnce sync.Once
+		next      atomic.Int64   //repolint:allow simpure fan-out driver: runs are independent, rows merge in spec order
+		panicOnce sync.Once      //repolint:allow simpure fan-out driver: first panic wins, re-raised after drain
+		wg        sync.WaitGroup //repolint:allow simpure fan-out driver: joins the worker pool before results are read
 		panicked  any
 	)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
+		wg.Add(1) //repolint:allow simpure fan-out driver: each worker owns disjoint result slots
 		go func() {
-			defer wg.Done()
+			defer wg.Done() //repolint:allow simpure fan-out driver: pool join point
 			for {
-				i := int(next.Add(1)) - 1
+				i := int(next.Add(1)) - 1 //repolint:allow simpure fan-out driver: work-stealing index, not sim state
 				if i >= len(items) {
 					return
 				}
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
-							panicOnce.Do(func() { panicked = r })
+							panicOnce.Do(func() { panicked = r }) //repolint:allow simpure fan-out driver: first panic wins
 						}
 					}()
 					results[i] = f(items[i])
@@ -75,7 +75,7 @@ func parallelMap[T, R any](items []T, f func(T) R) []R {
 			}
 		}()
 	}
-	wg.Wait()
+	wg.Wait() //repolint:allow simpure fan-out driver: barrier before deterministic merge
 	if panicked != nil {
 		panic(panicked)
 	}

@@ -204,6 +204,7 @@ type Cluster struct {
 	joins           uint64
 	decommissions   uint64
 	retired         Usage // meters of node incarnations replaced by a rejoin
+	closeErr        error // first engine-close error from membership churn
 
 	seq     uint64
 	nextID  reqID
@@ -600,7 +601,7 @@ func (c *Cluster) Restart(id netsim.NodeID) storage.RecoverStats {
 // engine), decommissioned nodes included. The cluster must not be used
 // afterwards.
 func (c *Cluster) Close() error {
-	var first error
+	first := c.closeErr // engines already closed by membership churn
 	for _, id := range c.allNodes {
 		if err := c.nodes[id].engine.Close(); err != nil && first == nil {
 			first = err

@@ -175,7 +175,11 @@ func (c *Cluster) startJoin(id netsim.NodeID) {
 		// meters so Usage keeps billing the work it did, and release its
 		// WAL file, if any.
 		accumulateNodeUsage(&c.retired, old)
-		old.engine.Close()
+		if err := old.engine.Close(); err != nil && c.closeErr == nil {
+			// A failed WAL close on the retiring incarnation must not
+			// vanish: Cluster.Close surfaces the first one.
+			c.closeErr = err
+		}
 	}
 	n := newNode(id, c)
 	n.phase = phaseBootstrapping

@@ -1,0 +1,12 @@
+package live
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain asserts the wall-clock engine leaks no goroutines: every
+// timer callback must have run to completion or become a no-op behind
+// the closed flag by the time the package's tests finish.
+func TestMain(m *testing.M) { testutil.VerifyNoLeaks(m) }

@@ -107,7 +107,7 @@ func DefaultLatencies() LatencyModel {
 type Topology struct {
 	nodes   []NodeInfo
 	byDC    map[string][]NodeID
-	regions map[string][]string // region -> DCs
+	dcOrder []string // DC names in first-seen order
 	Latency LatencyModel
 }
 
@@ -115,7 +115,6 @@ type Topology struct {
 func NewTopology() *Topology {
 	return &Topology{
 		byDC:    make(map[string][]NodeID),
-		regions: make(map[string][]string),
 		Latency: DefaultLatencies(),
 	}
 }
@@ -126,7 +125,7 @@ func (t *Topology) AddNode(name, dc, region string) NodeID {
 	id := NodeID(len(t.nodes))
 	t.nodes = append(t.nodes, NodeInfo{ID: id, Name: name, DC: dc, Region: region})
 	if _, seen := t.byDC[dc]; !seen {
-		t.regions[region] = append(t.regions[region], dc)
+		t.dcOrder = append(t.dcOrder, dc)
 	}
 	t.byDC[dc] = append(t.byDC[dc], id)
 	return id
@@ -156,12 +155,12 @@ func (t *Topology) Nodes() []NodeID {
 	return ids
 }
 
-// DCs returns the datacenter names in first-seen order.
+// DCs returns the datacenter names in first-seen order. (This used to
+// iterate a region-keyed map, so the order was deterministic only for
+// single-region topologies; repolint's determinism analyzer caught it.)
 func (t *Topology) DCs() []string {
-	var out []string
-	for _, dcs := range t.regions {
-		out = append(out, dcs...)
-	}
+	out := make([]string, len(t.dcOrder))
+	copy(out, t.dcOrder)
 	return out
 }
 

@@ -1,0 +1,101 @@
+// Package testutil holds test-process plumbing shared across the
+// repo's test packages. It runs in the test binary, not the sim, so it
+// is exempt from the sim-purity rules by scope.
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// VerifyNoLeaks runs a package's tests and fails the process if any
+// non-baseline goroutine outlives them. The live engine and the facade
+// spawn goroutines freely (timers, fan-out workers); this is the
+// backstop proving they are all joined or defused by the time the
+// package's tests finish.
+//
+// Use from a package's TestMain:
+//
+//	func TestMain(m *testing.M) { testutil.VerifyNoLeaks(m) }
+func VerifyNoLeaks(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := checkNoLeaks(5 * time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "goroutine leak after tests:\n%v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// checkNoLeaks polls until no leaked goroutines remain or the deadline
+// passes. The retry loop absorbs transients: a timer that fired during
+// shutdown briefly runs its callback goroutine before exiting.
+func checkNoLeaks(within time.Duration) error {
+	deadline := time.Now().Add(within)
+	var last []string
+	for {
+		last = leakedGoroutines()
+		if len(last) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("%d goroutine(s) still running:\n\n%s", len(last), strings.Join(last, "\n\n"))
+}
+
+// baseline lists stack substrings of goroutines the runtime and the
+// testing framework keep alive for the whole process.
+var baseline = []string{
+	"testing.(*M).Run",
+	"testing.Main",
+	"testing.runTests",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+	"runtime.runfinq",
+	"runtime.gcBgMarkWorker",
+	"runtime.ensureSigM",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"runtime.ReadTrace",
+}
+
+// leakedGoroutines snapshots all goroutine stacks and returns those
+// that are neither this goroutine nor baseline process plumbing.
+func leakedGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	records := strings.Split(string(buf), "\n\n")
+	var leaked []string
+	for i, rec := range records {
+		if i == 0 {
+			continue // the goroutine running this check
+		}
+		ok := true
+		for _, b := range baseline {
+			if strings.Contains(rec, b) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			leaked = append(leaked, strings.TrimSpace(rec))
+		}
+	}
+	return leaked
+}

@@ -176,7 +176,7 @@ func (c *liveClient) BatchPut(ctx context.Context, ops []PutOp, opts ...OpOption
 // touches no cluster state, so no engine lock is needed.
 func (c *liveClient) armDeadline(d time.Duration, fail func()) {
 	if d > 0 {
-		time.AfterFunc(d, fail)
+		time.AfterFunc(d, fail) //repolint:allow determinism live client deadlines are wall-clock promises, deliberately unscaled
 	}
 }
 
@@ -295,7 +295,7 @@ func (c *liveClient) Run(w Workload, o RunOptions) (*Metrics, error) {
 	}
 	select {
 	case <-done:
-	case <-time.After(10 * time.Minute):
+	case <-time.After(10 * time.Minute): //repolint:allow determinism live-mode watchdog; the sim path never reaches this select
 		return nil, fmt.Errorf("repro: live workload did not finish within 10 minutes")
 	}
 	var m *Metrics

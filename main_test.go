@@ -1,0 +1,12 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain asserts the facade leaks no goroutines: live deployments,
+// client futures and the parallel experiment driver must all join or
+// defuse their goroutines by the time the package's tests finish.
+func TestMain(m *testing.M) { testutil.VerifyNoLeaks(m) }
