@@ -1,14 +1,15 @@
 // Command benchreport runs the simulator's performance suite — the
 // micro-benchmarks of the discrete-event core, the storage engines, the
-// membership layer (ring rebalance, snapshot streaming) and the
-// autoscale decision loop, plus an end-to-end experiment run and a
-// whole-repo repolint pass — and writes the numbers as JSON so the
-// performance trajectory is tracked in-repo (BENCH_PR6.json). CI runs
-// it on every push and uploads the file as an artifact.
+// membership layer (ring rebalance, snapshot streaming, gossip probe
+// rounds, the stale-ring wrong-owner retry) and the autoscale decision
+// loop, plus an end-to-end experiment run and a whole-repo repolint
+// pass — and writes the numbers as JSON so the performance trajectory
+// is tracked in-repo (BENCH_PR7.json). CI runs it on every push and
+// uploads the file as an artifact.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-o BENCH_PR6.json] [-quick] [-baseline old.json]
+//	go run ./cmd/benchreport [-o BENCH_PR7.json] [-quick] [-baseline old.json]
 //
 // -quick shortens the measurement windows (CI smoke); -baseline embeds a
 // previously captured report under "baseline" so before/after travels in
@@ -278,6 +279,126 @@ func benchSnapshotStream(target time.Duration) Bench {
 	})
 }
 
+// benchGossipRound measures one SWIM probe round — deterministic peer
+// selection, a ping/ack exchange with piggybacked updates and the probe
+// timers — the steady-state background cost every node pays for
+// decentralized membership. Eight staggered nodes tick once per
+// interval each, so one interval/8 slice of virtual time is one round.
+func benchGossipRound(target time.Duration) Bench {
+	topo := netsim.SingleDC(8)
+	cfg := kv.DefaultConfig()
+	cfg.Seed = 1
+	cfg.Gossip = true
+	cfg.GossipInterval = 200 * time.Millisecond
+	cfg.HintReplayInterval = 0 // gossip is the only periodic traffic
+	cfg.AntiEntropyInterval = 0
+	eng := sim.New(cfg.Seed)
+	tr := netsim.NewTransport(eng, topo)
+	cl := kv.New(topo, tr, cfg)
+	step := cfg.GossipInterval / time.Duration(topo.N())
+	return measure("GossipRound", target, func(n uint64) {
+		before := cl.Usage().GossipRounds
+		for i := uint64(0); i < n; i++ {
+			eng.RunFor(step)
+		}
+		if cl.Usage().GossipRounds == before {
+			panic("benchreport: no gossip rounds ran")
+		}
+	})
+}
+
+// benchStaleRingReadRetry measures the wrong-owner fallback end to end:
+// every view except the joiner's and one displaced old owner's is
+// rewound to the pre-join ring, then a read at ALL for a key the join
+// moved is driven to completion — the displaced replica refuses with
+// the missing ring events, the coordinator merges them, re-plans and
+// retries against the true owners. The per-iteration view rewind is
+// part of the measured loop (VNodes=32 bounds the strategy rebuild
+// while still handing the joiner real ownership).
+func benchStaleRingReadRetry(target time.Duration) Bench {
+	topo := netsim.SingleDC(6)
+	cfg := kv.DefaultConfig()
+	cfg.Seed = 1
+	cfg.Gossip = true
+	cfg.VNodes = 32
+	cfg.WarmupDuration = 0
+	cfg.HintReplayInterval = 0
+	cfg.AntiEntropyInterval = 0
+	cfg.InitialMembers = []netsim.NodeID{0, 1, 2, 3, 4}
+	eng := sim.New(cfg.Seed)
+	tr := netsim.NewTransport(eng, topo)
+	cl := kv.New(topo, tr, cfg)
+	const records = 256
+	key := func(i uint64) string { return fmt.Sprintf("stale%06d", i) }
+	cl.Preload(records, key, make([]byte, 128))
+	contains := func(list []netsim.NodeID, id netsim.NodeID) bool {
+		for _, n := range list {
+			if n == id {
+				return true
+			}
+		}
+		return false
+	}
+	oldOwners := make([][]netsim.NodeID, records)
+	for i := range oldOwners {
+		oldOwners[i] = append([]netsim.NodeID(nil), cl.Strategy().Replicas(key(uint64(i)))...)
+	}
+	joiner := netsim.NodeID(5)
+	cl.Join(joiner)
+	// Agreement is trivially total until the flip appends the ring event,
+	// so wait for the flip first, then for every view to catch up.
+	for i := 0; i < 400 && !cl.IsMember(joiner); i++ {
+		eng.RunFor(50 * time.Millisecond)
+	}
+	for i := 0; i < 400 && !cl.MembershipConverged(); i++ {
+		eng.RunFor(50 * time.Millisecond)
+	}
+	if !cl.IsMember(joiner) || !cl.MembershipConverged() {
+		panic("benchreport: views never converged after the join")
+	}
+	var staleKey string
+	displaced := netsim.NodeID(-1)
+	for i := 0; i < records && displaced < 0; i++ {
+		newR := cl.Strategy().Replicas(key(uint64(i)))
+		if !contains(newR, joiner) {
+			continue
+		}
+		for _, r := range oldOwners[i] {
+			if !contains(newR, r) {
+				staleKey, displaced = key(uint64(i)), r
+				break
+			}
+		}
+	}
+	if displaced < 0 {
+		panic("benchreport: the join displaced no key")
+	}
+	var stale []netsim.NodeID
+	for _, m := range cl.Members() {
+		if m != joiner && m != displaced {
+			stale = append(stale, m)
+		}
+	}
+	return measure("StaleRingReadRetry", target, func(n uint64) {
+		before := cl.Usage().WrongOwnerRetries
+		for i := uint64(0); i < n; i++ {
+			for _, m := range stale {
+				cl.ResetGossipView(m, 0)
+			}
+			done := false
+			cl.Read(staleKey, kv.All, func(kv.ReadResult) { done = true })
+			for !done && eng.Step() {
+			}
+			if !done {
+				panic("benchreport: stale-ring read stalled")
+			}
+		}
+		if cl.Usage().WrongOwnerRetries == before {
+			panic("benchreport: no wrong-owner retry ran")
+		}
+	})
+}
+
 // benchStore is an always-settled fixed-size store; the bench feeds a
 // workload whose recommendation equals the current size, so Step runs
 // the full sample → optimize → judge pipeline without enacting.
@@ -286,6 +407,7 @@ type benchStore struct{ members []netsim.NodeID }
 func (s *benchStore) Members() []netsim.NodeID            { return s.members }
 func (s *benchStore) State(netsim.NodeID) kv.NodeState    { return kv.StateLive }
 func (s *benchStore) MembershipSettled() bool             { return true }
+func (s *benchStore) MembershipConverged() bool           { return true }
 func (s *benchStore) TryJoin(netsim.NodeID) error         { return nil }
 func (s *benchStore) TryDecommission(netsim.NodeID) error { return nil }
 
@@ -393,7 +515,7 @@ func runRepolint() Tool {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR6.json", "output path")
+	out := flag.String("o", "BENCH_PR7.json", "output path")
 	quick := flag.Bool("quick", false, "short measurement windows (CI smoke)")
 	baseline := flag.String("baseline", "", "previously captured report to embed under \"baseline\"")
 	flag.Parse()
@@ -419,6 +541,8 @@ func main() {
 		benchRingRebalance(target),
 		benchSnapshotStream(target),
 		benchAutoscaleDecide(target),
+		benchGossipRound(target),
+		benchStaleRingReadRetry(target),
 	)
 	fmt.Fprintln(os.Stderr, "benchreport: end-to-end experiment...")
 	rep.Experiments = append(rep.Experiments, runExperiment())

@@ -5,7 +5,12 @@
 // resource usage and the priced bill. The -join and -decommission flags
 // turn the run into an elasticity scenario: a spare node joins the ring
 // mid-run via snapshot-streaming bootstrap, and a member streams its
-// ownership out and leaves, with the workload running throughout.
+// ownership out and leaves, with the workload running throughout. With
+// -gossip the membership is disseminated through SWIM-style gossip
+// (per-node views, suspicion, wrong-owner fallback) instead of flipping
+// atomically, and -suspect <node> fails that node mid-run so the
+// per-peer detectors suspect and condemn it, then recovers it so the
+// refutation handshake resurrects it in every view.
 package main
 
 import (
@@ -59,10 +64,20 @@ func main() {
 	join := flag.Bool("join", false, "mid-run, a spare node joins the ring (snapshot-streaming bootstrap + warming)")
 	decom := flag.Bool("decommission", false, "mid-run, the highest member streams its ownership out and leaves")
 	autoscaleOn := flag.Bool("autoscale", false, "start at the RF+1 provisioning floor and let the cost-loop controller size the cluster from the observed load")
+	gossipOn := flag.Bool("gossip", false, "disseminate membership through SWIM gossip: per-node views, suspicion, wrong-owner fallback (instead of atomic placement)")
+	suspect := flag.Int("suspect", -1, "mid-run, fail this node so every peer's gossip detector suspects it and declares it dead, then recover it to show refutation (requires -gossip)")
 	flag.Parse()
 
 	if *autoscaleOn && (*join || *decom) {
 		fmt.Fprintln(os.Stderr, "-autoscale drives membership itself; drop -join/-decommission")
+		os.Exit(2)
+	}
+	if *suspect >= 0 && !*gossipOn {
+		fmt.Fprintln(os.Stderr, "-suspect demonstrates the gossip failure detector; add -gossip")
+		os.Exit(2)
+	}
+	if *suspect >= 0 && (*join || *decom || *autoscaleOn) {
+		fmt.Fprintln(os.Stderr, "-suspect segments the run itself; drop -join/-decommission/-autoscale")
 		os.Exit(2)
 	}
 
@@ -130,6 +145,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "decommission would drop below RF (%d members, RF %d)\n", memberCount, *rf)
 		os.Exit(2)
 	}
+	if *suspect >= 0 && *suspect >= memberCount {
+		fmt.Fprintf(os.Stderr, "-suspect %d is not a member (members 0..%d)\n", *suspect, memberCount-1)
+		os.Exit(2)
+	}
+	cfg.Gossip = *gossipOn
 	switch *engine {
 	case "mem":
 		cfg.Engine = repro.EngineMem
@@ -223,6 +243,13 @@ func main() {
 			{"steady", *ops / 2, nil},
 			{"after decommission", *ops - *ops/2, func() { sim.Decommission(victim) }},
 		}
+	case *suspect >= 0:
+		target := repro.NodeID(*suspect)
+		segments = []segment{
+			{"steady", *ops / 3, nil},
+			{"suspected", *ops / 3, func() { sim.Cluster.Fail(target) }},
+			{"refuted", *ops - 2*(*ops/3), func() { sim.Cluster.Recover(target) }},
+		}
 	default:
 		segments = []segment{{"steady", *ops, nil}}
 	}
@@ -269,6 +296,11 @@ func main() {
 	if u.Joins > 0 || u.Decommissions > 0 {
 		fmt.Printf("membership  joins=%d decommissions=%d streamed %d cells / %d KiB in %d chunks\n",
 			u.Joins, u.Decommissions, u.StreamedCells, u.StreamedBytes>>10, u.StreamChunks)
+	}
+	if *gossipOn {
+		fmt.Printf("gossip      rounds=%d suspicions=%d deadDeclared=%d ringEvents=%d refusals=%d wrongOwnerRetries=%d agreement=%.2f\n",
+			u.GossipRounds, u.GossipSuspicions, u.GossipDeadDeclared, u.GossipEvents,
+			u.NotOwnerReplies, u.WrongOwnerRetries, sim.ViewAgreement())
 	}
 	meter := sim.Transport.Meter()
 	interDC, interRegion := meter.BilledBytes()

@@ -399,6 +399,139 @@ func TestDeterminismMembership(t *testing.T) {
 	}
 }
 
+// gossipDeterminismHashMem pins the transcript of the gossip-membership
+// scenario below on the default MemEngine, captured on the tree that
+// introduced SWIM dissemination (PR 7). Same regeneration protocol as
+// determinismHash, with -run TestDeterminismGossip.
+const gossipDeterminismHashMem = "b8504218bc75c298db0955fb8cd03a8532d052dd27a2580e561ddfee07f23465"
+
+// gossipDeterminismHashLSM pins the same scenario on the LSM engine.
+const gossipDeterminismHashLSM = "e5e7ba7cd91eb1310934fffe53f6413e9b07f81e65a0107b9df751e40eaa636b"
+
+// gossipDeterminismScenario exercises the SWIM membership paths end to
+// end: a node joins and the ring event spreads view-by-view (stale
+// coordinators recover through the notOwner fallback), a member fails
+// and every peer's local detector suspects it and ages the suspicion
+// into a death verdict, the member recovers and the ping/ack refutation
+// handshake resurrects it, and a founding member decommissions with the
+// Left rumor spreading the same way — all under Quorum traffic with
+// anti-entropy, hint replay and the per-node probe timers armed. The
+// transcript logs every op, the per-round view agreement and the gossip
+// accounting.
+func gossipDeterminismScenario(seed uint64, lsm bool) []string {
+	topo := repro.SingleDC(6)
+	cfg := repro.Defaults(topo)
+	cfg.Seed = seed
+	cfg.InitialMembers = []repro.NodeID{0, 1, 2, 3}
+	cfg.WarmupDuration = 400 * time.Millisecond
+	cfg.StreamChunkBytes = 512
+	cfg.AntiEntropyInterval = 150 * time.Millisecond
+	cfg.AntiEntropySample = 16
+	cfg.HintReplayInterval = 200 * time.Millisecond
+	cfg.DetectionDelay = 50 * time.Millisecond
+	cfg.Gossip = true
+	cfg.GossipInterval = 100 * time.Millisecond // converge within a round at toy scale
+	if lsm {
+		cfg.Engine = repro.EngineLSM
+		cfg.FlushLimit = 768
+		cfg.MaxRuns = 2
+		cfg.WALSyncBytes = 320
+	}
+
+	s := repro.NewSim(topo, cfg)
+	cli := s.StaticClient(repro.Quorum, repro.Quorum)
+	ctx := context.Background()
+
+	var log []string
+	record := func(format string, args ...any) { log = append(log, fmt.Sprintf(format, args...)) }
+	key := func(i int) string { return fmt.Sprintf("%03d-gossip", i) }
+
+	s.Preload(40, func(i uint64) string { return key(int(i)) }, []byte("seed-value"))
+
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 8; i++ {
+			k := key((round*9 + i*5) % 40)
+			w := cli.Put(ctx, k, []byte(fmt.Sprintf("r%d-i%d", round, i)))
+			record("put %s err=%v acked=%d ver=%v", w.Key, w.Err, w.Acked, w.Version)
+			r := cli.Get(ctx, key((round*3+i)%40))
+			record("get %s val=%q exists=%v stale=%v err=%v ver=%v", r.Key, r.Value, r.Exists, r.Stale, r.Err, r.Version)
+		}
+		switch round {
+		case 1:
+			s.Join(4)
+			record("join node=4")
+		case 2:
+			s.Cluster.Crash(2) // gossip state survives, probe timers re-arm at restart
+			record("crash node=2")
+		case 3:
+			s.Cluster.Fail(1)
+			record("fail node=1")
+		case 4:
+			rs := s.Cluster.Restart(2)
+			record("restart node=2 runs=%d walRecords=%d torn=%v keys=%d",
+				rs.RunsLoaded, rs.WALRecords, rs.TornTail, rs.Keys)
+		case 5:
+			s.Cluster.Recover(1)
+			record("recover node=1")
+		case 6:
+			s.Decommission(0)
+			record("decommission node=0")
+		}
+		s.Run(300 * time.Millisecond)
+		record("round %d members=%v agreement=%.3f converged=%v",
+			round, s.Members(), s.ViewAgreement(), s.MembershipConverged())
+	}
+	s.Run(5 * time.Second)
+
+	u := s.Cluster.Usage()
+	record("stale-rate %.9f", s.StaleRate())
+	record("usage busy=%v repReads=%d repWrites=%d coordOps=%d repairs=%d hintsReplayed=%d ae=%d stored=%d",
+		u.BusyTime, u.ReplicaReads, u.ReplicaWrites, u.CoordOps, u.ReadRepairs,
+		u.HintsReplayed, u.AERounds, u.StoredBytes)
+	record("gossip rounds=%d suspicions=%d dead=%d events=%d refusals=%d wrongOwnerRetries=%d warmViolations=%d",
+		u.GossipRounds, u.GossipSuspicions, u.GossipDeadDeclared, u.GossipEvents,
+		u.NotOwnerReplies, u.WrongOwnerRetries, u.WarmViolations)
+	record("membership joins=%d decommissions=%d agreement=%.3f", u.Joins, u.Decommissions, s.ViewAgreement())
+	return log
+}
+
+// TestDeterminismGossip asserts the SWIM membership paths are a pure
+// function of the seed on BOTH engines, pinned by hash like the other
+// scenarios.
+func TestDeterminismGossip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		lsm  bool
+		want string
+	}{
+		{"mem", false, gossipDeterminismHashMem},
+		{"lsm", true, gossipDeterminismHashLSM},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			first := gossipDeterminismScenario(42, tc.lsm)
+			second := gossipDeterminismScenario(42, tc.lsm)
+			if len(first) != len(second) {
+				t.Fatalf("same-seed runs differ in length: %d vs %d", len(first), len(second))
+			}
+			for i := range first {
+				if first[i] != second[i] {
+					t.Fatalf("same-seed runs diverge at line %d:\n  a: %s\n  b: %s", i, first[i], second[i])
+				}
+			}
+			got := hashTranscript(first)
+			if os.Getenv("REPRO_PRINT_TRANSCRIPT") != "" {
+				for _, l := range first {
+					t.Log(l)
+				}
+				t.Logf("transcript hash: %s", got)
+			}
+			if got != tc.want {
+				t.Errorf("transcript hash = %s, want %s (rerun with REPRO_PRINT_TRANSCRIPT=1 to diff)", got, tc.want)
+			}
+		})
+	}
+}
+
 // TestDeterminismAcrossSeeds sanity-checks that the transcript actually
 // depends on the seed (the hash is not vacuous).
 func TestDeterminismAcrossSeeds(t *testing.T) {

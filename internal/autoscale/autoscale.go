@@ -21,7 +21,9 @@
 //     Cooldown;
 //   - one change at a time: nothing is enacted while a membership
 //     change is still streaming or a node is inside its
-//     Config.WarmupDuration window (kv.Cluster.MembershipSettled);
+//     Config.WarmupDuration window (kv.Cluster.MembershipSettled), nor
+//     — under gossip-disseminated membership — while live views still
+//     disagree about the ring (Store.MembershipConverged);
 //   - floor: the cluster never drops below RF+FailureBudget nodes, and
 //     never grows beyond MaxNodes;
 //   - billing-granularity awareness: instances are billed in
@@ -61,6 +63,12 @@ type Store interface {
 	Members() []netsim.NodeID
 	State(id netsim.NodeID) kv.NodeState
 	MembershipSettled() bool
+	// MembershipConverged reports whether every live member's view of
+	// the ring agrees with the latest enacted membership. Under gossip
+	// dissemination an enacted change is only eventually visible, so
+	// the controller holds further changes until views converge; stores
+	// with atomic membership return true unconditionally.
+	MembershipConverged() bool
 	TryJoin(id netsim.NodeID) error
 	TryDecommission(id netsim.NodeID) error
 }

@@ -29,6 +29,9 @@ type fakeStore struct {
 	joins    []netsim.NodeID
 	decoms   []netsim.NodeID
 	rejectOp bool
+	// converged overrides MembershipConverged; nil means converged
+	// (atomic-membership stores always are).
+	converged *bool
 }
 
 func newFakeStore(members, topoN int) *fakeStore {
@@ -54,6 +57,8 @@ func (s *fakeStore) State(id netsim.NodeID) kv.NodeState {
 }
 
 func (s *fakeStore) MembershipSettled() bool { return s.settled }
+
+func (s *fakeStore) MembershipConverged() bool { return s.converged == nil || *s.converged }
 
 func (s *fakeStore) TryJoin(id netsim.NodeID) error {
 	if s.rejectOp {
@@ -254,6 +259,37 @@ func TestSettlingPacesChanges(t *testing.T) {
 	drive(ctl, clock, 2)
 	if len(store.joins) == 0 {
 		t.Fatal("no join once settled")
+	}
+}
+
+// TestConvergencePacesChanges: with gossip-disseminated membership, a
+// settled but not yet view-converged cluster defers changes exactly
+// like an unsettled one, and acts once views agree.
+func TestConvergencePacesChanges(t *testing.T) {
+	store := newFakeStore(4, 10)
+	converged := false
+	store.converged = &converged
+	clock := &fakeClock{}
+	ctl := New(store, &scriptSampler{loads: []float64{6000}}, clock, testConfig(10))
+	drive(ctl, clock, 10)
+	for _, d := range ctl.Log() {
+		if d.Action.Enacted() {
+			t.Fatalf("enacted while views diverged: %v", d)
+		}
+	}
+	sawDefer := false
+	for _, d := range ctl.Log() {
+		if d.Action == ActionDeferSettling && d.Reason == "membership views still converging" {
+			sawDefer = true
+		}
+	}
+	if !sawDefer {
+		t.Fatal("no convergence deferral logged")
+	}
+	converged = true
+	drive(ctl, clock, 2)
+	if len(store.joins) == 0 {
+		t.Fatal("no join once views converged")
 	}
 }
 

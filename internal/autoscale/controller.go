@@ -181,6 +181,12 @@ func (c *Controller) Step() Decision {
 	case !c.store.MembershipSettled():
 		d.Action = ActionDeferSettling
 		d.Reason = "previous membership change still streaming or warming"
+	case !c.store.MembershipConverged():
+		// Gossip-disseminated membership: the last change is enacted but
+		// some views have not caught up; changing the ring again now
+		// would stack staleness on staleness.
+		d.Action = ActionDeferSettling
+		d.Reason = "membership views still converging"
 	case c.changed && now-c.lastChange < c.cfg.Cooldown:
 		d.Action = ActionDeferCooldown
 		d.Reason = fmt.Sprintf("cooldown: %v since last change < %v", now-c.lastChange, c.cfg.Cooldown)

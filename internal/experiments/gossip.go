@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harmony"
+	"repro/internal/kv"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/ycsb"
+)
+
+// The gossip study (PR 7): what decentralized, eventually-consistent
+// membership costs against the atomic-placement baseline when the ring
+// is under stress. Two variants — gossip dissemination on and off —
+// run the same six phases over identical workloads:
+//
+//	steady   — baseline at M members
+//	join     — node M joins mid-phase; under gossip the new ring is
+//	           only eventually visible, so stale coordinators hit
+//	           displaced replicas and recover through the notOwner
+//	           fallback (the stale-ring phase)
+//	storm    — a member fails mid-phase: every peer's local detector
+//	           probes it, suspects it, and ages the suspicion into a
+//	           death verdict (the suspicion storm)
+//	heal     — the failed member recovers; the ping/ack refutation
+//	           handshake resurrects it in every view
+//	flap     — another member fails and recovers inside the phase,
+//	           exercising suspicion/refutation under churn
+//	settle   — steady state after the churn
+//
+// Per phase the study reports throughput, the oracle stale-read rate,
+// Harmony's time-weighted read level, and the gossip meter deltas
+// (suspicions raised, wrong-owner retries, notOwner refusals); per run
+// it reports the view-convergence time after the join (Join call until
+// every reachable view has applied the full ring-event log). Harmony
+// holds the paper's α=10% staleness target throughout, so the headline
+// check is that eventual membership stays under the same α the atomic
+// baseline honors.
+type gossipVariant struct {
+	Name   string
+	Gossip bool
+}
+
+// gossipPhase is one phase's measurement.
+type gossipPhase struct {
+	Name       string
+	Members    int
+	Ops        uint64
+	Throughput float64
+	StaleRate  float64
+	Failed     uint64
+	AvgReadK   float64
+	// Gossip meter deltas over the phase.
+	Suspicions      uint64
+	WrongOwner      uint64
+	NotOwnerReplies uint64
+}
+
+// gossipOutcome is one variant's full measurement.
+type gossipOutcome struct {
+	Variant gossipVariant
+	Phases  []gossipPhase
+	// Converge is the time from the Join call until ViewAgreement
+	// returned to 1 (0 for the atomic variant; -1 if it never did).
+	Converge time.Duration
+	// WholeRunStale is the oracle stale rate over all judged reads.
+	WholeRunStale float64
+	Usage         kv.Usage
+}
+
+// GossipResult carries the study's outcomes plus the rendered table.
+type GossipResult struct {
+	Outcomes []gossipOutcome
+	Table    *Table
+}
+
+// RunGossip runs the study on platform p (its topology must hold one
+// spare: the cluster starts with p.Nodes-1 members) for both variants,
+// fanned out over the parallel driver.
+func RunGossip(p Platform, seed uint64) *GossipResult {
+	variants := []gossipVariant{
+		{Name: "gossip", Gossip: true},
+		{Name: "atomic", Gossip: false},
+	}
+	outcomes := parallelMap(variants, func(v gossipVariant) gossipOutcome {
+		return runGossipVariant(p, v, seed)
+	})
+
+	t := NewTable("Gossip membership (PR 7): SWIM dissemination vs atomic placement under join, "+
+		"failure storm, refutation and flap — "+p.Name,
+		"variant", "phase", "members", "ops", "throughput(op/s)", "stale", "avg read k",
+		"suspicions", "wrong-owner retries", "refusals")
+	for _, out := range outcomes {
+		for _, ph := range out.Phases {
+			t.Add(out.Variant.Name, ph.Name, fmt.Sprintf("%d", ph.Members),
+				fmt.Sprintf("%d", ph.Ops), fmt.Sprintf("%.0f", ph.Throughput),
+				pct(ph.StaleRate), fmt.Sprintf("%.2f", ph.AvgReadK),
+				fmt.Sprintf("%d", ph.Suspicions), fmt.Sprintf("%d", ph.WrongOwner),
+				fmt.Sprintf("%d", ph.NotOwnerReplies))
+		}
+		u := out.Usage
+		t.Note("%s: views converged %v after the join; whole-run stale %s; "+
+			"%d gossip rounds, %d ring events applied, %d suspicions, %d dead verdicts, %d warm violations",
+			out.Variant.Name, out.Converge, pct(out.WholeRunStale),
+			u.GossipRounds, u.GossipEvents, u.GossipSuspicions, u.GossipDeadDeclared, u.WarmViolations)
+	}
+	t.Note("convergence = Join call until every reachable view applied the full ring-event log; " +
+		"wrong-owner retries = coordinator re-plans after a notOwner refusal taught it the events it was missing")
+	return &GossipResult{Outcomes: outcomes, Table: t}
+}
+
+// runGossipVariant drives the six phases over one cluster and one
+// Harmony controller (α=10%).
+func runGossipVariant(p Platform, v gossipVariant, seed uint64) gossipOutcome {
+	if seed == 0 {
+		seed = 1
+	}
+	if p.Nodes < 5 {
+		panic("experiments: gossip needs ≥5 topology nodes (one spare)")
+	}
+	members := p.Nodes - 1
+	joiner := netsim.NodeID(members)
+	stormNode := netsim.NodeID(1)
+	flapNode := netsim.NodeID(2)
+
+	cfg := p.Config(seed)
+	initial := make([]netsim.NodeID, members)
+	for i := range initial {
+		initial[i] = netsim.NodeID(i)
+	}
+	cfg.InitialMembers = initial
+	cfg.Gossip = v.Gossip
+	cfg.WarmupDuration = time.Second
+	cfg.AntiEntropyInterval = 500 * time.Millisecond
+	cfg.AntiEntropySample = 1024
+	cfg.HintReplayInterval = 250 * time.Millisecond
+	cfg.DetectionDelay = 500 * time.Millisecond
+
+	eng := sim.New(seed)
+	topo := p.Build()
+	tr := netsim.NewTransport(eng, topo)
+	cl := kv.New(topo, tr, cfg)
+	mon := monitor.New(cl.RF(), tr, monitor.DefaultOptions())
+	cl.AddHooks(mon.Hooks())
+	ctl := core.NewController(mon, harmony.New(0.10, cl.RF()), tr, 100*time.Millisecond)
+
+	w := ycsb.HeavyReadUpdate(p.Records)
+	w.ValueSize = p.ValueBytes
+	loader, err := ycsb.NewRunner(kv.StaticSession{Cluster: cl, ReadLevel: kv.One, WriteLevel: kv.One}, w, tr, seed)
+	if err != nil {
+		panic(err)
+	}
+	cl.Preload(w.RecordCount, loader.Keys, loader.Value())
+	ctl.Start()
+
+	out := gossipOutcome{Variant: v, Converge: -1}
+	// Convergence probe: once the join's placement flip lands, poll the
+	// view-agreement signal inside the event loop until it returns to 1.
+	watchJoin := func() {
+		joinAt := tr.Now()
+		var check func()
+		check = func() {
+			if !cl.IsMember(joiner) {
+				tr.Schedule(25*time.Millisecond, check)
+				return
+			}
+			if cl.ViewAgreement() >= 1 {
+				out.Converge = tr.Now() - joinAt
+				return
+			}
+			tr.Schedule(25*time.Millisecond, check)
+		}
+		tr.Schedule(25*time.Millisecond, check)
+	}
+
+	phaseOps := p.Ops / 6
+	if phaseOps == 0 {
+		phaseOps = 1000
+	}
+	lastStale, lastFresh, lastFailed := cl.Oracle().Counts()
+	lastUsage := cl.Usage()
+
+	runPhase := func(name string, i int, during func()) {
+		r, err := ycsb.NewRunner(ctl.Session(cl), w, tr, seed+uint64(i+1)*1000)
+		if err != nil {
+			panic(err)
+		}
+		r.OpCount = phaseOps
+		r.Threads = p.Threads
+		start := eng.Now()
+		r.Start()
+		if during != nil {
+			during() // the membership/liveness event lands under load
+		}
+		for !r.Finished() && eng.Step() {
+		}
+		if !r.Finished() {
+			panic(fmt.Sprintf("experiments: gossip phase %q stalled", name))
+		}
+		end := eng.Now()
+		stale, fresh, failed := cl.Oracle().Counts()
+		judged := (stale - lastStale) + (fresh - lastFresh)
+		u := cl.Usage()
+		ph := gossipPhase{
+			Name:            name,
+			Members:         len(cl.Members()),
+			Ops:             r.Metrics().Ops,
+			Failed:          failed - lastFailed,
+			AvgReadK:        avgReadKWindow(ctl.Journal(), start, end, cl.RF()),
+			Suspicions:      u.GossipSuspicions - lastUsage.GossipSuspicions,
+			WrongOwner:      u.WrongOwnerRetries - lastUsage.WrongOwnerRetries,
+			NotOwnerReplies: u.NotOwnerReplies - lastUsage.NotOwnerReplies,
+		}
+		if d := end - start; d > 0 {
+			ph.Throughput = float64(ph.Ops) / d.Seconds()
+		}
+		if judged > 0 {
+			ph.StaleRate = float64(stale-lastStale) / float64(judged)
+		}
+		lastStale, lastFresh, lastFailed = stale, fresh, failed
+		lastUsage = u
+		out.Phases = append(out.Phases, ph)
+	}
+
+	runPhase("steady", 0, nil)
+	runPhase("join", 1, func() { cl.Join(joiner); watchJoin() })
+	eng.RunFor(3 * time.Second) // streaming + warmup + view convergence
+	runPhase("storm", 2, func() { cl.Fail(stormNode) })
+	eng.RunFor(2 * time.Second) // suspicions age into death verdicts
+	runPhase("heal", 3, func() { cl.Recover(stormNode) })
+	eng.RunFor(2 * time.Second) // refutation resurrects the node
+	runPhase("flap", 4, func() {
+		cl.Fail(flapNode)
+		tr.Schedule(750*time.Millisecond, func() { cl.Recover(flapNode) })
+	})
+	eng.RunFor(2 * time.Second)
+	runPhase("settle", 5, nil)
+	// Drain: convergence probe, hint replay, refutations.
+	for i := 0; i < 40 && (out.Converge < 0 || cl.ViewAgreement() < 1); i++ {
+		eng.RunFor(250 * time.Millisecond)
+	}
+
+	ctl.Stop()
+	stale, fresh, _ := cl.Oracle().Counts()
+	if judged := stale + fresh; judged > 0 {
+		out.WholeRunStale = float64(stale) / float64(judged)
+	}
+	out.Usage = cl.Usage()
+	return out
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// gossipTestPlatform is a 5→6 single-site deployment at test scale: six
+// topology nodes, five founding members, one spare to join mid-run.
+func gossipTestPlatform() Platform {
+	p := Platform{
+		Name:    "g5k-gossip-test",
+		Build:   func() *netsim.Topology { return netsim.G5KTwoSites(6) },
+		Nodes:   6,
+		RF:      3,
+		Threads: 48,
+		Records: 2_000,
+		Ops:     12_000,
+
+		ValueBytes: 256,
+	}
+	g5kProfile(&p)
+	return p
+}
+
+func TestGossipStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := RunGossip(gossipTestPlatform(), 1)
+	tbl := res.Table
+	if len(tbl.Rows) != 2*6 {
+		t.Fatalf("rows = %d, want 2 variants × 6 phases", len(tbl.Rows))
+	}
+	byName := map[string]gossipOutcome{}
+	for _, out := range res.Outcomes {
+		byName[out.Variant.Name] = out
+		if len(out.Phases) != 6 {
+			t.Fatalf("%s: phases = %d", out.Variant.Name, len(out.Phases))
+		}
+		for _, ph := range out.Phases {
+			if ph.Ops == 0 {
+				t.Errorf("%s/%s ran no ops", out.Variant.Name, ph.Name)
+			}
+		}
+		// Every variant ends at six members with the churn healed.
+		if last := out.Phases[len(out.Phases)-1]; last.Members != 6 {
+			t.Errorf("%s: settled members = %d, want 6", out.Variant.Name, last.Members)
+		}
+		if out.Converge < 0 {
+			t.Errorf("%s: views never converged after the join", out.Variant.Name)
+		}
+		// Both variants hold the Harmony staleness target over the run.
+		if out.WholeRunStale > 0.10 {
+			t.Errorf("%s: whole-run stale %.3f breaches α=10%%", out.Variant.Name, out.WholeRunStale)
+		}
+		// Stale coordinators must never have read an un-warmed replica
+		// while enough converged alternatives existed.
+		if out.Usage.WarmViolations != 0 {
+			t.Errorf("%s: %d warm-routing violations", out.Variant.Name, out.Usage.WarmViolations)
+		}
+	}
+
+	// The gossip variant must actually exercise the machinery: probe
+	// rounds, disseminated ring events, and a suspicion storm that ages
+	// into death verdicts when the storm node fails.
+	g := byName["gossip"]
+	if g.Usage.GossipRounds == 0 || g.Usage.GossipEvents == 0 {
+		t.Errorf("gossip variant ran no dissemination: %+v", g.Usage)
+	}
+	if g.Usage.GossipSuspicions == 0 || g.Usage.GossipDeadDeclared == 0 {
+		t.Errorf("failure storm raised no suspicions/verdicts: suspicions=%d dead=%d",
+			g.Usage.GossipSuspicions, g.Usage.GossipDeadDeclared)
+	}
+	// The atomic baseline has none of it.
+	a := byName["atomic"]
+	if a.Usage.GossipRounds != 0 || a.Usage.NotOwnerReplies != 0 || a.Usage.WrongOwnerRetries != 0 {
+		t.Errorf("atomic variant leaked gossip activity: %+v", a.Usage)
+	}
+	tbl.Render(os.Stderr)
+}
+
+// TestGossipStudyDeterministic: the whole study — both variants, all
+// phases, every meter — renders byte-identically across runs with the
+// same seed.
+func TestGossipStudyDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	render := func() string {
+		var sb strings.Builder
+		RunGossip(gossipTestPlatform(), 7).Table.Render(&sb)
+		return sb.String()
+	}
+	first, second := render(), render()
+	if first != second {
+		t.Fatalf("gossip study not deterministic:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}

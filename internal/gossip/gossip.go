@@ -1,0 +1,87 @@
+// Package gossip implements SWIM-style membership dissemination for the
+// deterministic simulator: per-node membership views, incarnation
+// numbers, alive/suspect/dead/left states with refutation, and bounded
+// piggyback dissemination.
+//
+// The package is a pure state-machine library — it owns no clock, no
+// transport and no placement. The embedding layer (internal/kv) drives
+// it from the discrete-event scheduler: it decides when to probe, whom
+// to ping, when a suspicion times out, and what a message carries. That
+// split keeps the SWIM logic unit-testable in isolation and keeps the
+// simulator's determinism contract (blessed RNG from internal/stats,
+// no wall clock) trivially auditable.
+//
+// Two kinds of state flow between views:
+//
+//   - Status rumors (Update): liveness claims ordered by incarnation
+//     number. A suspected node refutes by re-announcing itself alive at
+//     a higher incarnation; precedence follows SWIM (suspect overrides
+//     alive at the same incarnation, dead overrides both, a higher
+//     incarnation overrides anything but Left, and Left is terminal).
+//     Each view re-transmits a rumor a bounded number of times
+//     (the piggyback budget), giving the classic O(log n) spread.
+//
+//   - Ring events (RingEvent): the append-only log of membership flips
+//     (joins and decommissions). Every view's ring knowledge is a
+//     contiguous prefix of that log, identified by its sequence number
+//     alone, so views compare freshness with a single integer and
+//     bridge gaps by shipping the missing suffix.
+package gossip
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// Status is a view's liveness claim about one member.
+type Status uint8
+
+// Member statuses, in SWIM precedence order.
+const (
+	// Alive: the member is believed healthy.
+	Alive Status = iota
+	// Suspect: a probe went unanswered; the member has until the
+	// suspicion timeout to refute before being declared dead.
+	Suspect
+	// Dead: the suspicion timeout expired unrefuted. A higher
+	// incarnation alive claim (the node itself recovering) resurrects.
+	Dead
+	// Left: the member decommissioned voluntarily. Terminal — no rumor
+	// overrides it; only a fresh join ring event re-admits the node.
+	Left
+)
+
+// String names the status for logs and transcripts.
+func (s Status) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	case Left:
+		return "left"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Update is one liveness rumor: a claim that Node has Status at
+// Incarnation. Updates piggyback on protocol messages and merge into
+// receiving views by SWIM precedence (View.Apply).
+type Update struct {
+	Node        netsim.NodeID
+	Status      Status
+	Incarnation uint64
+}
+
+// RingEvent is one entry of the append-only membership-flip log: ring
+// event Seq made Node join (Join true) or leave the placement ring.
+// Seq is 1-based and dense; a view holding prefix [1..k] has ring
+// sequence k.
+type RingEvent struct {
+	Seq  uint64
+	Join bool
+	Node netsim.NodeID
+}

@@ -1,0 +1,256 @@
+package gossip
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/stats"
+)
+
+func newTestView(self netsim.NodeID) *View {
+	return NewView(self, []netsim.NodeID{0, 1, 2, 3}, 3, 0)
+}
+
+// TestMergePrecedence pins the SWIM precedence table: which rumor
+// overrides which resident claim, incarnation by incarnation.
+func TestMergePrecedence(t *testing.T) {
+	cases := []struct {
+		name   string
+		seed   []Update // applied first to set the resident claim
+		rumor  Update
+		accept bool
+		want   Status
+	}{
+		{"suspect overrides alive at same inc",
+			nil, Update{Node: 1, Status: Suspect, Incarnation: 0}, true, Suspect},
+		{"suspect rejected below current inc",
+			[]Update{{Node: 1, Status: Alive, Incarnation: 2}},
+			Update{Node: 1, Status: Suspect, Incarnation: 1}, false, Alive},
+		{"suspect does not override suspect at same inc",
+			[]Update{{Node: 1, Status: Suspect, Incarnation: 0}},
+			Update{Node: 1, Status: Suspect, Incarnation: 0}, false, Suspect},
+		{"alive refutes suspect with higher inc",
+			[]Update{{Node: 1, Status: Suspect, Incarnation: 0}},
+			Update{Node: 1, Status: Alive, Incarnation: 1}, true, Alive},
+		{"alive does not refute suspect at same inc",
+			[]Update{{Node: 1, Status: Suspect, Incarnation: 1}},
+			Update{Node: 1, Status: Alive, Incarnation: 1}, false, Suspect},
+		{"dead overrides suspect at same inc",
+			[]Update{{Node: 1, Status: Suspect, Incarnation: 0}},
+			Update{Node: 1, Status: Dead, Incarnation: 0}, true, Dead},
+		{"dead overrides alive at same inc",
+			nil, Update{Node: 1, Status: Dead, Incarnation: 0}, true, Dead},
+		{"suspect does not override dead",
+			[]Update{{Node: 1, Status: Dead, Incarnation: 0}},
+			Update{Node: 1, Status: Suspect, Incarnation: 5}, false, Dead},
+		{"alive resurrects dead with higher inc",
+			[]Update{{Node: 1, Status: Dead, Incarnation: 0}},
+			Update{Node: 1, Status: Alive, Incarnation: 1}, true, Alive},
+		{"alive does not resurrect dead at same inc",
+			[]Update{{Node: 1, Status: Dead, Incarnation: 1}},
+			Update{Node: 1, Status: Alive, Incarnation: 1}, false, Dead},
+		{"left is terminal against alive",
+			[]Update{{Node: 1, Status: Left, Incarnation: 0}},
+			Update{Node: 1, Status: Alive, Incarnation: 99}, false, Left},
+		{"left is terminal against dead",
+			[]Update{{Node: 1, Status: Left, Incarnation: 0}},
+			Update{Node: 1, Status: Dead, Incarnation: 99}, false, Left},
+		{"left overrides anything",
+			[]Update{{Node: 1, Status: Suspect, Incarnation: 4}},
+			Update{Node: 1, Status: Left, Incarnation: 0}, true, Left},
+	}
+	for _, tc := range cases {
+		v := newTestView(0)
+		for _, s := range tc.seed {
+			v.Apply(s)
+		}
+		if got := v.Apply(tc.rumor); got != tc.accept {
+			t.Errorf("%s: Apply = %v, want %v", tc.name, got, tc.accept)
+		}
+		if got := v.StatusOf(1); got != tc.want {
+			t.Errorf("%s: status = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestSelfRefutation: a rumor declaring the view's own node suspect or
+// dead bumps the incarnation past the claim and re-announces alive.
+func TestSelfRefutation(t *testing.T) {
+	v := newTestView(2)
+	if !v.Apply(Update{Node: 2, Status: Suspect, Incarnation: 0}) {
+		t.Fatal("self-suspicion rumor should trigger a refutation")
+	}
+	if v.StatusOf(2) != Alive || v.Incarnation(2) != 1 {
+		t.Fatalf("after refutation: status=%v inc=%d, want alive/1", v.StatusOf(2), v.Incarnation(2))
+	}
+	// The refutation must ride outgoing messages with a full budget.
+	ups := v.Updates(8)
+	found := false
+	for _, u := range ups {
+		if u.Node == 2 && u.Status == Alive && u.Incarnation == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("refutation not queued for dissemination: %v", ups)
+	}
+	// A dead rumor at the already-refuted incarnation refutes again.
+	if !v.Apply(Update{Node: 2, Status: Dead, Incarnation: 1}) {
+		t.Fatal("self-death rumor at current inc should re-refute")
+	}
+	if v.Incarnation(2) != 2 || v.StatusOf(2) != Alive {
+		t.Fatalf("second refutation: status=%v inc=%d", v.StatusOf(2), v.Incarnation(2))
+	}
+	// A stale rumor below the current incarnation is ignored.
+	if v.Apply(Update{Node: 2, Status: Suspect, Incarnation: 0}) {
+		t.Fatal("stale self-suspicion must not refute again")
+	}
+}
+
+// TestSuspectConfirmRefute drives the suspicion state machine through
+// both outcomes: timeout-confirmed death and in-time refutation.
+func TestSuspectConfirmRefute(t *testing.T) {
+	v := newTestView(0)
+	u, ok := v.Suspect(1)
+	if !ok || u.Status != Suspect || u.Incarnation != 0 {
+		t.Fatalf("Suspect(1) = %v, %v", u, ok)
+	}
+	if _, ok := v.Suspect(1); ok {
+		t.Fatal("re-suspecting a suspect must be moot")
+	}
+	// Refutation lands before the timeout: confirmation must not fire.
+	v.Apply(Update{Node: 1, Status: Alive, Incarnation: 1})
+	if _, ok := v.Confirm(1, 0); ok {
+		t.Fatal("Confirm after refutation must be moot")
+	}
+	// Second round: no refutation, the confirm declares death.
+	v2 := newTestView(0)
+	u2, _ := v2.Suspect(3)
+	d, ok := v2.Confirm(3, u2.Incarnation)
+	if !ok || d.Status != Dead {
+		t.Fatalf("Confirm(3) = %v, %v", d, ok)
+	}
+	if v2.StatusOf(3) != Dead {
+		t.Fatalf("status = %v, want dead", v2.StatusOf(3))
+	}
+}
+
+// TestPiggybackBudget: each rumor rides at most budget messages, in
+// deterministic (budget desc, id asc) order.
+func TestPiggybackBudget(t *testing.T) {
+	v := NewView(0, []netsim.NodeID{0, 1, 2, 3}, 2, 0)
+	v.Apply(Update{Node: 1, Status: Suspect, Incarnation: 0})
+	v.Apply(Update{Node: 2, Status: Suspect, Incarnation: 0})
+	first := v.Updates(10)
+	if len(first) != 2 || first[0].Node != 1 || first[1].Node != 2 {
+		t.Fatalf("first drain = %v", first)
+	}
+	second := v.Updates(10)
+	if len(second) != 2 {
+		t.Fatalf("second drain = %v", second)
+	}
+	if got := v.Updates(10); len(got) != 0 {
+		t.Fatalf("budget 2 exhausted, but drained %v", got)
+	}
+	// max truncates, and the survivor keeps its remaining budget.
+	v.Apply(Update{Node: 1, Status: Dead, Incarnation: 0})
+	v.Apply(Update{Node: 2, Status: Dead, Incarnation: 0})
+	if got := v.Updates(1); len(got) != 1 || got[0].Node != 1 {
+		t.Fatalf("truncated drain = %v", got)
+	}
+	// Node 2 still has full budget (2), node 1 has 1 left: 2 sorts first.
+	if got := v.Updates(2); len(got) != 2 || got[0].Node != 2 || got[1].Node != 1 {
+		t.Fatalf("budget-ordered drain = %v", got)
+	}
+}
+
+// TestRingEvents: events apply only in dense order; joins (re-)admit,
+// leaves are terminal, and RingSeq tracks the applied prefix.
+func TestRingEvents(t *testing.T) {
+	v := NewView(0, []netsim.NodeID{0, 1, 2}, 3, 0)
+	if v.ApplyRingEvent(RingEvent{Seq: 2, Join: true, Node: 5}) {
+		t.Fatal("gap event must be rejected")
+	}
+	if !v.ApplyRingEvent(RingEvent{Seq: 1, Join: true, Node: 5}) {
+		t.Fatal("next event must apply")
+	}
+	if v.RingSeq() != 1 || v.StatusOf(5) != Alive {
+		t.Fatalf("seq=%d status=%v", v.RingSeq(), v.StatusOf(5))
+	}
+	if v.ApplyRingEvent(RingEvent{Seq: 1, Join: true, Node: 5}) {
+		t.Fatal("replayed event must be rejected")
+	}
+	if !v.ApplyRingEvent(RingEvent{Seq: 2, Join: false, Node: 1}) {
+		t.Fatal("leave event must apply")
+	}
+	if v.StatusOf(1) != Left {
+		t.Fatalf("status = %v, want left", v.StatusOf(1))
+	}
+	// A rejoin after a leave re-admits the node fresh.
+	if !v.ApplyRingEvent(RingEvent{Seq: 3, Join: true, Node: 1}) {
+		t.Fatal("rejoin event must apply")
+	}
+	if v.StatusOf(1) != Alive || v.Incarnation(1) != 0 {
+		t.Fatalf("rejoined: status=%v inc=%d", v.StatusOf(1), v.Incarnation(1))
+	}
+	want := []netsim.NodeID{0, 1, 2, 5}
+	if got := v.Members(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Members = %v, want %v", got, want)
+	}
+}
+
+// TestNextPeerDeterministic: the same seed yields the same probe order,
+// every probeable member appears exactly once per cycle, and dead/left
+// members are skipped.
+func TestNextPeerDeterministic(t *testing.T) {
+	probeOrder := func(seed uint64) []netsim.NodeID {
+		v := NewView(0, []netsim.NodeID{0, 1, 2, 3, 4, 5}, 3, 0)
+		rng := stats.NewSource(seed).Stream("probe")
+		var order []netsim.NodeID
+		for i := 0; i < 5; i++ {
+			order = append(order, v.NextPeer(rng))
+		}
+		return order
+	}
+	a, b := probeOrder(7), probeOrder(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	seen := make(map[netsim.NodeID]bool)
+	for _, p := range a {
+		if p == 0 {
+			t.Fatal("view probed itself")
+		}
+		if seen[p] {
+			t.Fatalf("peer %d probed twice in one cycle: %v", p, a)
+		}
+		seen[p] = true
+	}
+
+	// Nobody alive or suspect: the dead-member fallback fires (the
+	// last-ditch rejoin probe), and only all-Left yields -1.
+	v := NewView(0, []netsim.NodeID{0, 1, 2}, 3, 0)
+	rng := stats.NewSource(1).Stream("probe")
+	v.Apply(Update{Node: 1, Status: Dead, Incarnation: 0})
+	v.Apply(Update{Node: 2, Status: Left, Incarnation: 0})
+	if p := v.NextPeer(rng); p != 1 {
+		t.Fatalf("dead fallback should probe node 1, got %d", p)
+	}
+	v.Apply(Update{Node: 1, Status: Left, Incarnation: 0})
+	if p := v.NextPeer(rng); p != -1 {
+		t.Fatalf("all left: nobody probeable, got %d", p)
+	}
+}
+
+// TestApplyUnknownNodeDropped: rumors about nodes outside the ring
+// prefix are dropped, not buffered.
+func TestApplyUnknownNodeDropped(t *testing.T) {
+	v := newTestView(0)
+	if v.Apply(Update{Node: 9, Status: Suspect, Incarnation: 0}) {
+		t.Fatal("rumor about an unknown node must be dropped")
+	}
+	if v.StatusOf(9) != Left {
+		t.Fatalf("unknown node status = %v, want left", v.StatusOf(9))
+	}
+}

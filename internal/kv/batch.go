@@ -131,7 +131,7 @@ func (n *Node) coordBatchRead(m clientBatchRead) {
 		perReplica := make(map[netsim.NodeID]*replicaBatchRead)
 		for i, key := range m.Keys {
 			n.cluster.hooks.readStarted(now, key)
-			replicas := n.cluster.strategy.Replicas(key)
+			replicas := n.routeReplicas(key)
 			req := m.Level.resolve(replicas, n.cluster.topo, n.cluster.topo.DCOf(n.id))
 			ctx := getReadCtx()
 			targets, ok := n.pickTargets(replicas, req, ctx.targets)
@@ -156,7 +156,7 @@ func (n *Node) coordBatchRead(m clientBatchRead) {
 			for _, t := range targets {
 				rb := perReplica[t]
 				if rb == nil {
-					rb = &replicaBatchRead{ID: m.ID, Coord: n.id}
+					rb = &replicaBatchRead{ID: m.ID, Coord: n.id, RingSeq: n.ringSeq()}
 					perReplica[t] = rb
 					order = append(order, t)
 				}
@@ -271,9 +271,9 @@ func (n *Node) coordBatchWrite(m clientBatchWrite) {
 		var order []netsim.NodeID
 		perReplica := make(map[netsim.NodeID]*replicaBatchWrite)
 		for i, op := range m.Ops {
-			replicas := n.cluster.strategy.Replicas(op.Key)
+			replicas := n.routeReplicas(op.Key)
 			req := m.Level.resolve(replicas, n.cluster.topo, n.cluster.topo.DCOf(n.id))
-			if !n.cluster.levelReachable(replicas, req) {
+			if !n.routeReachable(replicas, req) {
 				deliver(i)(WriteResult{Err: ErrUnavailable, Key: op.Key, Level: m.Level})
 				continue
 			}
@@ -291,14 +291,18 @@ func (n *Node) coordBatchWrite(m clientBatchWrite) {
 				ctx.ackDC = make(map[string]int, len(req.perDC))
 			}
 			bctx.items[i] = ctx
+			if n.gs != nil {
+				ctx.cell = cell
+				ctx.sent = append(ctx.sent[:0], replicas...)
+			}
 			for _, r := range replicas {
-				if n.cluster.isDown(r) {
+				if n.routeDown(r) {
 					n.storeHint(r, op.Key, cell)
 					continue
 				}
 				rb := perReplica[r]
 				if rb == nil {
-					rb = &replicaBatchWrite{ID: m.ID, Coord: n.id}
+					rb = &replicaBatchWrite{ID: m.ID, Coord: n.id, RingSeq: n.ringSeq()}
 					perReplica[r] = rb
 					order = append(order, r)
 				}
@@ -344,8 +348,31 @@ func (n *Node) replyBatchWrite(cb func([]WriteResult), res []WriteResult) {
 }
 
 // onReplicaBatchRead serves every item of a batched read in one work
-// unit (summed service time) and answers with one message.
+// unit (summed service time) and answers with one message. Under gossip
+// it first splits off items for ranges this replica's strictly newer
+// ring no longer assigns to it and refuses them in one notOwner.
 func (n *Node) onReplicaBatchRead(m replicaBatchRead) {
+	if n.gs != nil && n.gs.view.RingSeq() > m.RingSeq {
+		var refIdxs []int
+		var refKeys []string
+		kept := 0
+		for j, key := range m.Keys {
+			if !containsNode(n.gs.strategy.Replicas(key), n.id) {
+				refIdxs = append(refIdxs, m.Idxs[j])
+				refKeys = append(refKeys, key)
+				continue
+			}
+			m.Idxs[kept], m.Keys[kept] = m.Idxs[j], key
+			kept++
+		}
+		if len(refIdxs) > 0 {
+			n.refuseBatch(m.ID, m.Coord, false, m.RingSeq, refIdxs, refKeys)
+		}
+		if kept == 0 {
+			return
+		}
+		m.Idxs, m.Keys = m.Idxs[:kept], m.Keys[:kept]
+	}
 	var cost time.Duration
 	for range m.Idxs {
 		cost += n.cluster.cfg.ReadService.Sample(n.rng)
@@ -365,8 +392,31 @@ func (n *Node) onReplicaBatchRead(m replicaBatchRead) {
 }
 
 // onReplicaBatchWrite applies every cell of a batched mutation in one
-// work unit and acknowledges them with one message.
+// work unit and acknowledges them with one message, refusing items this
+// replica's strictly newer ring assigns elsewhere (same split as
+// onReplicaBatchRead).
 func (n *Node) onReplicaBatchWrite(m replicaBatchWrite) {
+	if n.gs != nil && n.gs.view.RingSeq() > m.RingSeq {
+		var refIdxs []int
+		var refKeys []string
+		kept := 0
+		for j, key := range m.Keys {
+			if !containsNode(n.gs.strategy.Replicas(key), n.id) {
+				refIdxs = append(refIdxs, m.Idxs[j])
+				refKeys = append(refKeys, key)
+				continue
+			}
+			m.Idxs[kept], m.Keys[kept], m.Cells[kept] = m.Idxs[j], key, m.Cells[j]
+			kept++
+		}
+		if len(refIdxs) > 0 {
+			n.refuseBatch(m.ID, m.Coord, true, m.RingSeq, refIdxs, refKeys)
+		}
+		if kept == 0 {
+			return
+		}
+		m.Idxs, m.Keys, m.Cells = m.Idxs[:kept], m.Keys[:kept], m.Cells[:kept]
+	}
 	var cost time.Duration
 	for range m.Idxs {
 		cost += n.cluster.cfg.WriteService.Sample(n.rng)

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/gossip"
 	"repro/internal/netsim"
 	"repro/internal/ring"
 	"repro/internal/stats"
@@ -131,6 +132,33 @@ type Config struct {
 	// experiment measures against).
 	DisableJoinStream bool
 
+	// Gossip membership (opt-in). With Gossip set, membership state is
+	// disseminated SWIM-style instead of flipping atomically: every node
+	// keeps its own view (internal/gossip), coordinators route on their
+	// local — possibly stale — ring, replicas refuse ranges they no
+	// longer own (notOwner) carrying the ring events the coordinator is
+	// missing, and the coordinator re-plans and retries within
+	// GossipRetryBudget. With Gossip unset the atomic path is untouched:
+	// no extra messages, no extra RNG draws, byte-identical transcripts.
+	Gossip bool
+	// GossipInterval is the probe period of each node (default 200 ms);
+	// an unanswered probe after half the interval raises a suspicion.
+	GossipInterval time.Duration
+	// GossipSuspicion is how long a suspicion may age before the
+	// suspector declares the target dead (default 4×GossipInterval);
+	// a refutation from the target in that window cancels it.
+	GossipSuspicion time.Duration
+	// GossipPiggyback caps the rumors piggybacked per message
+	// (default 6); each rumor rides at most GossipPiggyback messages.
+	GossipPiggyback int
+	// GossipRetryBudget caps wrong-owner re-plans per operation
+	// (default 2); the budget is charged against the client deadline —
+	// retries never extend the operation's timeout.
+	GossipRetryBudget int
+	// GossipRetryBackoff is the base backoff before a wrong-owner
+	// retry, doubling per retry (default 10 ms).
+	GossipRetryBackoff time.Duration
+
 	// Fault handling.
 	// MutationShed drops replica mutations that waited in the mutation
 	// stage beyond this threshold (Cassandra's dropped-mutation
@@ -200,11 +228,22 @@ type Cluster struct {
 	pending         *membershipChange
 	membershipGen   uint64
 	membershipQueue []queuedChange
-	warming         map[netsim.NodeID]bool
-	joins           uint64
-	decommissions   uint64
-	retired         Usage // meters of node incarnations replaced by a rejoin
-	closeErr        error // first engine-close error from membership churn
+	// draining counts scheduled-but-not-yet-run queue-drain events:
+	// while one is in flight the cluster is NOT settled, even at the
+	// instant the queue itself looks empty to a same-time observer.
+	draining      int
+	warming       map[netsim.NodeID]bool
+	joins         uint64
+	decommissions uint64
+	retired       Usage // meters of node incarnations replaced by a rejoin
+	closeErr      error // first engine-close error from membership churn
+
+	// Gossip membership (Config.Gossip): the global append-only log of
+	// membership flips. Each node's ring knowledge is a contiguous
+	// prefix of this log (see internal/gossip); founders records the
+	// birth member set so test hooks can rebuild a view at any prefix.
+	ringEvents []gossip.RingEvent
+	founders   []netsim.NodeID
 
 	seq     uint64
 	nextID  reqID
@@ -221,6 +260,23 @@ func New(topo *netsim.Topology, net Network, cfg Config) *Cluster {
 	}
 	if cfg.VNodes <= 0 {
 		cfg.VNodes = 32
+	}
+	if cfg.Gossip {
+		if cfg.GossipInterval <= 0 {
+			cfg.GossipInterval = 200 * time.Millisecond
+		}
+		if cfg.GossipSuspicion <= 0 {
+			cfg.GossipSuspicion = 4 * cfg.GossipInterval
+		}
+		if cfg.GossipPiggyback <= 0 {
+			cfg.GossipPiggyback = 6
+		}
+		if cfg.GossipRetryBudget <= 0 {
+			cfg.GossipRetryBudget = 2
+		}
+		if cfg.GossipRetryBackoff <= 0 {
+			cfg.GossipRetryBackoff = 10 * time.Millisecond
+		}
 	}
 	cfg.seedSource = stats.NewSource(cfg.Seed).Stream("kv")
 	c := &Cluster{
@@ -251,6 +307,7 @@ func New(topo *netsim.Topology, net Network, cfg Config) *Cluster {
 	}
 	c.strategy = c.buildStrategy(members)
 	c.oracle = NewOracle(c.strategy.RF())
+	c.founders = append([]netsim.NodeID(nil), members...)
 
 	for _, id := range members {
 		n := newNode(id, c)
@@ -270,10 +327,122 @@ func New(topo *netsim.Topology, net Network, cfg Config) *Cluster {
 		if cfg.HintReplayInterval > 0 {
 			net.SendLocal(id, hintTick{}, cfg.HintReplayInterval*time.Duration(i+1)/time.Duration(len(c.order)))
 		}
-		_ = n
+		if cfg.Gossip {
+			n.gs = newGossipState(n, members, 0)
+			net.SendLocal(id, gossipTick{epoch: n.epoch},
+				cfg.GossipInterval*time.Duration(i+1)/time.Duration(len(c.order)))
+		}
 	}
 	return c
 }
+
+// appendRingEvent logs one membership flip to the global ring-event
+// log; per-node views learn it through gossip (plus the introducer
+// fast-path in finishJoin/finishDecommission).
+func (c *Cluster) appendRingEvent(join bool, id netsim.NodeID) {
+	c.ringEvents = append(c.ringEvents, gossip.RingEvent{
+		Seq:  uint64(len(c.ringEvents)) + 1,
+		Join: join,
+		Node: id,
+	})
+}
+
+// eventsSince returns the ring-event suffix after prefix seq. The slice
+// aliases the log; receivers only read it.
+func (c *Cluster) eventsSince(seq uint64) []gossip.RingEvent {
+	if seq >= uint64(len(c.ringEvents)) {
+		return nil
+	}
+	return c.ringEvents[seq:]
+}
+
+// membersAt reconstructs the ring member set at ring-event prefix seq
+// (founders plus the first seq flips) — the test/bench hook behind
+// ResetGossipView.
+func (c *Cluster) membersAt(seq uint64) []netsim.NodeID {
+	members := append([]netsim.NodeID(nil), c.founders...)
+	for _, ev := range c.ringEvents[:seq] {
+		if ev.Join {
+			members = append(members, ev.Node)
+		} else {
+			for i, m := range members {
+				if m == ev.Node {
+					members = append(members[:i], members[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	return members
+}
+
+// ResetGossipView rewinds node id's membership view to ring-event
+// prefix seq, as if the node had been partitioned from all gossip since
+// that flip. It is a test and benchmark hook for manufacturing stale
+// coordinators deterministically (Config.Gossip only).
+func (c *Cluster) ResetGossipView(id netsim.NodeID, seq uint64) {
+	if !c.cfg.Gossip {
+		panic("kv: ResetGossipView without Config.Gossip")
+	}
+	if seq > uint64(len(c.ringEvents)) {
+		panic(fmt.Sprintf("kv: ResetGossipView(%d, %d) beyond the event log (%d)", id, seq, len(c.ringEvents)))
+	}
+	n := c.nodes[id]
+	if n == nil || n.gs == nil {
+		panic(fmt.Sprintf("kv: ResetGossipView(%d) on a node without gossip state", id))
+	}
+	// rewind (not a fresh state) keeps the dissemination meters — a
+	// bench that rewinds views every iteration still accumulates its
+	// retry counts.
+	n.gs.rewind(n, c.membersAt(seq), seq)
+}
+
+// GossipStatus reports viewer's current liveness claim about subject
+// (gossip.Left when gossip is disabled or the viewer has no agent — an
+// unknown node is unroutable either way).
+func (c *Cluster) GossipStatus(viewer, subject netsim.NodeID) gossip.Status {
+	if n := c.nodes[viewer]; n != nil && n.gs != nil {
+		return n.gs.view.StatusOf(subject)
+	}
+	return gossip.Left
+}
+
+// ViewAgreement reports the fraction of reachable ring members whose
+// view has applied the full ring-event log — the convergence signal an
+// eventually-consistent controller paces on. Failed and crashed nodes
+// are excluded: they cannot converge while cut off, and counting them
+// would wedge a controller through any partition. Without gossip the
+// placement is atomic and agreement is always total.
+func (c *Cluster) ViewAgreement() float64 {
+	if !c.cfg.Gossip {
+		return 1
+	}
+	target := uint64(len(c.ringEvents))
+	total, agree := 0, 0
+	for _, id := range c.order {
+		n := c.nodes[id]
+		if n.failed || n.crashed || n.gs == nil {
+			continue
+		}
+		total++
+		if n.gs.view.RingSeq() == target {
+			agree++
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(agree) / float64(total)
+}
+
+// MembershipConverged reports whether every reachable member's view
+// agrees with the full membership-flip log. With gossip enabled this is
+// the eventually-consistent replacement for the atomic settling signal:
+// a controller should treat an enacted change as done only when the
+// cluster both settled (streams and warming finished) and converged
+// (every view routes on the new ring).
+func (c *Cluster) MembershipConverged() bool { return c.ViewAgreement() == 1 }
 
 // buildStrategy assembles the configured placement strategy over the
 // given member set. New uses it at birth; Join/Decommission use it to
@@ -687,6 +856,15 @@ type Usage struct {
 	StreamedBytes  uint64
 	StreamInCells  uint64 // cells applied from inbound snapshot streams
 	StreamInChunks uint64
+
+	// Gossip membership accounting (nonzero only with Config.Gossip).
+	GossipRounds       uint64 // probe rounds initiated
+	GossipSuspicions   uint64 // suspicions raised by probe timeouts
+	GossipDeadDeclared uint64 // suspicions that aged into dead verdicts
+	GossipEvents       uint64 // ring events applied across views
+	NotOwnerReplies    uint64 // replica-side refusals of stale-ring requests
+	WrongOwnerRetries  uint64 // coordinator-side re-plans after refusals
+	WarmViolations     uint64 // reads sent to warming replicas despite converged alternatives
 }
 
 // accumulateNodeUsage folds one node's meters into u. StoredBytes is a
@@ -719,6 +897,15 @@ func accumulateNodeUsage(u *Usage, n *Node) {
 	u.StreamedBytes += n.streamedOutBytes
 	u.StreamInCells += n.streamedInCells
 	u.StreamInChunks += n.streamChunksIn
+	if gs := n.gs; gs != nil {
+		u.GossipRounds += gs.rounds
+		u.GossipSuspicions += gs.suspicions
+		u.GossipDeadDeclared += gs.deadDeclared
+		u.GossipEvents += gs.eventsApplied
+		u.NotOwnerReplies += gs.notOwnerReplies
+		u.WrongOwnerRetries += gs.wrongOwnerRetries
+		u.WarmViolations += gs.warmViolations
+	}
 }
 
 // Usage gathers the resource usage snapshot. Decommissioned nodes —

@@ -36,6 +36,7 @@ type readCtx struct {
 	completed bool // the consistency level was satisfied
 	delivered bool // the client received a reply
 	awaitData bool
+	retries   int // wrong-owner re-plans consumed (gossip mode)
 }
 
 // findResp returns the index of from's response, or -1.
@@ -59,6 +60,17 @@ func (ctx *readCtx) dropResp(from netsim.NodeID) {
 	}
 }
 
+// dropTarget removes a target that will never respond — it refused the
+// request as notOwner — so the all-responses finalization still fires.
+func (ctx *readCtx) dropTarget(from netsim.NodeID) {
+	for i, t := range ctx.targets {
+		if t == from {
+			ctx.targets = append(ctx.targets[:i], ctx.targets[i+1:]...)
+			return
+		}
+	}
+}
+
 // writeCtx tracks one coordinated write; it lives until the timeout event
 // fires so that post-completion replica acks are still observed (they are
 // the monitor's propagation-time signal).
@@ -74,6 +86,12 @@ type writeCtx struct {
 	ackCount  int
 	ackDC     map[string]int // per-DC tallies; nil unless req.perDC is set
 	completed bool
+
+	// Gossip-mode retry state: the cell being written, the replicas (or
+	// hint targets) already shipped to, and the re-plans consumed.
+	cell    storage.Cell
+	sent    []netsim.NodeID
+	retries int
 }
 
 // Context pools: one read and one write context per operation was the
@@ -98,7 +116,7 @@ func putReadCtx(ctx *readCtx) {
 func getWriteCtx() *writeCtx { return writeCtxPool.Get().(*writeCtx) }
 
 func putWriteCtx(ctx *writeCtx) {
-	*ctx = writeCtx{}
+	*ctx = writeCtx{sent: ctx.sent[:0]}
 	writeCtxPool.Put(ctx)
 }
 
@@ -132,7 +150,7 @@ func (n *Node) coordRead(m clientRead) {
 		n.coordOps++
 		n.cluster.hooks.readStarted(now, m.Key)
 
-		replicas := n.cluster.strategy.Replicas(m.Key)
+		replicas := n.routeReplicas(m.Key)
 		req := m.Level.resolve(replicas, n.cluster.topo, n.cluster.topo.DCOf(n.id))
 		ctx := getReadCtx()
 		targets, ok := n.pickTargets(replicas, req, ctx.targets)
@@ -159,7 +177,7 @@ func (n *Node) coordRead(m clientRead) {
 
 		for i, t := range targets {
 			digest := n.cluster.cfg.DigestReads && i > 0
-			rr := newReplicaRead(replicaRead{ID: m.ID, Key: m.Key, Digest: digest, Coord: n.id})
+			rr := newReplicaRead(replicaRead{ID: m.ID, Key: m.Key, Digest: digest, Coord: n.id, RingSeq: n.ringSeq()})
 			n.cluster.net.Send(n.id, t, rr, msgOverhead+len(m.Key))
 		}
 		n.cluster.net.SendLocal(n.id, newCoordTimeout(m.ID, false), n.cluster.cfg.Timeout)
@@ -217,7 +235,7 @@ func (n *Node) tryCompleteRead(ctx *readCtx) {
 		if ctx.best.Digest {
 			// Freshest version known only by digest: fetch its data.
 			ctx.awaitData = true
-			rr := newReplicaRead(replicaRead{ID: ctx.id, Key: ctx.key, Digest: false, Coord: n.id})
+			rr := newReplicaRead(replicaRead{ID: ctx.id, Key: ctx.key, Digest: false, Coord: n.id, RingSeq: n.ringSeq()})
 			ctx.dropResp(ctx.best.From) // allow the refetch response in
 			ctx.ackTotal--
 			if ctx.ackDC != nil {
@@ -292,7 +310,7 @@ func (n *Node) finalizeRead(ctx *readCtx) {
 	// With the configured probability, extend repair to the replicas
 	// that were not contacted (Cassandra's global read_repair_chance).
 	if p := n.cluster.cfg.GlobalRepairChance; p > 0 && n.rng.Float64() < p {
-		for _, rep := range n.cluster.strategy.Replicas(ctx.key) {
+		for _, rep := range n.routeReplicas(ctx.key) {
 			contacted := false
 			for _, t := range ctx.targets {
 				if t == rep {
@@ -300,7 +318,7 @@ func (n *Node) finalizeRead(ctx *readCtx) {
 					break
 				}
 			}
-			if !contacted && !n.cluster.isDown(rep) {
+			if !contacted && !n.routeDown(rep) {
 				n.sendRepair(rep, ctx.key, best)
 			}
 		}
@@ -318,9 +336,9 @@ func (n *Node) coordWrite(m clientWrite) {
 		now := n.cluster.net.Now()
 		n.coordOps++
 
-		replicas := n.cluster.strategy.Replicas(m.Key)
+		replicas := n.routeReplicas(m.Key)
 		req := m.Level.resolve(replicas, n.cluster.topo, n.cluster.topo.DCOf(n.id))
-		if !n.cluster.levelReachable(replicas, req) {
+		if !n.routeReachable(replicas, req) {
 			n.replyWrite(m.cb, WriteResult{Err: ErrUnavailable, Key: m.Key, Level: m.Level})
 			return
 		}
@@ -344,12 +362,18 @@ func (n *Node) coordWrite(m clientWrite) {
 		// The coordinator always sends the mutation to every replica;
 		// the level only controls how many acknowledgements it blocks
 		// for. Down replicas get a hint instead.
+		if n.gs != nil {
+			// Retry state for wrong-owner re-plans: the cell to re-ship
+			// and the replicas already handled (sent or hinted).
+			ctx.cell = cell
+			ctx.sent = append(ctx.sent[:0], replicas...)
+		}
 		for _, r := range replicas {
-			if n.cluster.isDown(r) {
+			if n.routeDown(r) {
 				n.storeHint(r, m.Key, cell)
 				continue
 			}
-			w := newReplicaWrite(replicaWrite{ID: m.ID, Key: m.Key, Cell: cell, Coord: n.id})
+			w := newReplicaWrite(replicaWrite{ID: m.ID, Key: m.Key, Cell: cell, Coord: n.id, RingSeq: n.ringSeq()})
 			n.cluster.net.Send(n.id, r, w, msgOverhead+len(m.Key)+len(m.Value))
 		}
 		n.cluster.net.SendLocal(n.id, newCoordTimeout(m.ID, true), n.cluster.cfg.Timeout)
@@ -484,7 +508,7 @@ func (n *Node) replyWrite(cb func(WriteResult), res WriteResult) {
 func (n *Node) pickTargets(replicas []netsim.NodeID, req requirement, buf []netsim.NodeID) ([]netsim.NodeID, bool) {
 	alive := buf[:0]
 	for _, r := range replicas {
-		if !n.cluster.isDown(r) {
+		if !n.routeDown(r) {
 			alive = append(alive, r)
 		}
 	}
@@ -508,6 +532,27 @@ func (n *Node) pickTargets(replicas []netsim.NodeID, req requirement, buf []nets
 	if req.perDC == nil {
 		if len(alive) < req.total {
 			return alive, false
+		}
+		if gs := n.gs; gs != nil && len(n.cluster.warming) > 0 {
+			// Invariant meter: the stable partition above must keep
+			// warming replicas out of the quorum whenever enough
+			// converged ones are live. A violation here means a stale
+			// coordinator read from an un-warmed replica it had a
+			// converged alternative for.
+			warming := n.cluster.warming
+			converged := 0
+			for _, r := range alive {
+				if !warming[r] {
+					converged++
+				}
+			}
+			if converged >= req.total {
+				for _, r := range alive[:req.total] {
+					if warming[r] {
+						gs.warmViolations++
+					}
+				}
+			}
 		}
 		return alive[:req.total], true
 	}

@@ -311,11 +311,15 @@ type queuedChange struct {
 }
 
 // MembershipSettled reports whether the cluster is quiescent membership-
-// wise: no Join/Decommission in flight, none queued, and no node still
-// inside its post-join/post-restart warming window. Controllers pace
-// one change at a time on this.
+// wise: no Join/Decommission in flight, none queued, no node still
+// inside its post-join/post-restart warming window, and no queue-drain
+// event in flight. The last clause closes a race: between a warming
+// window expiring and its zero-delay drain event popping the queue, a
+// same-instant observer must not see "settled" — the drain may be about
+// to start a change. Controllers pace one change at a time on this.
 func (c *Cluster) MembershipSettled() bool {
-	return c.pending == nil && len(c.membershipQueue) == 0 && len(c.warming) == 0
+	return c.pending == nil && len(c.membershipQueue) == 0 && len(c.warming) == 0 &&
+		c.draining == 0
 }
 
 // membershipIdle is MembershipSettled without the queue: the drain may
@@ -374,15 +378,18 @@ func (c *Cluster) queuedChangeFor(id netsim.NodeID) bool {
 // queued changes interleave with other same-time events exactly like
 // fresh Join/Decommission calls would.
 func (c *Cluster) drainMembershipQueue() {
-	if len(c.membershipQueue) == 0 || !c.membershipIdle() {
+	if len(c.membershipQueue) == 0 || !c.membershipIdle() || c.draining > 0 {
 		return
 	}
+	// MembershipSettled reports false until the scheduled drain ran.
+	c.draining++
 	c.net.Schedule(0, c.runQueuedChange)
 }
 
 // runQueuedChange pops queued requests until one starts (dropping the
 // ones the intervening changes invalidated) or the queue empties.
 func (c *Cluster) runQueuedChange() {
+	c.draining--
 	if !c.membershipIdle() {
 		return // a fresh change beat the drain event; its finish re-drains
 	}
@@ -440,6 +447,16 @@ func (c *Cluster) finishJoin(id netsim.NodeID) {
 	c.markWarming(id)
 	n.scheduleAE()
 	n.scheduleHintTick()
+	if c.cfg.Gossip {
+		// The flip becomes ring event len+1. Only the joiner (whose view
+		// starts at the full prefix) and one live introducer learn it
+		// here; everyone else hears it through gossip or a wrong-owner
+		// refusal — joins become visible gradually.
+		c.appendRingEvent(true, id)
+		n.gs = newGossipState(n, c.Members(), uint64(len(c.ringEvents)))
+		c.net.SendLocal(id, gossipTick{epoch: n.epoch}, c.cfg.GossipInterval)
+		c.seedIntroducer(id)
+	}
 	// With warming enabled the window's expiry drains instead.
 	c.drainMembershipQueue()
 }
@@ -460,7 +477,37 @@ func (c *Cluster) finishDecommission(id netsim.NodeID) {
 	n.phase = phaseDecommissioned
 	n.decomPending = 0
 	delete(c.warming, id)
+	if c.cfg.Gossip {
+		c.appendRingEvent(false, id)
+		// The leaver applies its own departure: while its actor drains,
+		// its strictly newer ring refuses coordinated requests for the
+		// ranges it handed off, teaching stale coordinators. A live
+		// introducer starts the proactive spread (the leaver no longer
+		// gossips).
+		if n.gs != nil {
+			n.applyRingEvents(c.eventsSince(n.gs.view.RingSeq()))
+		}
+		c.seedIntroducer(id)
+	}
 	c.drainMembershipQueue()
+}
+
+// seedIntroducer applies the ring-event log's fresh suffix to the first
+// live member other than the node that just changed. Without gossip on
+// at least one live view, a decommission's ring event could otherwise
+// sit unknown until a refusal happens to surface it.
+func (c *Cluster) seedIntroducer(changed netsim.NodeID) {
+	for _, id := range c.order {
+		if id == changed {
+			continue
+		}
+		n := c.nodes[id]
+		if n.gs == nil || n.failed || n.crashed {
+			continue
+		}
+		n.applyRingEvents(c.eventsSince(n.gs.view.RingSeq()))
+		return
+	}
 }
 
 // markWarming puts id into the warming window: it serves writes but read

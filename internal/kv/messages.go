@@ -3,6 +3,7 @@ package kv
 import (
 	"time"
 
+	"repro/internal/gossip"
 	"repro/internal/netsim"
 	"repro/internal/storage"
 )
@@ -96,6 +97,10 @@ type replicaBatchRead struct {
 	Idxs  []int // batch positions, parallel to Keys
 	Keys  []string
 	Coord netsim.NodeID
+	// RingSeq is the coordinator's ring knowledge (gossip mode only);
+	// a replica with a strictly newer ring refuses items it no longer
+	// owns (notOwner) instead of serving them.
+	RingSeq uint64
 }
 
 // batchReadItem is one replica's answer for one batch position.
@@ -115,11 +120,12 @@ type replicaBatchReadResp struct {
 // replicaBatchWrite carries every batch mutation a replica owns in one
 // message.
 type replicaBatchWrite struct {
-	ID    reqID
-	Idxs  []int // batch positions, parallel to Keys/Cells
-	Keys  []string
-	Cells []storage.Cell
-	Coord netsim.NodeID
+	ID      reqID
+	Idxs    []int // batch positions, parallel to Keys/Cells
+	Keys    []string
+	Cells   []storage.Cell
+	Coord   netsim.NodeID
+	RingSeq uint64 // see replicaBatchRead.RingSeq
 }
 
 // replicaBatchWriteAck acknowledges all items of a replicaBatchWrite.
@@ -132,12 +138,13 @@ type replicaBatchWriteAck struct {
 // replicaWrite asks a replica to apply a cell. Repair and hint replays
 // reuse it with Repair/Hint set, which keeps replica application uniform.
 type replicaWrite struct {
-	ID     reqID
-	Key    string
-	Cell   storage.Cell
-	Coord  netsim.NodeID
-	Repair bool // read-repair or anti-entropy write: no ack expected
-	Hint   bool // replayed hint: ack expected by nobody, but applied
+	ID      reqID
+	Key     string
+	Cell    storage.Cell
+	Coord   netsim.NodeID
+	Repair  bool   // read-repair or anti-entropy write: no ack expected
+	Hint    bool   // replayed hint: ack expected by nobody, but applied
+	RingSeq uint64 // see replicaBatchRead.RingSeq (coordinated writes only)
 }
 
 // replicaWriteAck acknowledges a replicaWrite to its coordinator.
@@ -151,10 +158,11 @@ type replicaWriteAck struct {
 // replicaRead asks a replica for its resident cell; when Digest is set
 // only the version travels back.
 type replicaRead struct {
-	ID     reqID
-	Key    string
-	Digest bool
-	Coord  netsim.NodeID
+	ID      reqID
+	Key     string
+	Digest  bool
+	Coord   netsim.NodeID
+	RingSeq uint64 // see replicaBatchRead.RingSeq
 }
 
 // replicaReadResp answers a replicaRead.
@@ -239,6 +247,89 @@ type streamDone struct {
 // new owner.
 type streamAck struct {
 	From netsim.NodeID
+}
+
+// Gossip protocol messages (Config.Gossip only). All are value types —
+// each carries freshly built slices owned by the in-flight message, so
+// none need pooling or dropWhileCrashed handling.
+
+// gossipTick triggers one gossip round on a node: probe the next peer
+// with piggybacked rumors. epoch has the same crash-invalidaton
+// contract as aeTick.
+type gossipTick struct{ epoch uint32 }
+
+// gossipPing probes one peer, carrying the sender's ring knowledge and
+// a bounded batch of liveness rumors. TargetStatus/TargetInc state the
+// prober's current claim about the pingee: a pingee held suspect or
+// dead refutes on receipt (incarnation bump), which is what heals a
+// view after a partition even when the original rumor's piggyback
+// budget is long spent.
+type gossipPing struct {
+	From    netsim.NodeID
+	FromInc uint64 // sender's self-incarnation: the ping proves it alive
+	Seq     uint64 // probe sequence on the sender; the ack echoes it
+	RingSeq uint64
+	// The prober's claim about the pingee (the refutation handshake).
+	TargetStatus gossip.Status
+	TargetInc    uint64
+	Updates      []gossip.Update
+}
+
+// gossipAck answers a ping. Events bridges the sender forward when the
+// responder's ring is newer; when the responder is the stale side, its
+// RingSeq tells the ping sender to bridge it with a gossipEvents.
+// TargetStatus/TargetInc mirror the ping's refutation handshake in the
+// other direction (the responder's claim about the prober).
+type gossipAck struct {
+	From         netsim.NodeID
+	FromInc      uint64
+	Seq          uint64
+	RingSeq      uint64
+	TargetStatus gossip.Status
+	TargetInc    uint64
+	Updates      []gossip.Update
+	Events       []gossip.RingEvent
+}
+
+// gossipEvents ships a missing ring-event suffix to a stale peer.
+type gossipEvents struct {
+	From   netsim.NodeID
+	Events []gossip.RingEvent
+}
+
+// gossipProbeTimeout fires when a ping went unanswered for half the
+// gossip interval: the prober suspects the target.
+type gossipProbeTimeout struct {
+	Seq    uint64
+	Target netsim.NodeID
+	epoch  uint32
+}
+
+// gossipSuspicionTimeout fires when a suspicion aged out unrefuted: the
+// suspector declares the target dead (View.Confirm checks that the
+// exact suspicion, by incarnation, still stands).
+type gossipSuspicionTimeout struct {
+	Target netsim.NodeID
+	Inc    uint64
+	epoch  uint32
+}
+
+// notOwner is a replica's refusal of a coordinated request for a range
+// it no longer owns under its strictly newer ring. Events carries the
+// ring-event suffix the coordinator is missing, so every refusal
+// advances the coordinator's ring — the retry loop terminates even
+// without the retry budget.
+type notOwner struct {
+	ID    reqID
+	From  netsim.NodeID
+	Write bool
+	// Batch marks batched requests; Idxs/Keys list the refused items
+	// (single-key refusals leave them nil and use Key).
+	Batch  bool
+	Idxs   []int
+	Keys   []string
+	Key    string
+	Events []gossip.RingEvent
 }
 
 // ReadResult reports the outcome of a read operation.

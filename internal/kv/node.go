@@ -106,6 +106,12 @@ type Node struct {
 	batchReads  map[reqID]*batchReadCtx
 	batchWrites map[reqID]*batchWriteCtx
 
+	// Gossip membership agent (Config.Gossip only; nil otherwise). It
+	// survives crashes — real systems persist their membership view and
+	// re-seed the agent from it on restart — but its probe bookkeeping
+	// is reset by restart().
+	gs *gossipState
+
 	// Hinted handoff: writes buffered for down replicas.
 	hints         map[netsim.NodeID][]hintEntry
 	hintCount     int
@@ -184,6 +190,12 @@ func (n *Node) restart() storage.RecoverStats {
 	rs := n.engine.Recover()
 	n.scheduleAE()
 	n.scheduleHintTick()
+	if n.gs != nil {
+		// The pre-crash tick chain died with the old epoch; outstanding
+		// probes are moot.
+		n.gs.awaitSeq = 0
+		n.cluster.net.SendLocal(n.id, gossipTick{epoch: n.epoch}, n.cluster.cfg.GossipInterval)
+	}
 	return rs
 }
 
@@ -441,6 +453,32 @@ func (n *Node) Handle(from netsim.NodeID, payload any) {
 		n.replayHints()
 		n.scheduleHintTick()
 
+	case gossipTick:
+		if m.epoch != n.epoch {
+			return // pre-crash chain; restart started a fresh one
+		}
+		n.onGossipTick()
+	case gossipPing:
+		n.onGossipPing(m)
+	case gossipAck:
+		n.onGossipAck(m)
+	case gossipEvents:
+		n.onGossipEventsMsg(m)
+	case gossipProbeTimeout:
+		if m.epoch == n.epoch {
+			n.onGossipProbeTimeout(m)
+		}
+	case gossipSuspicionTimeout:
+		if m.epoch == n.epoch {
+			n.onGossipSuspicionTimeout(m)
+		}
+	case gossipRetry:
+		if m.epoch == n.epoch {
+			n.onGossipRetry(m)
+		}
+	case notOwner:
+		n.onNotOwner(m)
+
 	case *streamRequest:
 		v := *m
 		*m = streamRequest{}
@@ -465,8 +503,15 @@ func (n *Node) Handle(from netsim.NodeID, payload any) {
 }
 
 // onReplicaWrite applies a cell after write service time and acks the
-// coordinator unless the write is a repair.
+// coordinator unless the write is a repair. Under gossip, a coordinated
+// write for a range this replica no longer owns (its ring strictly
+// newer than the coordinator's) is refused; repair and hint traffic is
+// convergence machinery and applies wherever it lands.
 func (n *Node) onReplicaWrite(m replicaWrite) {
+	if !m.Repair && !m.Hint && n.refusesKey(m.Key, m.RingSeq) {
+		n.refuseWrite(m)
+		return
+	}
 	cost := n.cluster.cfg.WriteService.Sample(n.rng)
 	n.submitWrite(cost, func() {
 		n.repWrites++
@@ -482,8 +527,14 @@ func (n *Node) onReplicaWrite(m replicaWrite) {
 	})
 }
 
-// onReplicaRead serves a read after read service time.
+// onReplicaRead serves a read after read service time, unless this
+// replica's strictly newer ring says the key is no longer ours (the
+// ownership check is cheap and happens before any stage work).
 func (n *Node) onReplicaRead(m replicaRead) {
+	if n.refusesKey(m.Key, m.RingSeq) {
+		n.refuseRead(m)
+		return
+	}
 	cost := n.cluster.cfg.ReadService.Sample(n.rng)
 	n.submitRead(cost, func() {
 		n.repReads++

@@ -156,6 +156,15 @@ func (s *Sim) Autoscale(cfg AutoscaleConfig) *Autoscaler {
 	return ctl
 }
 
+// ViewAgreement reports the fraction of reachable members whose gossip
+// view has applied the full membership-event log (always 1 when
+// Config.Gossip is off — atomic placement cannot disagree).
+func (s *Sim) ViewAgreement() float64 { return s.Cluster.ViewAgreement() }
+
+// MembershipConverged reports whether every reachable member's view
+// agrees with the enacted membership (ViewAgreement == 1).
+func (s *Sim) MembershipConverged() bool { return s.Cluster.MembershipConverged() }
+
 // Run advances virtual time by d.
 func (s *Sim) Run(d time.Duration) { s.Engine.RunFor(d) }
 
