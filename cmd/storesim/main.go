@@ -60,6 +60,8 @@ func main() {
 	batch := flag.Int("batch", 1, "multi-key batch size (>1 drives BatchGet/BatchPut)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	theta := flag.Float64("theta", 0.99, "zipfian skew")
+	zipf := flag.Bool("zipf", true, "scrambled-zipfian key popularity (false: uniform; skew set by -theta)")
+	hotcache := flag.Bool("hotcache", false, "hot-key fast path: deterministic hot-set tracker + freshness-bounded coordinator read cache")
 	engine := flag.String("engine", "mem", "storage engine: mem (volatile map) or lsm (WAL + sorted runs)")
 	join := flag.Bool("join", false, "mid-run, a spare node joins the ring (snapshot-streaming bootstrap + warming)")
 	decom := flag.Bool("decommission", false, "mid-run, the highest member streams its ownership out and leaves")
@@ -150,6 +152,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Gossip = *gossipOn
+	cfg.HotCache = *hotcache
 	switch *engine {
 	case "mem":
 		cfg.Engine = repro.EngineMem
@@ -254,7 +257,11 @@ func main() {
 		segments = []segment{{"steady", *ops, nil}}
 	}
 
-	w := repro.MixWorkload(*records, *readProp, 0, *theta)
+	dist := repro.DistZipfian
+	if !*zipf {
+		dist = repro.DistUniform
+	}
+	w := repro.MixWorkload(*records, *readProp, dist, *theta)
 	start := time.Now()
 	var m *repro.Metrics
 	var totalOps uint64
@@ -280,8 +287,12 @@ func main() {
 		}
 	}
 
-	fmt.Printf("workload: %d ops (%.0f%% reads, zipf θ=%.2f) on %d nodes RF %d, level %s, batch %d\n",
-		totalOps, 100**readProp, *theta, len(sim.Members()), *rf, *level, *batch)
+	popularity := fmt.Sprintf("zipf θ=%.2f", *theta)
+	if !*zipf {
+		popularity = "uniform"
+	}
+	fmt.Printf("workload: %d ops (%.0f%% reads, %s) on %d nodes RF %d, level %s, batch %d\n",
+		totalOps, 100**readProp, popularity, len(sim.Members()), *rf, *level, *batch)
 	fmt.Printf("virtual duration %v (wall %v, %d events)\n",
 		virtual.Round(time.Millisecond), time.Since(start).Round(time.Millisecond), sim.Engine.Events())
 	fmt.Printf("throughput  %.0f ops/s\n", float64(totalOps)/virtual.Seconds())
@@ -296,6 +307,17 @@ func main() {
 	if u.Joins > 0 || u.Decommissions > 0 {
 		fmt.Printf("membership  joins=%d decommissions=%d streamed %d cells / %d KiB in %d chunks\n",
 			u.Joins, u.Decommissions, u.StreamedCells, u.StreamedBytes>>10, u.StreamChunks)
+	}
+	if *hotcache {
+		served := u.CacheHits + u.CacheMisses
+		hitShare := 0.0
+		if served > 0 {
+			hitShare = float64(u.CacheHits) / float64(served)
+		}
+		fmt.Printf("hotcache    hits=%d (%.1f%% of servable) staleServed=%d fills=%d invalidations=%d expired=%d ringEvicted=%d hotKeys=%d promotions=%d\n",
+			u.CacheHits, 100*hitShare, u.CacheStaleServed, u.CacheFills,
+			u.CacheInvalidations, u.CacheExpired, u.CacheRingEvicted,
+			u.HotKeysNow, u.HotPromotions)
 	}
 	if *gossipOn {
 		fmt.Printf("gossip      rounds=%d suspicions=%d deadDeclared=%d ringEvents=%d refusals=%d wrongOwnerRetries=%d agreement=%.2f\n",

@@ -532,6 +532,162 @@ func TestDeterminismGossip(t *testing.T) {
 	}
 }
 
+// hotCacheDeterminismHashMem pins the transcript of the hot-key cache
+// scenario below on the default MemEngine, captured on the tree that
+// introduced the freshness-bounded coordinator read cache (PR 8). Same
+// regeneration protocol as determinismHash, with -run
+// TestDeterminismHotCache.
+const hotCacheDeterminismHashMem = "c266558e5c195793f530b731ad892a45b9181b0f20e9905449e46ad3939ae80a"
+
+// hotCacheDeterminismHashLSM pins the same scenario on the LSM engine.
+const hotCacheDeterminismHashLSM = "c1beb9edce5e063cd1baae06c7b04477cd1eb50d925a0b8f27992344fabf7423"
+
+// hotCacheDeterminismScenario exercises the hot-key cache paths end to
+// end: skewed ONE reads hammer a four-key head until the tracker
+// promotes it and the cache starts answering in the coordinator,
+// interleaved writes invalidate entries and re-tighten the per-key
+// freshness bounds, a membership flip (join mid-run, decommission late)
+// drops every node's cache at the placement flip, and a failure plus
+// recovery exercises the crash-path drop — all with anti-entropy, hint
+// replay and the failure detector armed. The transcript logs every op
+// with its cached flag, the per-round hot set, and the closing cache
+// accounting.
+func hotCacheDeterminismScenario(seed uint64, lsm bool) []string {
+	topo := repro.SingleDC(6)
+	cfg := repro.Defaults(topo)
+	cfg.Seed = seed
+	cfg.InitialMembers = []repro.NodeID{0, 1, 2, 3}
+	cfg.WarmupDuration = 400 * time.Millisecond
+	cfg.StreamChunkBytes = 512
+	cfg.AntiEntropyInterval = 150 * time.Millisecond
+	cfg.AntiEntropySample = 16
+	cfg.HintReplayInterval = 200 * time.Millisecond
+	cfg.DetectionDelay = 50 * time.Millisecond
+	cfg.HotCache = true
+	cfg.HotSetSize = 4
+	cfg.HotSetEvalOps = 32 // promote within a round at toy scale
+	cfg.HotPromoteShare = 0.05
+	if lsm {
+		cfg.Engine = repro.EngineLSM
+		cfg.FlushLimit = 768
+		cfg.MaxRuns = 2
+		cfg.WALSyncBytes = 320
+	}
+
+	s := repro.NewSim(topo, cfg)
+	one := s.StaticClient(repro.One, repro.One)
+	quorum := s.StaticClient(repro.Quorum, repro.Quorum)
+	ctx := context.Background()
+
+	var log []string
+	record := func(format string, args ...any) { log = append(log, fmt.Sprintf(format, args...)) }
+	key := func(i int) string { return fmt.Sprintf("%03d-hot", i) }
+
+	s.Preload(40, func(i uint64) string { return key(int(i)) }, []byte("seed-value"))
+
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 12; i++ {
+			// Three reads in four land on the four-key head; ONE reads
+			// are cacheable, the interleaved QUORUM read must bypass.
+			// The head shifts by four keys halfway through the run so
+			// demotion hysteresis swaps the tracked set.
+			k := key(i%4 + 4*(round/4))
+			if i%4 == 3 {
+				k = key((round*7 + i) % 40)
+			}
+			cli, tag := one, "one"
+			if i%6 == 5 {
+				cli, tag = quorum, "quorum"
+			}
+			r := cli.Get(ctx, k)
+			record("%s get %s val=%q exists=%v stale=%v cached=%v err=%v ver=%v",
+				tag, r.Key, r.Value, r.Exists, r.Stale, r.Cached, r.Err, r.Version)
+			if i%3 == 0 {
+				wk := key((round + i) % 5) // overlaps the head: invalidations
+				w := one.Put(ctx, wk, []byte(fmt.Sprintf("r%d-i%d", round, i)))
+				record("put %s err=%v acked=%d ver=%v", w.Key, w.Err, w.Acked, w.Version)
+			}
+		}
+		switch round {
+		case 2:
+			s.Join(4)
+			record("join node=4")
+		case 4:
+			s.Cluster.Crash(1) // volatile state — including the cache — is lost
+			record("crash node=1")
+		case 5:
+			rs := s.Cluster.Restart(1)
+			record("restart node=1 runs=%d walRecords=%d torn=%v keys=%d",
+				rs.RunsLoaded, rs.WALRecords, rs.TornTail, rs.Keys)
+		case 6:
+			s.Decommission(0)
+			record("decommission node=0")
+		}
+		s.Run(300 * time.Millisecond)
+		record("round %d members=%v hot=%v", round, s.Members(), s.HotKeys())
+	}
+	s.Run(5 * time.Second)
+
+	u := s.Cluster.Usage()
+	record("stale-rate %.9f", s.StaleRate())
+	record("usage busy=%v repReads=%d repWrites=%d coordOps=%d repairs=%d hintsReplayed=%d ae=%d stored=%d",
+		u.BusyTime, u.ReplicaReads, u.ReplicaWrites, u.CoordOps, u.ReadRepairs,
+		u.HintsReplayed, u.AERounds, u.StoredBytes)
+	record("durability crashes=%d replays=%d lost=%d", u.Crashes, u.WALReplays, u.LostWALRecords)
+	record("cache hits=%d misses=%d fills=%d invalidations=%d expired=%d ringEvicted=%d staleServed=%d",
+		u.CacheHits, u.CacheMisses, u.CacheFills, u.CacheInvalidations,
+		u.CacheExpired, u.CacheRingEvicted, u.CacheStaleServed)
+	record("hotset promotions=%d demotions=%d now=%d", u.HotPromotions, u.HotDemotions, u.HotKeysNow)
+	return log
+}
+
+// TestDeterminismHotCache asserts the hot-key cache paths are a pure
+// function of the seed on BOTH engines, pinned by hash like the other
+// scenarios — and that the cache actually engaged (the hash would
+// otherwise pin a vacuous scenario).
+func TestDeterminismHotCache(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		lsm  bool
+		want string
+	}{
+		{"mem", false, hotCacheDeterminismHashMem},
+		{"lsm", true, hotCacheDeterminismHashLSM},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			first := hotCacheDeterminismScenario(42, tc.lsm)
+			second := hotCacheDeterminismScenario(42, tc.lsm)
+			if len(first) != len(second) {
+				t.Fatalf("same-seed runs differ in length: %d vs %d", len(first), len(second))
+			}
+			for i := range first {
+				if first[i] != second[i] {
+					t.Fatalf("same-seed runs diverge at line %d:\n  a: %s\n  b: %s", i, first[i], second[i])
+				}
+			}
+			var engaged bool
+			for _, l := range first {
+				if strings.HasPrefix(l, "cache hits=") && !strings.HasPrefix(l, "cache hits=0 ") {
+					engaged = true
+				}
+			}
+			if !engaged {
+				t.Error("scenario produced no cache hits; the pinned transcript is vacuous")
+			}
+			got := hashTranscript(first)
+			if os.Getenv("REPRO_PRINT_TRANSCRIPT") != "" {
+				for _, l := range first {
+					t.Log(l)
+				}
+				t.Logf("transcript hash: %s", got)
+			}
+			if got != tc.want {
+				t.Errorf("transcript hash = %s, want %s (rerun with REPRO_PRINT_TRANSCRIPT=1 to diff)", got, tc.want)
+			}
+		})
+	}
+}
+
 // TestDeterminismAcrossSeeds sanity-checks that the transcript actually
 // depends on the seed (the hash is not vacuous).
 func TestDeterminismAcrossSeeds(t *testing.T) {

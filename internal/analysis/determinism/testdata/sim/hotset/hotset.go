@@ -1,0 +1,64 @@
+// Package hotset exercises the map-order rules against the hot-key
+// tracker's shape: promotion candidates live in read-count sketches
+// (maps), and both the promoted set and any invalidation fan-out driven
+// from those maps must not inherit map iteration order. The real
+// tracker (kv/hotcache.go) walks its sketch's sorted Top() order for
+// exactly this reason.
+package hotset
+
+import "sort"
+
+type sched struct{}
+
+func (sched) Schedule(at int, f func()) {}
+
+// promoteUnsorted builds the hot set straight off the sketch map: two
+// runs with the same seed promote different keys.
+func promoteUnsorted(reads map[string]uint64, k int) []string {
+	var hot []string
+	for key := range reads { // want `map iteration appends to hot`
+		if len(hot) < k {
+			hot = append(hot, key)
+		}
+	}
+	return hot
+}
+
+// promoteSorted collects, sorts by (count desc, key asc), then
+// truncates — the tracker's blessed idiom. Clean.
+func promoteSorted(reads map[string]uint64, k int) []string {
+	keys := make([]string, 0, len(reads))
+	for key := range reads {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if reads[keys[i]] != reads[keys[j]] {
+			return reads[keys[i]] > reads[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if len(keys) > k {
+		keys = keys[:k]
+	}
+	return keys
+}
+
+// invalidateUnsorted schedules per-entry eviction timers in map order:
+// the timer queue's tie-break order becomes program behavior.
+func invalidateUnsorted(s sched, entries map[string]func()) {
+	for _, evict := range entries {
+		s.Schedule(0, evict) // want `map iteration drives`
+	}
+}
+
+// invalidateSorted drains the cache in key order. Clean.
+func invalidateSorted(s sched, entries map[string]func()) {
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s.Schedule(0, entries[k])
+	}
+}

@@ -79,12 +79,16 @@ func (c *Controller) floor() int {
 // optimizer's workload profile: aggregate offered load, read fraction,
 // and the read-weighted per-key write rate the staleness model wants
 // (the write pressure against the key a read actually observes, not the
-// global write rate).
+// global write rate). Reads served from the coordinators' hot-key cache
+// never reach a replica, so the effective read load the cluster must be
+// sized for is the post-cache rate — provisioning for the raw rate
+// would buy capacity the cache already absorbed.
 func WorkloadFrom(snap monitor.Snapshot, baseLatency time.Duration) provision.Workload {
-	ops := snap.ReadRate + snap.WriteRate
+	reads := snap.ReadRate * (1 - snap.CacheHitShare)
+	ops := reads + snap.WriteRate
 	w := provision.Workload{OpsPerSecond: ops, BaseLatency: baseLatency}
 	if ops > 0 {
-		w.ReadFraction = snap.ReadRate / ops
+		w.ReadFraction = reads / ops
 	}
 	var perKey float64
 	for _, k := range snap.TopKeys {

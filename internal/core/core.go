@@ -156,9 +156,15 @@ type adaptiveSession struct {
 	cluster *kv.Cluster
 }
 
-// Read implements kv.Session with the current adaptive read level.
+// Read implements kv.Session with the current adaptive read level. A
+// hot key carrying its own tuned level (kv.SetHotKeyLevel, the per-key
+// Harmony path) overrides the global decision for exactly that key.
 func (s adaptiveSession) Read(key string, cb func(kv.ReadResult)) {
-	s.cluster.Read(key, s.ctl.cur.ReadLevel, cb)
+	lvl := s.ctl.cur.ReadLevel
+	if hot, ok := s.cluster.HotReadLevel(key); ok {
+		lvl = hot
+	}
+	s.cluster.Read(key, lvl, cb)
 }
 
 // Write implements kv.Session with the current adaptive write level.

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harmony"
+	"repro/internal/kv"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/ycsb"
+)
+
+// The hot-key study (PR 8): what the hot-set tracker and the
+// freshness-bounded coordinator read cache buy under Zipfian traffic,
+// and what per-key consistency adds on top. Three variants run the same
+// three phases over identical workloads:
+//
+//	no-cache   — Harmony per-key tuner, Config.HotCache off: every read
+//	             pays the full replica round-trip (the PR 7 baseline)
+//	cache      — Config.HotCache on: single-ack reads of tracked hot
+//	             keys answer from the coordinator cache when the entry
+//	             is younger than its freshness bound
+//	cache+hot  — cache plus the hot-key-aware Harmony tuner, which pins
+//	             each hot key to its own smallest safe read level
+//
+// The phases stress the cache's correctness machinery in turn:
+//
+//	steady — Zipf(0.99) read-heavy mix; the tracker promotes the head
+//	         keys and the cache warms up
+//	shift  — the key space rotates to a fresh prefix mid-run: the old
+//	         hot set's read share collapses, demotion hysteresis swaps
+//	         the tracked set, and the cache re-warms on the new head
+//	burst  — a write burst hammers the head key: its per-key write rate
+//	         λ jumps, the freshness bound −ln(1−α)/λ collapses, and the
+//	         cache must stop serving the key before staleness breaches α
+//
+// Per phase the study reports throughput, read p99, the oracle stale
+// rate, and the cache meter deltas; the headline checks are that cache
+// hits cut messages per operation while the windowed observed stale
+// rate stays under the same α=10% the no-cache baseline honors.
+type hotKeyVariant struct {
+	Name     string
+	Cache    bool
+	PerLevel bool // hot-key-aware tuner pinning per-key read levels
+}
+
+// hotKeyPhase is one phase's measurement.
+type hotKeyPhase struct {
+	Name       string
+	Ops        uint64
+	Throughput float64
+	ReadP99    time.Duration
+	ReadMean   time.Duration
+	StaleRate  float64
+	// Per-operation network cost over the phase.
+	MsgsPerOp  float64
+	BytesPerOp float64
+	// Cache meter deltas over the phase.
+	Hits        uint64
+	Misses      uint64
+	Fills       uint64
+	Expired     uint64
+	StaleServed uint64
+	HotKeys     int
+}
+
+// hotKeyOutcome is one variant's full measurement.
+type hotKeyOutcome struct {
+	Variant hotKeyVariant
+	Phases  []hotKeyPhase
+	// WholeRunStale is the oracle stale rate over all judged reads.
+	WholeRunStale float64
+	Usage         kv.Usage
+}
+
+// HotKeyResult carries the study's outcomes plus the rendered table.
+type HotKeyResult struct {
+	Outcomes []hotKeyOutcome
+	Table    *Table
+}
+
+// hotKeyAlpha is the staleness target every variant must hold — the
+// same α the cache's freshness bound is derived from.
+const hotKeyAlpha = 0.10
+
+// RunHotKey runs the study on platform p for all three variants, fanned
+// out over the parallel driver.
+func RunHotKey(p Platform, seed uint64) *HotKeyResult {
+	variants := []hotKeyVariant{
+		{Name: "no-cache", Cache: false},
+		{Name: "cache", Cache: true},
+		{Name: "cache+hot", Cache: true, PerLevel: true},
+	}
+	outcomes := parallelMap(variants, func(v hotKeyVariant) hotKeyOutcome {
+		return runHotKeyVariant(p, v, seed)
+	})
+
+	t := NewTable("Hot-key cache (PR 8): freshness-bounded coordinator reads and per-key "+
+		"consistency under Zipfian traffic — "+p.Name,
+		"variant", "phase", "ops", "throughput(op/s)", "read p99", "stale", "msgs/op",
+		"hits", "misses", "expired", "stale-served", "hot keys")
+	for _, out := range outcomes {
+		for _, ph := range out.Phases {
+			t.Add(out.Variant.Name, ph.Name, fmt.Sprintf("%d", ph.Ops),
+				fmt.Sprintf("%.0f", ph.Throughput), fmt.Sprintf("%v", ph.ReadP99),
+				pct(ph.StaleRate), fmt.Sprintf("%.1f", ph.MsgsPerOp),
+				fmt.Sprintf("%d", ph.Hits), fmt.Sprintf("%d", ph.Misses),
+				fmt.Sprintf("%d", ph.Expired), fmt.Sprintf("%d", ph.StaleServed),
+				fmt.Sprintf("%d", ph.HotKeys))
+		}
+		u := out.Usage
+		t.Note("%s: whole-run stale %s; %d hits / %d misses / %d fills, "+
+			"%d invalidations, %d expired, %d ring-evicted, %d stale served; "+
+			"%d promotions, %d demotions",
+			out.Variant.Name, pct(out.WholeRunStale),
+			u.CacheHits, u.CacheMisses, u.CacheFills, u.CacheInvalidations,
+			u.CacheExpired, u.CacheRingEvicted, u.CacheStaleServed,
+			u.HotPromotions, u.HotDemotions)
+	}
+	t.Note("a hit answers in the coordinator with zero replica messages; the freshness bound " +
+		"−ln(1−α)/λ keeps the expected stale rate of hits under the same α=10%% Harmony tunes for")
+	return &HotKeyResult{Outcomes: outcomes, Table: t}
+}
+
+// runHotKeyVariant drives the three phases over one cluster and one
+// controller (α=10%).
+func runHotKeyVariant(p Platform, v hotKeyVariant, seed uint64) hotKeyOutcome {
+	if seed == 0 {
+		seed = 1
+	}
+	cfg := p.Config(seed)
+	cfg.HotCache = v.Cache
+
+	eng := sim.New(seed)
+	topo := p.Build()
+	tr := netsim.NewTransport(eng, topo)
+	cl := kv.New(topo, tr, cfg)
+	mon := monitor.New(cl.RF(), tr, monitor.DefaultOptions())
+	cl.AddHooks(mon.Hooks())
+	var tuner core.Tuner = harmony.New(hotKeyAlpha, cl.RF()).PerKey()
+	if v.PerLevel {
+		tuner = harmony.NewHot(hotKeyAlpha, cl)
+	}
+	ctl := core.NewController(mon, tuner, tr, 100*time.Millisecond)
+
+	// Steady/burst keyspace plus the shifted one the middle phase rotates
+	// to; both are preloaded so phase runners never insert.
+	w := ycsb.Mix(p.Records, 0.95, ycsb.DistZipfian, 0.99)
+	w.ValueSize = p.ValueBytes
+	shifted := w
+	shifted.KeyPrefix = "shift"
+	loader, err := ycsb.NewRunner(kv.StaticSession{Cluster: cl, ReadLevel: kv.One, WriteLevel: kv.One}, w, tr, seed)
+	if err != nil {
+		panic(err)
+	}
+	cl.Preload(w.RecordCount, loader.Keys, loader.Value())
+	shiftLoader, err := ycsb.NewRunner(kv.StaticSession{Cluster: cl, ReadLevel: kv.One, WriteLevel: kv.One}, shifted, tr, seed)
+	if err != nil {
+		panic(err)
+	}
+	cl.Preload(shifted.RecordCount, shiftLoader.Keys, shiftLoader.Value())
+	ctl.Start()
+
+	// The burst target: the scrambled zipfian's rank-0 record — the most
+	// popular key of the steady keyspace, independent of the seed.
+	headKey := loader.Keys(stats.FNVHash64(0) % w.RecordCount)
+
+	out := hotKeyOutcome{Variant: v}
+	phaseOps := p.Ops / 3
+	if phaseOps == 0 {
+		phaseOps = 1000
+	}
+	lastStale, lastFresh, _ := cl.Oracle().Counts()
+	lastUsage := cl.Usage()
+	lastMeter := tr.Meter()
+
+	runPhase := func(name string, pw ycsb.Workload, i int, during func()) {
+		r, err := ycsb.NewRunner(ctl.Session(cl), pw, tr, seed+uint64(i+1)*1000)
+		if err != nil {
+			panic(err)
+		}
+		r.OpCount = phaseOps
+		r.Threads = p.Threads
+		start := eng.Now()
+		r.Start()
+		if during != nil {
+			during() // the stress event lands under load
+		}
+		for !r.Finished() && eng.Step() {
+		}
+		if !r.Finished() {
+			panic(fmt.Sprintf("experiments: hot-key phase %q stalled", name))
+		}
+		end := eng.Now()
+		m := r.Metrics()
+		stale, fresh, _ := cl.Oracle().Counts()
+		judged := (stale - lastStale) + (fresh - lastFresh)
+		u := cl.Usage()
+		meter := tr.Meter()
+		delta := meter.Sub(lastMeter)
+		var msgs uint64
+		for _, n := range delta.Messages {
+			msgs += n
+		}
+		ph := hotKeyPhase{
+			Name:        name,
+			Ops:         m.Ops,
+			ReadP99:     m.ReadLat.Quantile(0.99),
+			ReadMean:    m.ReadLat.Mean(),
+			Hits:        u.CacheHits - lastUsage.CacheHits,
+			Misses:      u.CacheMisses - lastUsage.CacheMisses,
+			Fills:       u.CacheFills - lastUsage.CacheFills,
+			Expired:     u.CacheExpired - lastUsage.CacheExpired,
+			StaleServed: u.CacheStaleServed - lastUsage.CacheStaleServed,
+			HotKeys:     u.HotKeysNow,
+		}
+		if d := end - start; d > 0 {
+			ph.Throughput = float64(ph.Ops) / d.Seconds()
+		}
+		if judged > 0 {
+			ph.StaleRate = float64(stale-lastStale) / float64(judged)
+		}
+		if ph.Ops > 0 {
+			ph.MsgsPerOp = float64(msgs) / float64(ph.Ops)
+			ph.BytesPerOp = float64(delta.TotalBytes()) / float64(ph.Ops)
+		}
+		lastStale, lastFresh = stale, fresh
+		lastUsage = u
+		lastMeter = meter
+		out.Phases = append(out.Phases, ph)
+	}
+
+	runPhase("steady", w, 0, nil)
+	runPhase("shift", shifted, 1, nil)
+	// Let demotion hysteresis and the controller settle on the shifted
+	// hot set before the burst returns to the original keyspace.
+	eng.RunFor(time.Second)
+	runPhase("burst", w, 2, func() {
+		// 400 writes to the head key, 2 ms apart: λ jumps to ~500/s and
+		// the freshness bound collapses under the read inter-arrival gap.
+		var fire func(left int)
+		fire = func(left int) {
+			if left == 0 {
+				return
+			}
+			cl.Write(headKey, loader.Value(), kv.One, func(kv.WriteResult) {})
+			tr.Schedule(2*time.Millisecond, func() { fire(left - 1) })
+		}
+		fire(400)
+	})
+	eng.RunFor(2 * time.Second) // drain read repair and hint replay
+
+	ctl.Stop()
+	stale, fresh, _ := cl.Oracle().Counts()
+	if judged := stale + fresh; judged > 0 {
+		out.WholeRunStale = float64(stale) / float64(judged)
+	}
+	out.Usage = cl.Usage()
+	return out
+}

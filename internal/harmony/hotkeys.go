@@ -1,0 +1,64 @@
+package harmony
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kv"
+	"repro/internal/monitor"
+)
+
+// HotTuner is the per-hot-key refinement of the Harmony tuner: besides
+// the global per-key-estimator decision (which governs the long tail),
+// each control period it walks the cluster's current hot set and pins
+// the smallest read level that holds the per-key estimated stale rate
+// under α, given that key's own observed write rate. A rarely-written
+// hot read key gets ONE (and with Config.HotCache becomes cacheable); a
+// write-hammered head key is pushed to a higher level than the tail
+// needs — the two ends of the Zipf distribution stop sharing one knob.
+type HotTuner struct {
+	*Tuner
+	Cluster *kv.Cluster
+}
+
+// NewHot returns a Harmony tuner with the per-key estimator that also
+// tunes the cluster's hot set individually each control period.
+func NewHot(alpha float64, cluster *kv.Cluster) *HotTuner {
+	return &HotTuner{
+		Tuner:   New(alpha, cluster.RF()).PerKey(),
+		Cluster: cluster,
+	}
+}
+
+// Name implements core.Tuner.
+func (t *HotTuner) Name() string {
+	return fmt.Sprintf("harmony-hot(α=%.0f%%)", t.Alpha*100)
+}
+
+// Decide implements core.Tuner: the embedded tuner's decision stands
+// for the tail, then every hot key is tuned against its own write rate.
+// The hot set is walked in the cluster's sorted order and the per-key λ
+// comes from the deterministic hot tracker, so the pinned levels are a
+// pure function of the traffic.
+func (t *HotTuner) Decide(snap monitor.Snapshot) core.Decision {
+	d := t.Tuner.Decide(snap)
+	rf := t.Estimator.RF
+	writeK := t.Estimator.WriteK
+	for _, key := range t.Cluster.HotKeys() {
+		lambda, ok := t.Cluster.HotKeyRate(key)
+		if !ok {
+			continue
+		}
+		chosen := rf
+		for k := 1; k <= rf; k++ {
+			if StaleProb(rf, k, writeK, snap.RankDelays, lambda) <= t.Alpha {
+				chosen = k
+				break
+			}
+		}
+		t.Cluster.SetHotKeyLevel(key, kv.Count(chosen))
+	}
+	return d
+}
+
+var _ core.Tuner = (*HotTuner)(nil)

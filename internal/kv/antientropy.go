@@ -132,5 +132,6 @@ func (n *Node) applyAECells(cells []aeCell) {
 		if n.engine.Apply(u.Key, u.Cell) {
 			n.cluster.oracle.Applied(n.id, u.Cell.Version, n.cluster.net.Now())
 		}
+		n.cacheInvalidate(u.Key)
 	}
 }

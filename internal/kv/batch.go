@@ -131,6 +131,9 @@ func (n *Node) coordBatchRead(m clientBatchRead) {
 		perReplica := make(map[netsim.NodeID]*replicaBatchRead)
 		for i, key := range m.Keys {
 			n.cluster.hooks.readStarted(now, key)
+			if t := n.cluster.hot; t != nil {
+				t.observeRead(key, now)
+			}
 			replicas := n.routeReplicas(key)
 			req := m.Level.resolve(replicas, n.cluster.topo, n.cluster.topo.DCOf(n.id))
 			ctx := getReadCtx()
@@ -147,8 +150,7 @@ func (n *Node) coordBatchRead(m clientBatchRead) {
 			ctx.id, ctx.key, ctx.level, ctx.req = m.ID, key, m.Level, req
 			ctx.start = now
 			ctx.reply = deliver(i)
-			ctx.visibleAtStart = n.cluster.oracle.LatestVisible(key)
-			ctx.issuedAtStart = n.cluster.oracle.LatestIssued(key)
+			ctx.visibleAtStart, ctx.issuedAtStart = n.cluster.oracle.Latest(key)
 			if req.perDC != nil {
 				ctx.ackDC = make(map[string]int, len(req.perDC))
 			}
@@ -281,6 +283,10 @@ func (n *Node) coordBatchWrite(m clientBatchWrite) {
 			cell := storage.Cell{Version: version, Value: op.Value, Tombstone: op.Delete}
 			n.cluster.oracle.WriteStarted(op.Key, version, len(replicas), now)
 			n.cluster.hooks.writeStarted(now, op.Key, version, len(replicas))
+			if t := n.cluster.hot; t != nil {
+				t.observeWrite(op.Key, now)
+			}
+			n.cacheInvalidate(op.Key)
 			ctx := getWriteCtx()
 			ctx.id, ctx.key, ctx.level, ctx.req = m.ID, op.Key, m.Level, req
 			ctx.start = now
@@ -427,6 +433,7 @@ func (n *Node) onReplicaBatchWrite(m replicaBatchWrite) {
 			if n.engine.Apply(m.Keys[j], m.Cells[j]) {
 				n.cluster.oracle.Applied(n.id, m.Cells[j].Version, n.cluster.net.Now())
 			}
+			n.cacheInvalidate(m.Keys[j])
 		}
 		ack := &replicaBatchWriteAck{ID: m.ID, Idxs: m.Idxs, From: n.id}
 		n.cluster.net.Send(n.id, m.Coord, ack, msgOverhead+8*len(m.Idxs))

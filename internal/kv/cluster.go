@@ -159,6 +159,34 @@ type Config struct {
 	// retry, doubling per retry (default 10 ms).
 	GossipRetryBackoff time.Duration
 
+	// Hot-key fast path (opt-in). With HotCache set the cluster tracks a
+	// windowed heavy-hitter profile of the coordinated traffic, promotes
+	// the head keys into a hot set (with per-key consistency overrides,
+	// see SetHotKeyLevel), and every coordinator keeps a read cache over
+	// those keys: quorum reads fill entries, single-ack reads younger
+	// than the key's freshness bound are answered without any replica
+	// messages. See hotcache.go. With HotCache unset nothing changes:
+	// no tracker, no cache, byte-identical transcripts.
+	HotCache bool
+	// HotCacheAlpha is the tolerated stale rate of cache hits: an entry
+	// is served only while P(newer write exists) ≤ α under the key's
+	// observed Poisson write rate (default 0.10).
+	HotCacheAlpha float64
+	// HotCacheMaxAge caps every entry's freshness bound regardless of
+	// how cold the key's writes are (default 100 ms).
+	HotCacheMaxAge time.Duration
+	// HotSetSize bounds the hot set (default 16).
+	HotSetSize int
+	// HotSetEvalOps is how many observed operations elapse between
+	// hot-set re-evaluations (default 512).
+	HotSetEvalOps int
+	// HotPromoteShare is the windowed read share at which a key enters
+	// the hot set (default 0.01); HotDemoteShare is the share below
+	// which a hot key leaves (default HotPromoteShare/2). The gap is
+	// the promotion hysteresis.
+	HotPromoteShare float64
+	HotDemoteShare  float64
+
 	// Fault handling.
 	// MutationShed drops replica mutations that waited in the mutation
 	// stage beyond this threshold (Cassandra's dropped-mutation
@@ -245,12 +273,24 @@ type Cluster struct {
 	ringEvents []gossip.RingEvent
 	founders   []netsim.NodeID
 
+	// Hot-key fast path (Config.HotCache; nil otherwise): the shared
+	// hot-set tracker the per-node read caches consult. See hotcache.go.
+	hot *hotTracker
+
 	seq     uint64
 	nextID  reqID
 	down    map[netsim.NodeID]bool
 	rr      int
 	rng     *stats.Source
 	stopNet stopper // non-nil when net supports cancelable timers
+
+	// Pooled client-op slab (clientop.go): non-nil callStop selects the
+	// zero-allocation client path; guardCb is the pre-bound timeout
+	// callback shared by every guard timer.
+	ops      []clientOp
+	opFree   int32
+	callStop callStopper
+	guardCb  func(uint32)
 }
 
 // New assembles a cluster over the given topology and network.
@@ -278,6 +318,26 @@ func New(topo *netsim.Topology, net Network, cfg Config) *Cluster {
 			cfg.GossipRetryBackoff = 10 * time.Millisecond
 		}
 	}
+	if cfg.HotCache {
+		if cfg.HotCacheAlpha <= 0 {
+			cfg.HotCacheAlpha = 0.10
+		}
+		if cfg.HotCacheMaxAge <= 0 {
+			cfg.HotCacheMaxAge = 100 * time.Millisecond
+		}
+		if cfg.HotSetSize <= 0 {
+			cfg.HotSetSize = 16
+		}
+		if cfg.HotSetEvalOps <= 0 {
+			cfg.HotSetEvalOps = 512
+		}
+		if cfg.HotPromoteShare <= 0 {
+			cfg.HotPromoteShare = 0.01
+		}
+		if cfg.HotDemoteShare <= 0 {
+			cfg.HotDemoteShare = cfg.HotPromoteShare / 2
+		}
+	}
 	cfg.seedSource = stats.NewSource(cfg.Seed).Stream("kv")
 	c := &Cluster{
 		cfg:     cfg,
@@ -289,6 +349,12 @@ func New(topo *netsim.Topology, net Network, cfg Config) *Cluster {
 		rng:     stats.NewSource(cfg.Seed).Stream("kv.cluster"),
 	}
 	c.stopNet, _ = net.(stopper)
+	c.callStop, _ = net.(callStopper)
+	c.guardCb = c.guardFired
+	c.opFree = noOp
+	if cfg.HotCache {
+		c.hot = newHotTracker(&cfg, net.Now())
+	}
 
 	members := cfg.InitialMembers
 	if members == nil {
@@ -471,12 +537,20 @@ func (c *Cluster) handleClientReply(_ netsim.NodeID, payload any) {
 		v := *m
 		*m = clientReadReply{}
 		clientReadReplyPool.Put(m)
-		v.cb(v.res)
+		if v.rt.cb != nil {
+			v.rt.cb(v.res)
+		} else {
+			c.opCompleteRead(v.rt.op, v.rt.opGen, v.res)
+		}
 	case *clientWriteReply:
 		v := *m
 		*m = clientWriteReply{}
 		clientWriteRplPool.Put(m)
-		v.cb(v.res)
+		if v.rt.cb != nil {
+			v.rt.cb(v.res)
+		} else {
+			c.opCompleteWrite(v.rt.op, v.rt.opGen, v.res)
+		}
 	case clientBatchReadReply:
 		m.cb(m.res)
 	case clientBatchWriteReply:
@@ -495,6 +569,10 @@ func (c *Cluster) Read(key string, lvl Level, cb func(ReadResult)) {
 		cb(ReadResult{Err: ErrUnavailable, Key: key, Level: lvl})
 		return
 	}
+	if c.callStop != nil {
+		c.sendOpRead(id, coord, key, lvl, cb)
+		return
+	}
 	done := false
 	var stopGuard func()
 	once := func(r ReadResult) {
@@ -506,7 +584,7 @@ func (c *Cluster) Read(key string, lvl Level, cb func(ReadResult)) {
 			cb(r)
 		}
 	}
-	c.net.Send(netsim.ClientID, coord, newClientRead(clientRead{ID: id, Key: key, Level: lvl, cb: once}),
+	c.net.Send(netsim.ClientID, coord, newClientRead(clientRead{ID: id, Key: key, Level: lvl, rt: readRoute{cb: once}}),
 		msgOverhead+len(key))
 	stopGuard = c.armGuard(func() {
 		once(ReadResult{Err: ErrTimeout, Key: key, Level: lvl, Latency: 2 * c.cfg.Timeout})
@@ -522,6 +600,10 @@ func (c *Cluster) Write(key string, value []byte, lvl Level, cb func(WriteResult
 		cb(WriteResult{Err: ErrUnavailable, Key: key, Level: lvl})
 		return
 	}
+	if c.callStop != nil {
+		c.sendOpWrite(id, coord, key, value, lvl, false, cb)
+		return
+	}
 	done := false
 	var stopGuard func()
 	once := func(r WriteResult) {
@@ -533,7 +615,7 @@ func (c *Cluster) Write(key string, value []byte, lvl Level, cb func(WriteResult
 			cb(r)
 		}
 	}
-	c.net.Send(netsim.ClientID, coord, newClientWrite(clientWrite{ID: id, Key: key, Value: value, Level: lvl, cb: once}),
+	c.net.Send(netsim.ClientID, coord, newClientWrite(clientWrite{ID: id, Key: key, Value: value, Level: lvl, rt: writeRoute{cb: once}}),
 		msgOverhead+len(key)+len(value))
 	stopGuard = c.armGuard(func() {
 		once(WriteResult{Err: ErrTimeout, Key: key, Level: lvl, Latency: 2 * c.cfg.Timeout})
@@ -550,6 +632,10 @@ func (c *Cluster) Delete(key string, lvl Level, cb func(WriteResult)) {
 		cb(WriteResult{Err: ErrUnavailable, Key: key, Level: lvl})
 		return
 	}
+	if c.callStop != nil {
+		c.sendOpWrite(id, coord, key, nil, lvl, true, cb)
+		return
+	}
 	done := false
 	var stopGuard func()
 	once := func(r WriteResult) {
@@ -562,7 +648,7 @@ func (c *Cluster) Delete(key string, lvl Level, cb func(WriteResult)) {
 		}
 	}
 	c.net.Send(netsim.ClientID, coord,
-		newClientWrite(clientWrite{ID: id, Key: key, Level: lvl, cb: once, tombstone: true}),
+		newClientWrite(clientWrite{ID: id, Key: key, Level: lvl, rt: writeRoute{cb: once}, tombstone: true}),
 		msgOverhead+len(key))
 	stopGuard = c.armGuard(func() {
 		once(WriteResult{Err: ErrTimeout, Key: key, Level: lvl, Latency: 2 * c.cfg.Timeout})
@@ -865,6 +951,18 @@ type Usage struct {
 	NotOwnerReplies    uint64 // replica-side refusals of stale-ring requests
 	WrongOwnerRetries  uint64 // coordinator-side re-plans after refusals
 	WarmViolations     uint64 // reads sent to warming replicas despite converged alternatives
+
+	// Hot-key cache accounting (nonzero only with Config.HotCache).
+	CacheHits          uint64 // reads answered in the coordinator, no replica messages
+	CacheMisses        uint64 // servable hot-key reads that fell through to quorum
+	CacheFills         uint64 // entries filled by replica-served reads
+	CacheInvalidations uint64 // entries dropped by local write paths
+	CacheExpired       uint64 // entries older than their freshness bound
+	CacheRingEvicted   uint64 // entries dropped by ring/membership movement
+	CacheStaleServed   uint64 // cache hits the oracle judged stale
+	HotPromotions      uint64 // keys promoted into the hot set
+	HotDemotions       uint64 // keys demoted out of the hot set
+	HotKeysNow         int    // current hot-set size (point-in-time gauge)
 }
 
 // accumulateNodeUsage folds one node's meters into u. StoredBytes is a
@@ -906,6 +1004,15 @@ func accumulateNodeUsage(u *Usage, n *Node) {
 		u.WrongOwnerRetries += gs.wrongOwnerRetries
 		u.WarmViolations += gs.warmViolations
 	}
+	if rc := n.cache; rc != nil {
+		u.CacheHits += rc.hits
+		u.CacheMisses += rc.misses
+		u.CacheFills += rc.fills
+		u.CacheInvalidations += rc.invalidations
+		u.CacheExpired += rc.expired
+		u.CacheRingEvicted += rc.ringEvicted
+		u.CacheStaleServed += rc.staleServed
+	}
 }
 
 // Usage gathers the resource usage snapshot. Decommissioned nodes —
@@ -918,6 +1025,11 @@ func (c *Cluster) Usage() Usage {
 	u.Decommissions = c.decommissions
 	for _, id := range c.allNodes {
 		accumulateNodeUsage(&u, c.nodes[id])
+	}
+	if t := c.hot; t != nil {
+		u.HotPromotions = t.promotions
+		u.HotDemotions = t.demotions
+		u.HotKeysNow = len(t.keys)
 	}
 	return u
 }

@@ -143,12 +143,20 @@ type batchWriteCtx struct {
 	delivered bool
 }
 
-// coordRead admits a client read on this coordinator.
+// coordRead admits a client read on this coordinator. A cache hit
+// (hotcache.go) completes here without the admission draw or any
+// replica messages — the hot-key fast path.
 func (n *Node) coordRead(m clientRead) {
+	if n.cacheServe(m) {
+		return
+	}
 	n.coordWork(func() {
 		now := n.cluster.net.Now()
 		n.coordOps++
 		n.cluster.hooks.readStarted(now, m.Key)
+		if t := n.cluster.hot; t != nil {
+			t.observeRead(m.Key, now)
+		}
 
 		replicas := n.routeReplicas(m.Key)
 		req := m.Level.resolve(replicas, n.cluster.topo, n.cluster.topo.DCOf(n.id))
@@ -157,7 +165,7 @@ func (n *Node) coordRead(m clientRead) {
 		ctx.targets = targets
 		if !ok {
 			putReadCtx(ctx)
-			n.replyRead(m.cb, ReadResult{
+			n.replyRead(m.rt, ReadResult{
 				Err: ErrUnavailable, Key: m.Key, Level: m.Level,
 				Latency: 0,
 			})
@@ -167,9 +175,8 @@ func (n *Node) coordRead(m clientRead) {
 
 		ctx.id, ctx.key, ctx.level, ctx.req = m.ID, m.Key, m.Level, req
 		ctx.start = now
-		ctx.reply = func(res ReadResult) { n.replyRead(m.cb, res) }
-		ctx.visibleAtStart = n.cluster.oracle.LatestVisible(m.Key)
-		ctx.issuedAtStart = n.cluster.oracle.LatestIssued(m.Key)
+		ctx.reply = func(res ReadResult) { n.replyRead(m.rt, res) }
+		ctx.visibleAtStart, ctx.issuedAtStart = n.cluster.oracle.Latest(m.Key)
 		if req.perDC != nil {
 			ctx.ackDC = make(map[string]int, len(req.perDC))
 		}
@@ -276,6 +283,9 @@ func (n *Node) deliverRead(ctx *readCtx) {
 		judged = ctx.bestData.Cell.Version
 	}
 	res.Stale = n.cluster.oracle.Judge(ctx.visibleAtStart, ctx.issuedAtStart, judged)
+	if ctx.haveData {
+		n.cacheFill(ctx.key, ctx.bestData.Cell)
+	}
 	n.cluster.hooks.readCompleted(now, res)
 	ctx.reply(res)
 }
@@ -339,7 +349,7 @@ func (n *Node) coordWrite(m clientWrite) {
 		replicas := n.routeReplicas(m.Key)
 		req := m.Level.resolve(replicas, n.cluster.topo, n.cluster.topo.DCOf(n.id))
 		if !n.routeReachable(replicas, req) {
-			n.replyWrite(m.cb, WriteResult{Err: ErrUnavailable, Key: m.Key, Level: m.Level})
+			n.replyWrite(m.rt, WriteResult{Err: ErrUnavailable, Key: m.Key, Level: m.Level})
 			return
 		}
 
@@ -347,11 +357,15 @@ func (n *Node) coordWrite(m clientWrite) {
 		cell := storage.Cell{Version: version, Value: m.Value, Tombstone: m.tombstone}
 		n.cluster.oracle.WriteStarted(m.Key, version, len(replicas), now)
 		n.cluster.hooks.writeStarted(now, m.Key, version, len(replicas))
+		if t := n.cluster.hot; t != nil {
+			t.observeWrite(m.Key, now)
+		}
+		n.cacheInvalidate(m.Key)
 
 		ctx := getWriteCtx()
 		ctx.id, ctx.key, ctx.level, ctx.req = m.ID, m.Key, m.Level, req
 		ctx.start = now
-		ctx.reply = func(res WriteResult) { n.replyWrite(m.cb, res) }
+		ctx.reply = func(res WriteResult) { n.replyWrite(m.rt, res) }
 		ctx.version = version
 		ctx.replicas = len(replicas)
 		if req.perDC != nil {
@@ -489,13 +503,13 @@ func (n *Node) expireRead(ctx *readCtx) {
 
 // replyRead ships the result back to the client endpoint over the
 // network, so client-visible latency includes the return hop.
-func (n *Node) replyRead(cb func(ReadResult), res ReadResult) {
-	n.cluster.net.Send(n.id, netsim.ClientID, newClientReadReply(clientReadReply{cb: cb, res: res}),
+func (n *Node) replyRead(rt readRoute, res ReadResult) {
+	n.cluster.net.Send(n.id, netsim.ClientID, newClientReadReply(clientReadReply{rt: rt, res: res}),
 		msgOverhead+len(res.Value))
 }
 
-func (n *Node) replyWrite(cb func(WriteResult), res WriteResult) {
-	n.cluster.net.Send(n.id, netsim.ClientID, newClientWriteReply(clientWriteReply{cb: cb, res: res}), msgOverhead)
+func (n *Node) replyWrite(rt writeRoute, res WriteResult) {
+	n.cluster.net.Send(n.id, netsim.ClientID, newClientWriteReply(clientWriteReply{rt: rt, res: res}), msgOverhead)
 }
 
 // pickTargets selects which replicas a read contacts: enough to satisfy

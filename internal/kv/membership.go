@@ -543,12 +543,16 @@ func (c *Cluster) insertMember(id netsim.NodeID) {
 	c.order = append(c.order, 0)
 	copy(c.order[i+1:], c.order[i:])
 	c.order[i] = id
+	// A placement flip silently re-routes key ownership; cached entries
+	// were filled under the old ring's invalidation contract.
+	c.dropAllCaches()
 }
 
 func (c *Cluster) removeMember(id netsim.NodeID) {
 	for i, m := range c.order {
 		if m == id {
 			c.order = append(c.order[:i], c.order[i+1:]...)
+			c.dropAllCaches()
 			return
 		}
 	}
@@ -750,6 +754,7 @@ func (n *Node) onStreamChunk(m streamChunk) {
 				n.streamedInCells++
 				n.cluster.oracle.Applied(n.id, cell.Version, n.cluster.net.Now())
 			}
+			n.cacheInvalidate(key)
 			off += size
 		}
 		st := n.inStream(m.From)

@@ -17,13 +17,30 @@ const msgOverhead = 64
 // digestSize approximates a read digest (version + checksum) in bytes.
 const digestSize = 16
 
+// readRoute says how a read result finds its way back to the issuing
+// client: a direct callback, or — when cb is nil — a slot in the
+// cluster's pooled op slab (the zero-allocation path; opGen catches
+// replies that outlive a timed-out, recycled slot).
+type readRoute struct {
+	cb    func(ReadResult)
+	op    uint32
+	opGen uint32
+}
+
+// writeRoute is the write counterpart of readRoute.
+type writeRoute struct {
+	cb    func(WriteResult)
+	op    uint32
+	opGen uint32
+}
+
 // clientRead enters the cluster from a client and is handled by the
 // coordinator node it is addressed to.
 type clientRead struct {
 	ID    reqID
 	Key   string
 	Level Level
-	cb    func(ReadResult)
+	rt    readRoute
 }
 
 // clientWrite is the write counterpart of clientRead; with tombstone set
@@ -34,18 +51,18 @@ type clientWrite struct {
 	Value     []byte
 	Level     Level
 	tombstone bool
-	cb        func(WriteResult)
+	rt        writeRoute
 }
 
 // clientReadReply carries the result back to the client endpoint.
 type clientReadReply struct {
-	cb  func(ReadResult)
+	rt  readRoute
 	res ReadResult
 }
 
 // clientWriteReply carries the result back to the client endpoint.
 type clientWriteReply struct {
-	cb  func(WriteResult)
+	rt  writeRoute
 	res WriteResult
 }
 
@@ -347,6 +364,10 @@ type ReadResult struct {
 	Level    Level
 	Latency  time.Duration
 	Replicas int // replicas contacted
+	// Cached marks a read served from the coordinator's hot-key cache
+	// (Config.HotCache): no replica was contacted. The monitor uses it
+	// to report the effective post-cache load to the autoscaler.
+	Cached bool
 }
 
 // WriteResult reports the outcome of a write operation.

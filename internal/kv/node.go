@@ -112,6 +112,10 @@ type Node struct {
 	// is reset by restart().
 	gs *gossipState
 
+	// Coordinator-side hot-key read cache (Config.HotCache only; nil
+	// otherwise). Entries are volatile: a crash drops them all.
+	cache *readCache
+
 	// Hinted handoff: writes buffered for down replicas.
 	hints         map[netsim.NodeID][]hintEntry
 	hintCount     int
@@ -145,6 +149,9 @@ func newNode(id netsim.NodeID, c *Cluster) *Node {
 	n.readStage.conc = c.cfg.Concurrency
 	n.writeStage.conc = c.cfg.Concurrency
 	n.writeStage.shed = c.cfg.MutationShed
+	if c.cfg.HotCache {
+		n.cache = newReadCache()
+	}
 	return n
 }
 
@@ -169,6 +176,9 @@ func (n *Node) crash() {
 	n.batchWrites = make(map[reqID]*batchWriteCtx)
 	n.hints = make(map[netsim.NodeID][]hintEntry)
 	n.hintCount = 0
+	if n.cache != nil {
+		n.cache.dropAll() // cache entries are process memory; meters stay
+	}
 	// In-flight inbound streams die with the process; the senders' guard
 	// timer (membership.go) keeps the membership change from wedging.
 	n.streamsIn = nil
@@ -518,6 +528,7 @@ func (n *Node) onReplicaWrite(m replicaWrite) {
 		if n.engine.Apply(m.Key, m.Cell) {
 			n.cluster.oracle.Applied(n.id, m.Cell.Version, n.cluster.net.Now())
 		}
+		n.cacheInvalidate(m.Key)
 		if m.Repair {
 			n.readRepairs++
 			return

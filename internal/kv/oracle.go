@@ -20,8 +20,9 @@ import (
 // The oracle is measurement infrastructure with global knowledge; nothing
 // in the adaptive tuners reads it.
 type Oracle struct {
-	issued  map[string]storage.Version // newest write accepted by a coordinator
-	visible map[string]storage.Version // newest write acknowledged to a client
+	// latest carries both per-key high watermarks in one entry so the
+	// read-start snapshot (every single read) costs one map lookup.
+	latest  map[string]latestVersions
 	pending map[storage.Version]pendingWrite
 
 	propagation stats.Histogram   // full-propagation times T_p
@@ -76,18 +77,24 @@ func (p *pendingWrite) appliedCount() int {
 // NewOracle returns an oracle for a store with replication factor rf.
 func NewOracle(rf int) *Oracle {
 	return &Oracle{
-		issued:     make(map[string]storage.Version),
-		visible:    make(map[string]storage.Version),
+		latest:     make(map[string]latestVersions),
 		pending:    make(map[storage.Version]pendingWrite),
 		rankDelays: make([]stats.Histogram, rf),
 	}
 }
 
+// latestVersions is one key's pair of high watermarks.
+type latestVersions struct {
+	issued  storage.Version // newest write accepted by a coordinator
+	visible storage.Version // newest write acknowledged to a client
+}
+
 // WriteStarted ledgers a write accepted by a coordinator at time now.
 func (o *Oracle) WriteStarted(key string, v storage.Version, replicas int, now time.Duration) {
 	o.writes++
-	if v.After(o.issued[key]) {
-		o.issued[key] = v
+	if l := o.latest[key]; v.After(l.issued) {
+		l.issued = v
+		o.latest[key] = l
 	}
 	o.pending[v] = pendingWrite{start: now, replicas: replicas}
 }
@@ -95,8 +102,9 @@ func (o *Oracle) WriteStarted(key string, v storage.Version, replicas int, now t
 // WriteVisible ledgers that the write was acknowledged to its client: it
 // is now part of the data a user expects subsequent reads to return.
 func (o *Oracle) WriteVisible(key string, v storage.Version) {
-	if v.After(o.visible[key]) {
-		o.visible[key] = v
+	if l := o.latest[key]; v.After(l.visible) {
+		l.visible = v
+		o.latest[key] = l
 	}
 }
 
@@ -118,13 +126,21 @@ func (o *Oracle) Applied(node netsim.NodeID, v storage.Version, now time.Duratio
 	o.pending[v] = p
 }
 
-// LatestVisible reports the newest client-acknowledged version of key;
-// coordinators snapshot it when a read starts.
-func (o *Oracle) LatestVisible(key string) storage.Version { return o.visible[key] }
+// Latest reports both of key's high watermarks in one lookup: the
+// newest client-acknowledged version (what a user expects reads to
+// return) and the newest coordinator-accepted version (Figure 1's X_w,
+// which may not be client-visible yet). Coordinators snapshot the pair
+// when a read starts.
+func (o *Oracle) Latest(key string) (visible, issued storage.Version) {
+	l := o.latest[key]
+	return l.visible, l.issued
+}
 
-// LatestIssued reports the newest coordinator-accepted version of key
-// (Figure 1's X_w, which may not be client-visible yet).
-func (o *Oracle) LatestIssued(key string) storage.Version { return o.issued[key] }
+// LatestVisible reports the newest client-acknowledged version of key.
+func (o *Oracle) LatestVisible(key string) storage.Version { return o.latest[key].visible }
+
+// LatestIssued reports the newest coordinator-accepted version of key.
+func (o *Oracle) LatestIssued(key string) storage.Version { return o.latest[key].issued }
 
 // Judge decides whether a read got stale data and tallies the verdict.
 // A read is stale when it returned a version older than the newest write

@@ -70,6 +70,10 @@ type Monitor struct {
 	// client-side staleness probes into the same counters).
 	doneReads  *stats.RateEstimator
 	staleReads *stats.RateEstimator
+	// cacheHits tracks reads served from the coordinators' hot-key
+	// cache: load the replicas never saw. The autoscaler subtracts it
+	// from the read rate to provision for the effective load.
+	cacheHits *stats.RateEstimator
 
 	rankEWMA []stats.EWMA // ack delay until the i-th replica, i=1..RF
 
@@ -97,6 +101,7 @@ func New(rf int, clock Clock, opts Options) *Monitor {
 		writeRate:  stats.NewRateEstimator(opts.Window, opts.Slots),
 		doneReads:  stats.NewRateEstimator(opts.Window, opts.Slots),
 		staleReads: stats.NewRateEstimator(opts.Window, opts.Slots),
+		cacheHits:  stats.NewRateEstimator(opts.Window, opts.Slots),
 		rankEWMA:   make([]stats.EWMA, rf),
 		writeKeys:  stats.NewHeavyHitters(opts.TopKeys),
 		readKeys:   stats.NewHeavyHitters(opts.TopKeys),
@@ -123,6 +128,9 @@ func (m *Monitor) Hooks() *kv.Hooks {
 				m.doneReads.Add(now, 1)
 				if res.Stale {
 					m.staleReads.Add(now, 1)
+				}
+				if res.Cached {
+					m.cacheHits.Add(now, 1)
 				}
 			}
 		},
@@ -174,6 +182,12 @@ type Snapshot struct {
 	// (tuners keep using the model-based estimators).
 	ObservedStaleRate float64
 
+	// CacheHitShare is the fraction of reads completed inside the window
+	// that were served from the coordinators' hot-key cache (zero
+	// without kv.Config.HotCache). Those reads never reached a replica,
+	// so the autoscaler provisions for ReadRate·(1−CacheHitShare).
+	CacheHitShare float64
+
 	// Access profile for the per-key refinement.
 	TopKeys      []KeyRate
 	TailKeys     float64 // estimated distinct keys outside TopKeys
@@ -208,6 +222,7 @@ func (m *Monitor) Snapshot() Snapshot {
 	}
 	if done := m.doneReads.Rate(now); done > 0 {
 		s.ObservedStaleRate = m.staleReads.Rate(now) / done
+		s.CacheHitShare = m.cacheHits.Rate(now) / done
 	}
 	// Enforce monotone non-decreasing rank delays: EWMAs of different
 	// ranks can momentarily cross right after startup.

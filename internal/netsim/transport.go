@@ -212,3 +212,11 @@ func (t *Transport) ScheduleStop(d time.Duration, fn func()) func() {
 	tm := t.eng.Schedule(d, fn)
 	return func() { tm.Stop() }
 }
+
+// ScheduleStopCall is the allocation-free form of ScheduleStop: it arms
+// a pre-bound callback with a slab argument and hands back the engine's
+// value-typed timer instead of wrapping the cancel in a closure. The
+// client hot path (kv.Cluster) arms one guard per operation through it.
+func (t *Transport) ScheduleStopCall(d time.Duration, cb func(uint32), arg uint32) sim.Timer {
+	return t.eng.ScheduleCall(d, cb, arg)
+}

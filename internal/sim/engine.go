@@ -28,7 +28,7 @@ type event struct {
 	arg      uint32
 	gen      uint32 // bumped on slot release; stale Timers see a mismatch
 	nextFree int32
-	canceled bool
+	pos      int32 // index of this slot's entry in the heap while queued
 }
 
 // heapEntry is one queued event: the ordering key lives here so heap
@@ -57,16 +57,20 @@ type Timer struct {
 }
 
 // Stop cancels the timer; it reports whether the callback had not yet run
-// (and now never will).
+// (and now never will). The event is removed from the heap immediately:
+// a canceled guard timer far in the virtual future must not deepen the
+// heap every hot-path operation pays to push and pop.
 func (t Timer) Stop() bool {
-	if t.eng == nil {
+	e := t.eng
+	if e == nil {
 		return false
 	}
-	ev := &t.eng.events[t.slot]
-	if ev.gen != t.gen || ev.canceled {
+	ev := &e.events[t.slot]
+	if ev.gen != t.gen {
 		return false
 	}
-	ev.canceled = true
+	e.removeAt(ev.pos)
+	e.release(t.slot)
 	return true
 }
 
@@ -99,8 +103,8 @@ func (e *Engine) RNG() *stats.Source { return e.rng }
 // Events reports how many events have fired so far.
 func (e *Engine) Events() uint64 { return e.fired }
 
-// Pending reports how many events are queued (canceled ones included
-// until they surface).
+// Pending reports how many events are queued (stopped timers are
+// removed eagerly, so every pending event will fire).
 func (e *Engine) Pending() int { return len(e.heap) }
 
 // alloc takes a slot from the free list (or grows the slab) and queues it
@@ -110,7 +114,6 @@ func (e *Engine) alloc(t time.Duration) int32 {
 	if e.freeHead != noIndex {
 		slot = e.freeHead
 		e.freeHead = e.events[slot].nextFree
-		e.events[slot].canceled = false
 	} else {
 		e.events = append(e.events, event{})
 		slot = int32(len(e.events) - 1)
@@ -133,18 +136,8 @@ func (e *Engine) release(slot int32) {
 
 // push inserts an entry into the 4-ary heap.
 func (e *Engine) push(en heapEntry) {
-	h := append(e.heap, en)
-	i := int32(len(h) - 1)
-	for i > 0 {
-		parent := (i - 1) >> 2
-		if !en.before(h[parent]) {
-			break
-		}
-		h[i] = h[parent]
-		i = parent
-	}
-	h[i] = en
-	e.heap = h
+	e.heap = append(e.heap, en)
+	e.siftUp(int32(len(e.heap)-1), en)
 }
 
 // pop removes and returns the minimum entry; the heap must be non-empty.
@@ -152,14 +145,51 @@ func (e *Engine) pop() heapEntry {
 	h := e.heap
 	top := h[0]
 	last := h[len(h)-1]
-	h = h[:len(h)-1]
-	e.heap = h
-	n := int32(len(h))
-	if n == 0 {
-		return top
+	e.heap = h[:len(h)-1]
+	if len(e.heap) > 0 {
+		e.siftDown(0, last)
 	}
-	// Sift the former last entry down from the root.
-	i := int32(0)
+	return top
+}
+
+// removeAt deletes the entry at heap index i (an O(log n) unqueue used
+// by Timer.Stop), preserving the order of everything else.
+func (e *Engine) removeAt(i int32) {
+	h := e.heap
+	n := int32(len(h) - 1)
+	last := h[n]
+	e.heap = h[:n]
+	if i == n {
+		return
+	}
+	// The displaced last entry may belong above or below slot i.
+	if i > 0 && last.before(e.heap[(i-1)>>2]) {
+		e.siftUp(i, last)
+	} else {
+		e.siftDown(i, last)
+	}
+}
+
+// siftUp places en at index i or above, keeping slot positions current.
+func (e *Engine) siftUp(i int32, en heapEntry) {
+	h := e.heap
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !en.before(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		e.events[h[i].slot].pos = i
+		i = parent
+	}
+	h[i] = en
+	e.events[en.slot].pos = i
+}
+
+// siftDown places en at index i or below, keeping slot positions current.
+func (e *Engine) siftDown(i int32, en heapEntry) {
+	h := e.heap
+	n := int32(len(h))
 	for {
 		first := i<<2 + 1
 		if first >= n {
@@ -175,14 +205,15 @@ func (e *Engine) pop() heapEntry {
 				best = c
 			}
 		}
-		if !h[best].before(last) {
+		if !h[best].before(en) {
 			break
 		}
 		h[i] = h[best]
+		e.events[h[i].slot].pos = i
 		i = best
 	}
-	h[i] = last
-	return top
+	h[i] = en
+	e.events[en.slot].pos = i
 }
 
 // Schedule runs fn after delay of virtual time and returns a stoppable
@@ -223,25 +254,21 @@ func (e *Engine) ScheduleCall(delay time.Duration, cb func(uint32), arg uint32) 
 // Step fires the next event; it reports false when the queue is empty or
 // the engine is stopped.
 func (e *Engine) Step() bool {
-	for len(e.heap) > 0 && !e.stopped {
-		en := e.pop()
-		ev := &e.events[en.slot]
-		if ev.canceled {
-			e.release(en.slot)
-			continue
-		}
-		e.now = en.at
-		e.fired++
-		fn, cb, arg := ev.fn, ev.cb, ev.arg
-		e.release(en.slot)
-		if cb != nil {
-			cb(arg)
-		} else {
-			fn()
-		}
-		return true
+	if len(e.heap) == 0 || e.stopped {
+		return false
 	}
-	return false
+	en := e.pop()
+	ev := &e.events[en.slot]
+	e.now = en.at
+	e.fired++
+	fn, cb, arg := ev.fn, ev.cb, ev.arg
+	e.release(en.slot)
+	if cb != nil {
+		cb(arg)
+	} else {
+		fn()
+	}
+	return true
 }
 
 // Run fires events until the queue drains or Stop is called.
@@ -253,15 +280,7 @@ func (e *Engine) Run() {
 // RunUntil fires events with time ≤ t, then advances the clock to t.
 // Events scheduled for later remain queued.
 func (e *Engine) RunUntil(t time.Duration) {
-	for len(e.heap) > 0 && !e.stopped {
-		next := e.heap[0]
-		if e.events[next.slot].canceled {
-			e.release(e.pop().slot)
-			continue
-		}
-		if next.at > t {
-			break
-		}
+	for len(e.heap) > 0 && !e.stopped && e.heap[0].at <= t {
 		e.Step()
 	}
 	if !e.stopped && e.now < t {

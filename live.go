@@ -58,6 +58,22 @@ func (l *Live) HarmonyClient(alpha float64, interval time.Duration) (Client, *Co
 	return l.Client(sess), ctl
 }
 
+// HarmonyHotClient returns a client driven by the hot-key-aware Harmony
+// tuner (see Sim.HarmonyHotClient); requires Config.HotCache for the hot
+// set to populate.
+func (l *Live) HarmonyHotClient(alpha float64, interval time.Duration) (Client, *Controller) {
+	sess, ctl := l.AdaptiveSession(NewHarmonyHotTuner(alpha, l.Cluster), interval)
+	return l.Client(sess), ctl
+}
+
+// HotKeys reports the cluster's current hot set in sorted order (empty
+// without Config.HotCache).
+func (l *Live) HotKeys() []string {
+	var keys []string
+	l.Engine.Do(func() { keys = l.Cluster.HotKeys() })
+	return keys
+}
+
 // StaticSession returns a session pinned to fixed levels. Sessions must
 // be driven through Client (or inside Engine.Do): their methods assume
 // the engine lock is held.

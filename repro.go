@@ -175,6 +175,13 @@ var (
 	MixWorkload     = ycsb.Mix
 )
 
+// Key-popularity distributions for MixWorkload.
+const (
+	DistZipfian = ycsb.DistZipfian
+	DistUniform = ycsb.DistUniform
+	DistLatest  = ycsb.DistLatest
+)
+
 // EC2Pricing2013 is the paper-era us-east-1 price catalog.
 func EC2Pricing2013() Pricing { return cost.EC2East2013() }
 
@@ -230,6 +237,14 @@ func OptimizeProvision(catalog []NodeType, w ProvisionWorkload, c ProvisionConst
 // NewHarmonyTuner returns the Harmony tuner: smallest read level whose
 // estimated stale-read rate stays under alpha (§III-A).
 func NewHarmonyTuner(alpha float64, rf int) Tuner { return harmony.New(alpha, rf) }
+
+// NewHarmonyHotTuner returns the hot-key-aware Harmony tuner: the
+// per-key-estimator decision governs the tail, and each control period
+// every key in the cluster's hot set (Config.HotCache) is pinned to the
+// smallest read level holding its own estimated stale rate under alpha.
+func NewHarmonyHotTuner(alpha float64, cluster *kv.Cluster) Tuner {
+	return harmony.NewHot(alpha, cluster)
+}
 
 // NewBismarTuner returns the Bismar tuner: the consistency level with the
 // highest consistency-cost efficiency (§III-B).

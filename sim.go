@@ -57,6 +57,15 @@ func (s *Sim) HarmonyClient(alpha float64) (Client, *Controller) {
 	return s.Client(sess), ctl
 }
 
+// HarmonyHotClient returns a client driven by the hot-key-aware Harmony
+// tuner: the global per-key decision rules the tail while every key in
+// the cluster's current hot set (Config.HotCache) is pinned to its own
+// smallest safe level each control period.
+func (s *Sim) HarmonyHotClient(alpha float64) (Client, *Controller) {
+	sess, ctl := s.HarmonyHotSession(alpha)
+	return s.Client(sess), ctl
+}
+
 // BismarClient returns a client whose levels Bismar re-prices for
 // consistency-cost efficiency, with the controller driving it.
 func (s *Sim) BismarClient(dep Deployment) (Client, *Controller) {
@@ -94,6 +103,16 @@ func (s *Sim) AdaptiveSession(t Tuner, interval time.Duration) (Session, *Contro
 func (s *Sim) HarmonySession(alpha float64) (Session, *Controller) {
 	return s.AdaptiveSession(NewHarmonyTuner(alpha, s.Cluster.RF()), 0)
 }
+
+// HarmonyHotSession is shorthand for
+// AdaptiveSession(NewHarmonyHotTuner(alpha, Cluster)).
+func (s *Sim) HarmonyHotSession(alpha float64) (Session, *Controller) {
+	return s.AdaptiveSession(NewHarmonyHotTuner(alpha, s.Cluster), 0)
+}
+
+// HotKeys reports the cluster's current hot set in sorted order (empty
+// without Config.HotCache).
+func (s *Sim) HotKeys() []string { return s.Cluster.HotKeys() }
 
 // BismarSession is shorthand for AdaptiveSession(NewBismarTuner(dep)).
 func (s *Sim) BismarSession(dep Deployment) (Session, *Controller) {
