@@ -1,0 +1,96 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// Shared flag→Config plumbing for the cmds (storesim, storeserve) and
+// any embedding program: every command used to carry its own copy of
+// the level parser and the topology/engine switches; they live here
+// once instead.
+
+// EngineKind selects a per-node storage engine (EngineMem, EngineLSM).
+type EngineKind = storage.Kind
+
+// ParseLevel parses a consistency level name: ONE, TWO, THREE, QUORUM,
+// ALL, LOCAL_QUORUM, EACH_QUORUM or K(n). Case-insensitive.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToUpper(s) {
+	case "ONE":
+		return One, nil
+	case "TWO":
+		return Two, nil
+	case "THREE":
+		return Three, nil
+	case "QUORUM":
+		return Quorum, nil
+	case "ALL":
+		return All, nil
+	case "LOCAL_QUORUM":
+		return LocalQuorum, nil
+	case "EACH_QUORUM":
+		return EachQuorum, nil
+	}
+	var k int
+	if _, err := fmt.Sscanf(strings.ToUpper(s), "K(%d)", &k); err == nil && k > 0 {
+		return Count(k), nil
+	}
+	return Level{}, fmt.Errorf("repro: unknown consistency level %q", s)
+}
+
+// ParseTopology builds a preset topology by name: "g5k" (two Grid'5000
+// sites), "ec2" (two us-east-1 AZs), "single" (one datacenter) or
+// "geo" (three regions; n is split across them).
+func ParseTopology(name string, n int) (*Topology, error) {
+	switch name {
+	case "g5k":
+		return G5KTwoSites(n), nil
+	case "ec2":
+		return EC2TwoAZ(n), nil
+	case "single":
+		return SingleDC(n), nil
+	case "geo":
+		return GeoRegions(n/3, "us-east", "eu-west", "ap-south"), nil
+	}
+	return nil, fmt.Errorf("repro: unknown topology %q", name)
+}
+
+// ParseEngine maps an engine name ("mem", "lsm") to its storage kind.
+func ParseEngine(name string) (EngineKind, error) {
+	switch name {
+	case "mem":
+		return EngineMem, nil
+	case "lsm":
+		return EngineLSM, nil
+	}
+	return EngineMem, fmt.Errorf("repro: unknown engine %q", name)
+}
+
+// ClientSpec is a parsed -level flag: either a fixed consistency level
+// for both reads and writes, or the Harmony adaptive tuner with a
+// stale-read tolerance.
+type ClientSpec struct {
+	Harmony bool
+	Alpha   float64 // Harmony stale-read tolerance
+	Level   Level   // fixed read+write level when !Harmony
+}
+
+// ParseClientSpec parses a level-or-tuner flag value: a level name
+// (see ParseLevel) or "harmony:<alpha>".
+func ParseClientSpec(s string) (ClientSpec, error) {
+	if alphaStr, ok := strings.CutPrefix(s, "harmony:"); ok {
+		var alpha float64
+		if _, err := fmt.Sscanf(alphaStr, "%f", &alpha); err != nil {
+			return ClientSpec{}, fmt.Errorf("repro: bad harmony tolerance %q", alphaStr)
+		}
+		return ClientSpec{Harmony: true, Alpha: alpha}, nil
+	}
+	lvl, err := ParseLevel(s)
+	if err != nil {
+		return ClientSpec{}, err
+	}
+	return ClientSpec{Level: lvl}, nil
+}

@@ -2,16 +2,17 @@
 // micro-benchmarks of the discrete-event core, the storage engines, the
 // hot-key coordinator read cache (cached single-ack reads and the full
 // Zipfian mix), the membership layer (ring rebalance, snapshot
-// streaming, gossip probe rounds, the stale-ring wrong-owner retry) and
-// the autoscale decision loop, plus an end-to-end experiment run and a
-// whole-repo repolint
+// streaming, gossip probe rounds, the stale-ring wrong-owner retry),
+// the autoscale decision loop and the serving-layer codecs (RESP
+// command decode/encode, the inter-process wire round trip), plus an
+// end-to-end experiment run and a whole-repo repolint
 // pass — and writes the numbers as JSON so the performance trajectory
-// is tracked in-repo (BENCH_PR8.json). CI runs it on every push and
+// is tracked in-repo (BENCH_PR9.json). CI runs it on every push and
 // uploads the file as an artifact.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-o BENCH_PR8.json] [-quick] [-baseline old.json]
+//	go run ./cmd/benchreport [-o BENCH_PR9.json] [-quick] [-baseline old.json]
 //
 // -quick shortens the measurement windows (CI smoke); -baseline embeds a
 // previously captured report under "baseline" so before/after travels in
@@ -19,9 +20,11 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -41,6 +44,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/storage"
+	"repro/internal/wire"
 )
 
 // benchScale mirrors the root bench_test.go perf-tracking scale: the
@@ -530,6 +534,79 @@ func benchStaleRingReadRetry(target time.Duration) Bench {
 	})
 }
 
+// loopReader replays one encoded byte sequence forever — an endless
+// pipelined client for the RESP decoder.
+type loopReader struct {
+	data []byte
+	off  int
+}
+
+func (l *loopReader) Read(p []byte) (int, error) {
+	n := copy(p, l.data[l.off:])
+	l.off += n
+	if l.off == len(l.data) {
+		l.off = 0
+	}
+	return n, nil
+}
+
+// benchRESPDecode mirrors wire.BenchmarkRESPDecode: parse one pipelined
+// SET command per op — the per-command ingress cost of the TCP front
+// end. Must stay at 0 allocs/op: the reader retains and reslices its
+// own buffers.
+func benchRESPDecode(target time.Duration) Bench {
+	cmd := []byte("*3\r\n$3\r\nSET\r\n$8\r\nkey:1234\r\n$64\r\n" +
+		string(bytes.Repeat([]byte("x"), 64)) + "\r\n")
+	r := wire.NewRESPReader(&loopReader{data: cmd})
+	return measure("RESPDecode", target, func(n uint64) {
+		for i := uint64(0); i < n; i++ {
+			if _, err := r.ReadCommand(); err != nil {
+				panic(err)
+			}
+		}
+	})
+}
+
+// benchRESPEncode mirrors wire.BenchmarkRESPEncode: one op writes a
+// simple string, a 64-byte bulk and an integer — a representative reply
+// batch slice — flushing every 64 ops as a pipelined server would.
+func benchRESPEncode(target time.Duration) Bench {
+	value := bytes.Repeat([]byte("x"), 64)
+	w := wire.NewRESPWriter(io.Discard)
+	return measure("RESPEncode", target, func(n uint64) {
+		for i := uint64(0); i < n; i++ {
+			w.SimpleString("OK")
+			w.Bulk(value)
+			w.Int(1)
+			if i%64 == 63 {
+				if err := w.Flush(); err != nil {
+					panic(err)
+				}
+			}
+		}
+		if err := w.Flush(); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// benchWireRoundTripLoopback measures the full inter-process codec
+// path — marshal a replica write into a frame, read the frame back,
+// decode into a pooled box — the per-message cost the TCP mesh adds
+// over in-process delivery.
+func benchWireRoundTripLoopback(target time.Duration) Bench {
+	value := bytes.Repeat([]byte("x"), 64)
+	buf := make([]byte, 0, 256)
+	return measure("WireRoundTripLoopback", target, func(n uint64) {
+		var err error
+		for i := uint64(0); i < n; i++ {
+			if buf, err = kv.WireBenchRoundTrip(buf, i, value); err != nil {
+				panic(err)
+			}
+		}
+	})
+}
+
 // benchStore is an always-settled fixed-size store; the bench feeds a
 // workload whose recommendation equals the current size, so Step runs
 // the full sample → optimize → judge pipeline without enacting.
@@ -646,7 +723,7 @@ func runRepolint() Tool {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR8.json", "output path")
+	out := flag.String("o", "BENCH_PR9.json", "output path")
 	quick := flag.Bool("quick", false, "short measurement windows (CI smoke)")
 	baseline := flag.String("baseline", "", "previously captured report to embed under \"baseline\"")
 	flag.Parse()
@@ -676,6 +753,9 @@ func main() {
 		benchAutoscaleDecide(target),
 		benchGossipRound(target),
 		benchStaleRingReadRetry(target),
+		benchRESPDecode(target),
+		benchRESPEncode(target),
+		benchWireRoundTripLoopback(target),
 	)
 	fmt.Fprintln(os.Stderr, "benchreport: end-to-end experiment...")
 	rep.Experiments = append(rep.Experiments, runExperiment())
@@ -689,7 +769,10 @@ func main() {
 			"compare against KVReadQuorum for the replica round-trip it removes.",
 		"every benchmark reports the fastest of three measured rounds at the calibrated "+
 			"iteration count (earlier reports measured a single round, one sample of a "+
-			"noisy machine).")
+			"noisy machine).",
+		"RESPDecode/RESPEncode/WireRoundTripLoopback track the serving-layer codecs "+
+			"(PR 9): the RESP front-end command parse and reply encode (both 0 allocs/op "+
+			"by construction) and the framed inter-process replica-message round trip.")
 
 	if *baseline != "" {
 		raw, err := os.ReadFile(*baseline)

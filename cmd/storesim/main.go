@@ -17,36 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"repro"
 	"repro/internal/experiments"
 )
-
-func parseLevel(s string) (repro.Level, bool) {
-	switch strings.ToUpper(s) {
-	case "ONE":
-		return repro.One, true
-	case "TWO":
-		return repro.Two, true
-	case "THREE":
-		return repro.Three, true
-	case "QUORUM":
-		return repro.Quorum, true
-	case "ALL":
-		return repro.All, true
-	case "LOCAL_QUORUM":
-		return repro.LocalQuorum, true
-	case "EACH_QUORUM":
-		return repro.EachQuorum, true
-	}
-	var k int
-	if _, err := fmt.Sscanf(s, "K(%d)", &k); err == nil && k > 0 {
-		return repro.Count(k), true
-	}
-	return repro.Level{}, false
-}
 
 func main() {
 	topoName := flag.String("topology", "g5k", "topology: g5k, ec2, single, geo")
@@ -88,18 +63,9 @@ func main() {
 	if *join {
 		topoNodes++
 	}
-	var topo *repro.Topology
-	switch *topoName {
-	case "g5k":
-		topo = repro.G5KTwoSites(topoNodes)
-	case "ec2":
-		topo = repro.EC2TwoAZ(topoNodes)
-	case "single":
-		topo = repro.SingleDC(topoNodes)
-	case "geo":
-		topo = repro.GeoRegions(topoNodes/3, "us-east", "eu-west", "ap-south")
-	default:
-		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topoName)
+	topo, err := repro.ParseTopology(*topoName, topoNodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -153,31 +119,23 @@ func main() {
 	}
 	cfg.Gossip = *gossipOn
 	cfg.HotCache = *hotcache
-	switch *engine {
-	case "mem":
-		cfg.Engine = repro.EngineMem
-	case "lsm":
-		cfg.Engine = repro.EngineLSM
-	default:
-		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+	if cfg.Engine, err = repro.ParseEngine(*engine); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	spec, err := repro.ParseClientSpec(*level)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	sim := repro.NewSim(topo, cfg)
 
 	var cli repro.Client
 	var ctl *repro.Controller
-	if alphaStr, ok := strings.CutPrefix(*level, "harmony:"); ok {
-		var alpha float64
-		if _, err := fmt.Sscanf(alphaStr, "%f", &alpha); err != nil {
-			fmt.Fprintf(os.Stderr, "bad harmony tolerance %q\n", alphaStr)
-			os.Exit(2)
-		}
-		cli, ctl = sim.HarmonyClient(alpha)
-	} else if lvl, ok := parseLevel(*level); ok {
-		cli = sim.StaticClient(lvl, lvl)
+	if spec.Harmony {
+		cli, ctl = sim.HarmonyClient(spec.Alpha)
 	} else {
-		fmt.Fprintf(os.Stderr, "bad level %q\n", *level)
-		os.Exit(2)
+		cli = sim.StaticClient(spec.Level, spec.Level)
 	}
 
 	// The cost loop: observed workload → provision.Optimize →

@@ -1,0 +1,14 @@
+// Package frontend sits in server scope: the TCP front end measures
+// real request latency against the wall clock, so the determinism rules
+// do not bind here.
+package frontend
+
+import "time"
+
+func Deadline(d time.Duration) time.Time {
+	return time.Now().Add(d)
+}
+
+func Throttle() {
+	time.Sleep(time.Millisecond)
+}

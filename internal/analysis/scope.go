@@ -34,10 +34,13 @@ func SegmentIn(path string, segs ...string) bool {
 // SimScope reports whether the package at path is held to the
 // deterministic-simulation invariants (determinism, simpure).
 // Exempt: cmd/ and examples/ (drivers), live packages (wall-clock by
-// design), testutil (test-process plumbing), and the analysis suite
-// itself (it shells out to the go tool).
+// design), server (the TCP front end: per-connection goroutines and
+// real sockets by design), testutil (test-process plumbing), and the
+// analysis suite itself (it shells out to the go tool). The wire
+// package is *not* exempt: codecs are pure byte manipulation and stay
+// under the determinism rules.
 func SimScope(path string) bool {
-	for _, seg := range []string{"cmd", "examples", "live", "testutil", "analysis", "testdata"} {
+	for _, seg := range []string{"cmd", "examples", "live", "server", "testutil", "analysis", "testdata"} {
 		if hasSegment(path, seg) {
 			return false
 		}

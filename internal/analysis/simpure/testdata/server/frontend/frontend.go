@@ -1,0 +1,34 @@
+// Package frontend sits in server scope: the TCP front end owns real
+// sockets and per-connection goroutines by design, so none of the
+// simpure rules bind here.
+package frontend
+
+import (
+	"net"
+	"sync"
+)
+
+type Frontend struct {
+	mu    sync.Mutex
+	wg    sync.WaitGroup
+	conns map[net.Conn]struct{}
+}
+
+func (f *Frontend) Serve(ln net.Listener) {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		f.mu.Lock()
+		f.conns[c] = struct{}{}
+		f.mu.Unlock()
+		f.wg.Add(1)
+		go f.handle(c)
+	}
+}
+
+func (f *Frontend) handle(c net.Conn) {
+	defer f.wg.Done()
+	c.Close()
+}

@@ -1,0 +1,15 @@
+// Package codec pins the scope boundary from the other side: "wire" is
+// NOT an exempt segment. Codecs are pure byte manipulation, so a codec
+// package reaching for sockets or goroutines is still a finding.
+package codec
+
+import "net" // want `import of net in deterministic sim package`
+
+func Dial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}
+
+func Encode(dst []byte, v uint32) []byte {
+	go func() {}() // want `go statement in deterministic sim package`
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}

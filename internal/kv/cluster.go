@@ -13,17 +13,25 @@ import (
 	"repro/internal/storage"
 )
 
-// Network is what the store needs from its runtime: a clock, message
+// Transport is what the store needs from its runtime: a clock, message
 // delivery between nodes, timer self-messages and deferred function
-// scheduling. netsim.Transport implements it over the discrete-event
-// engine; the live engine implements it over goroutines and wall time.
-type Network interface {
+// scheduling. It is the store's only seam to the outside world, and it
+// has three implementations: netsim.Transport delivers in-process over
+// the discrete-event engine (the zero-cost default every simulation
+// uses), the live engine delivers in-process over goroutines and wall
+// time, and the live mesh engine additionally carries messages between
+// OS processes over TCP using the MarshalMessage/UnmarshalMessage wire
+// hooks (wiremsg.go). Cluster code cannot tell them apart.
+type Transport interface {
 	Now() time.Duration
 	Send(from, to netsim.NodeID, payload any, size int)
 	SendLocal(id netsim.NodeID, payload any, delay time.Duration)
 	Register(id netsim.NodeID, h netsim.Handler)
 	Schedule(d time.Duration, fn func())
 }
+
+// Network is the historical name of the Transport seam.
+type Network = Transport
 
 // failer is the optional failure-injection surface of a Network.
 type failer interface {
@@ -109,6 +117,12 @@ type Config struct {
 	// Client routing.
 	Coordinator CoordPolicy
 	CoordDC     string // for CoordLocalDC
+	// Coordinators, when set, restricts coordinator selection to these
+	// nodes. A multi-process deployment needs it: client messages carry
+	// callbacks, so every operation must be coordinated by a node living
+	// in the issuing process — each serving process pins Coordinators to
+	// its local node set. nil keeps the policy over all ring members.
+	Coordinators []netsim.NodeID
 
 	// Elastic membership.
 	// InitialMembers, when set, starts the cluster with only these
@@ -680,7 +694,9 @@ func (c *Cluster) nextSeq() uint64 {
 // node is live.
 func (c *Cluster) pickCoordinator() netsim.NodeID {
 	candidates := c.order
-	if c.cfg.Coordinator == CoordLocalDC && c.cfg.CoordDC != "" {
+	if len(c.cfg.Coordinators) > 0 {
+		candidates = c.cfg.Coordinators
+	} else if c.cfg.Coordinator == CoordLocalDC && c.cfg.CoordDC != "" {
 		candidates = c.topo.NodesInDC(c.cfg.CoordDC)
 	}
 	n := len(candidates)

@@ -14,7 +14,7 @@ import (
 	"repro/internal/stats"
 )
 
-// Engine implements kv.Network over real time.
+// Engine implements kv.Transport over real time.
 type Engine struct {
 	mu       sync.Mutex
 	start    time.Time
@@ -25,9 +25,36 @@ type Engine struct {
 	down     map[netsim.NodeID]bool
 	closed   bool
 
+	// Serving mode (NewMesh). direct short-circuits zero-delay local
+	// deliveries onto runq — a FIFO the lock holder drains before
+	// releasing the lock — instead of paying a timer per message;
+	// localSet marks the nodes this process serves (nil: all of them)
+	// and mesh carries messages addressed to the rest over TCP.
+	direct   bool
+	localSet []bool
+	runq     []queuedMsg
+	mesh     *mesh
+
+	// Direct-mode timer wheel (wheel.go): one runtime timer over a heap
+	// of pending events, entries recycled through dfree, guards staged
+	// in guards until drain end.
+	dheap  []*delayed
+	dfree  []*delayed
+	guards []*delayed
+	dseq   uint64
+	dtimer *time.Timer
+	darmed bool
+	dwhen  time.Duration
+
 	// Scale compresses sampled network latencies (0.1 runs a WAN
 	// topology ten times faster); 0 defaults to 1.
 	Scale float64
+}
+
+// queuedMsg is one run-queue entry of the direct delivery mode.
+type queuedMsg struct {
+	to, from netsim.NodeID
+	payload  any
 }
 
 // New returns a live engine over topo.
@@ -47,9 +74,22 @@ func (e *Engine) Now() time.Duration { return time.Since(e.start) }
 
 // Register installs a node handler. It must run under the engine lock:
 // cluster construction happens inside Do, so this does not lock itself
-// (the mutex is not reentrant).
+// (the mutex is not reentrant). In a multi-process deployment the
+// cluster constructs actors for every ring member, but only the nodes
+// this process serves are registered: a remote node's idle local twin
+// never receives a message (its ticks and any stray deliveries are
+// dropped), the peer process serves it instead.
 func (e *Engine) Register(id netsim.NodeID, h netsim.Handler) {
+	if !e.isLocal(id) {
+		return
+	}
 	e.handlers[id] = h
+}
+
+// isLocal reports whether this process serves id (the client endpoint
+// and out-of-range ids count as local).
+func (e *Engine) isLocal(id netsim.NodeID) bool {
+	return e.localSet == nil || id < 0 || int(id) >= len(e.localSet) || e.localSet[id]
 }
 
 // Do runs fn holding the engine lock; external drivers (workloads, tests)
@@ -58,6 +98,40 @@ func (e *Engine) Do(fn func()) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	fn()
+	e.drain()
+}
+
+// enqueue appends one direct-mode delivery to the run queue.
+func (e *Engine) enqueue(to, from netsim.NodeID, payload any) {
+	e.runq = append(e.runq, queuedMsg{to: to, from: from, payload: payload})
+}
+
+// drain runs queued deliveries until the run queue is empty (handlers
+// may enqueue more), then hands any staged peer frames to the mesh
+// writers. Every path that takes the engine lock drains before
+// releasing it, so handler execution stays serialized and
+// non-reentrant exactly as under timer delivery.
+func (e *Engine) drain() {
+	for i := 0; i < len(e.runq); i++ {
+		q := e.runq[i]
+		e.runq[i] = queuedMsg{}
+		if e.closed || e.down[q.to] {
+			continue
+		}
+		if h, ok := e.handlers[q.to]; ok {
+			h(q.from, q.payload)
+		}
+	}
+	e.runq = e.runq[:0]
+	if len(e.guards) > 0 {
+		e.flushGuards()
+	}
+	if len(e.dheap) > 0 {
+		e.rearm()
+	}
+	if e.mesh != nil {
+		e.mesh.flushLocked()
+	}
 }
 
 func (e *Engine) scale(d time.Duration) time.Duration {
@@ -74,8 +148,16 @@ func (e *Engine) scale(d time.Duration) time.Duration {
 func (e *Engine) Send(from, to netsim.NodeID, payload any, size int) {
 	class := e.topo.Class(from, to)
 	e.meter.Count(class, size)
+	if e.mesh != nil && !e.isLocal(to) {
+		e.mesh.send(from, to, payload)
+		return
+	}
 	if e.down[from] || e.down[to] {
 		e.meter.Dropped++
+		return
+	}
+	if e.direct {
+		e.enqueue(to, from, payload)
 		return
 	}
 	delay := e.scale(e.topo.Latency.Law(class).Sample(e.rng))
@@ -84,6 +166,17 @@ func (e *Engine) Send(from, to netsim.NodeID, payload any, size int) {
 
 // SendLocal schedules a self-message (timer) on id.
 func (e *Engine) SendLocal(id netsim.NodeID, payload any, delay time.Duration) {
+	if e.direct {
+		if delay <= 0 {
+			e.enqueue(id, id, payload)
+			return
+		}
+		d := e.newDelayed()
+		d.when = e.Now() + e.scale(delay)
+		d.to, d.from, d.payload = id, id, payload
+		e.pushDelayed(d)
+		return
+	}
 	e.deliverAfter(e.scale(delay), id, id, payload)
 }
 
@@ -97,11 +190,19 @@ func (e *Engine) deliverAfter(delay time.Duration, to, from netsim.NodeID, paylo
 		if h, ok := e.handlers[to]; ok {
 			h(from, payload)
 		}
+		e.drain()
 	})
 }
 
 // Schedule runs fn under the engine lock after delay.
 func (e *Engine) Schedule(d time.Duration, fn func()) {
+	if e.direct {
+		w := e.newDelayed()
+		w.when = e.Now() + e.scale(d)
+		w.fn = fn
+		e.pushDelayed(w)
+		return
+	}
 	time.AfterFunc(e.scale(d), func() {
 		e.mu.Lock()
 		defer e.mu.Unlock()
@@ -109,13 +210,29 @@ func (e *Engine) Schedule(d time.Duration, fn func()) {
 			return
 		}
 		fn()
+		e.drain()
 	})
 }
 
 // ScheduleStop schedules fn after delay and returns a stop function that
 // cancels the timer (same cancelable-guard contract as the simulated
-// transport).
+// transport). In direct mode both arming and canceling run under the
+// engine lock (they always do: guards are armed and stopped inside Do
+// blocks and handlers), and a guard canceled within the drain cycle
+// that armed it never touches the wheel at all.
 func (e *Engine) ScheduleStop(d time.Duration, fn func()) func() {
+	if e.direct {
+		w := e.newDelayed()
+		w.when = e.Now() + e.scale(d)
+		w.fn = fn
+		gen := w.gen
+		e.guards = append(e.guards, w)
+		return func() {
+			if w.gen == gen {
+				w.stopped = true
+			}
+		}
+	}
 	t := time.AfterFunc(e.scale(d), func() {
 		e.mu.Lock()
 		defer e.mu.Unlock()
@@ -123,6 +240,7 @@ func (e *Engine) ScheduleStop(d time.Duration, fn func()) func() {
 			return
 		}
 		fn()
+		e.drain()
 	})
 	return func() { t.Stop() }
 }
@@ -142,9 +260,17 @@ func (e *Engine) Meter() netsim.TrafficMeter {
 	return e.meter.Snapshot()
 }
 
-// Close stops delivering; in-flight timers become no-ops.
+// Close stops delivering; in-flight timers become no-ops. A mesh
+// engine additionally closes its peer connections and joins the
+// reader/writer goroutines.
 func (e *Engine) Close() {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.closed = true
+	if e.dtimer != nil {
+		e.dtimer.Stop()
+	}
+	e.mu.Unlock()
+	if e.mesh != nil {
+		e.mesh.shutdown()
+	}
 }

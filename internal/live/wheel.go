@@ -1,0 +1,171 @@
+package live
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// The direct-mode timer wheel. A serving workload arms two timers per
+// client operation (the coordinator timeout and the client guard), and
+// per-operation time.AfterFunc allocations plus runtime timer-heap
+// traffic were the second-largest cost on the serving profile. Direct
+// mode instead keeps one binary heap of pending events under the engine
+// lock, serviced by a single re-armed runtime timer, with entries
+// recycled through a free list. Guards get a further shortcut: they are
+// staged per drain cycle and only pushed onto the heap if still armed
+// when the drain finishes — an operation that completes synchronously
+// (every operation, in a single-process deployment) cancels its guard
+// before it ever touches the heap or the timer.
+
+// delayed is one pending wheel event: a deferred self-message (payload)
+// or a scheduled function (fn). gen guards recycled entries against
+// stale cancel closures.
+type delayed struct {
+	when     time.Duration // engine-clock deadline
+	seq      uint64        // FIFO tiebreak for equal deadlines
+	to, from netsim.NodeID
+	payload  any
+	fn       func()
+	stopped  bool
+	gen      uint32
+}
+
+// newDelayed takes an entry from the free list. Engine lock held.
+func (e *Engine) newDelayed() *delayed {
+	if n := len(e.dfree); n > 0 {
+		d := e.dfree[n-1]
+		e.dfree = e.dfree[:n-1]
+		return d
+	}
+	return &delayed{}
+}
+
+// recycle returns a fired or canceled entry to the free list,
+// invalidating any outstanding cancel closure. Engine lock held.
+func (e *Engine) recycle(d *delayed) {
+	d.payload, d.fn, d.stopped = nil, nil, false
+	d.gen++
+	e.dfree = append(e.dfree, d)
+}
+
+// pushDelayed schedules one wheel event. The timer is re-armed at drain
+// end (every lock path drains before unlocking), not here.
+func (e *Engine) pushDelayed(d *delayed) {
+	e.dseq++
+	d.seq = e.dseq
+	e.dheap = append(e.dheap, d)
+	e.siftUp(len(e.dheap) - 1)
+}
+
+func (e *Engine) less(i, j int) bool {
+	a, b := e.dheap[i], e.dheap[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !e.less(i, p) {
+			return
+		}
+		e.dheap[i], e.dheap[p] = e.dheap[p], e.dheap[i]
+		i = p
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.dheap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && e.less(l, m) {
+			m = l
+		}
+		if r < n && e.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		e.dheap[i], e.dheap[m] = e.dheap[m], e.dheap[i]
+		i = m
+	}
+}
+
+// popDelayed removes the earliest event. Caller checked len > 0.
+func (e *Engine) popDelayed() *delayed {
+	d := e.dheap[0]
+	n := len(e.dheap) - 1
+	e.dheap[0] = e.dheap[n]
+	e.dheap[n] = nil
+	e.dheap = e.dheap[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	return d
+}
+
+// flushGuards disposes of the guards staged during this drain cycle:
+// already-stopped ones are recycled without ever touching the heap,
+// survivors (operations still waiting on remote peers) are pushed.
+func (e *Engine) flushGuards() {
+	for i, d := range e.guards {
+		e.guards[i] = nil
+		if d.stopped {
+			e.recycle(d)
+			continue
+		}
+		e.pushDelayed(d)
+	}
+	e.guards = e.guards[:0]
+}
+
+// rearm points the wheel's single runtime timer at the earliest pending
+// event. Engine lock held; called at drain end and after firing.
+func (e *Engine) rearm() {
+	if len(e.dheap) == 0 || e.closed {
+		return
+	}
+	next := e.dheap[0].when
+	if e.darmed && e.dwhen <= next {
+		return
+	}
+	delay := next - e.Now()
+	if delay < 0 {
+		delay = 0
+	}
+	if e.dtimer == nil {
+		e.dtimer = time.AfterFunc(delay, e.fireDelayed)
+	} else {
+		e.dtimer.Reset(delay)
+	}
+	e.darmed, e.dwhen = true, next
+}
+
+// fireDelayed is the wheel timer callback: it runs every due event and
+// drains the resulting cascade, exactly like a deliverAfter callback.
+func (e *Engine) fireDelayed() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.darmed = false
+	if e.closed {
+		return
+	}
+	now := e.Now()
+	for len(e.dheap) > 0 && e.dheap[0].when <= now {
+		d := e.popDelayed()
+		if !d.stopped {
+			if d.fn != nil {
+				d.fn()
+			} else {
+				e.enqueue(d.to, d.from, d.payload)
+			}
+		}
+		e.recycle(d)
+	}
+	e.drain()
+}

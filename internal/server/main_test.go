@@ -1,0 +1,14 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain fails the package if any test leaks goroutines: every server
+// Close must join its accept and connection loops, and every deployment
+// Close must quiesce its engine.
+func TestMain(m *testing.M) {
+	testutil.VerifyNoLeaks(m)
+}

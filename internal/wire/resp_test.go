@@ -1,0 +1,236 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// chunkReader returns its data in fixed-size chunks, exercising the
+// reader's partial-command handling.
+type chunkReader struct {
+	data  []byte
+	off   int
+	chunk int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if c.off >= len(c.data) {
+		return 0, io.EOF
+	}
+	n := c.chunk
+	if n > len(p) {
+		n = len(p)
+	}
+	if n > len(c.data)-c.off {
+		n = len(c.data) - c.off
+	}
+	copy(p, c.data[c.off:c.off+n])
+	c.off += n
+	return n, nil
+}
+
+func cmdsEqual(t *testing.T, got [][]byte, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d args, want %d (%q vs %q)", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("arg %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRESPReadCommand(t *testing.T) {
+	input := "*3\r\n$3\r\nSET\r\n$3\r\nfoo\r\n$3\r\nbar\r\n*2\r\n$3\r\nGET\r\n$3\r\nfoo\r\n"
+	for chunk := 1; chunk <= len(input); chunk += 7 {
+		r := NewRESPReader(&chunkReader{data: []byte(input), chunk: chunk})
+		args, err := r.ReadCommand()
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		cmdsEqual(t, args, []string{"SET", "foo", "bar"})
+		args, err = r.ReadCommand()
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		cmdsEqual(t, args, []string{"GET", "foo"})
+		if _, err := r.ReadCommand(); err != io.EOF {
+			t.Fatalf("chunk %d: err = %v, want EOF", chunk, err)
+		}
+	}
+}
+
+func TestRESPInlineCommand(t *testing.T) {
+	r := NewRESPReader(strings.NewReader("PING\r\n  GET   key1 \r\n\r\nQUIT\r\n"))
+	args, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmdsEqual(t, args, []string{"PING"})
+	args, err = r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmdsEqual(t, args, []string{"GET", "key1"})
+	// The bare CRLF is skipped.
+	args, err = r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmdsEqual(t, args, []string{"QUIT"})
+}
+
+func TestRESPTryReadCommand(t *testing.T) {
+	full := "*1\r\n$4\r\nPING\r\n"
+	r := NewRESPReader(strings.NewReader(full + "*1\r\n$4\r\nPI"))
+	args, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmdsEqual(t, args, []string{"PING"})
+	// The second command is only partially buffered: TryReadCommand must
+	// decline rather than block.
+	args, ok, err := r.TryReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("TryReadCommand returned %q for a partial command", args)
+	}
+}
+
+func TestRESPProtocolErrors(t *testing.T) {
+	bad := []string{
+		"*2\r\n$3\r\nGET\r\n:5\r\n", // non-bulk element
+		"*1\r\n$-4\r\nPING\r\n",     // negative bulk length
+		"*-1\r\n",                   // negative array
+		"*1\r\n$4\r\nPINGxx",        // missing CRLF after bulk
+	}
+	for _, in := range bad {
+		r := NewRESPReader(strings.NewReader(in))
+		if _, err := r.ReadCommand(); err != ErrRESPProtocol {
+			t.Fatalf("%q: err = %v, want ErrRESPProtocol", in, err)
+		}
+	}
+}
+
+func TestRESPLargeBulk(t *testing.T) {
+	payload := bytes.Repeat([]byte("v"), 100<<10) // 100 KiB, forces buffer growth
+	var in bytes.Buffer
+	in.WriteString("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n")
+	in.WriteString("$102400\r\n")
+	in.Write(payload)
+	in.WriteString("\r\n")
+	r := NewRESPReader(&in)
+	args, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(args) != 3 || !bytes.Equal(args[2], payload) {
+		t.Fatalf("large bulk mangled: %d args, len %d", len(args), len(args[2]))
+	}
+}
+
+func TestRESPWriter(t *testing.T) {
+	var out bytes.Buffer
+	w := NewRESPWriter(&out)
+	w.SimpleString("OK")
+	w.Error("ERR nope")
+	w.Int(-42)
+	w.Bulk([]byte("val"))
+	w.Null()
+	w.Array(2)
+	w.BulkString("a")
+	w.BulkString("b")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := "+OK\r\n-ERR nope\r\n:-42\r\n$3\r\nval\r\n$-1\r\n*2\r\n$1\r\na\r\n$1\r\nb\r\n"
+	if out.String() != want {
+		t.Fatalf("wrote %q, want %q", out.String(), want)
+	}
+	if w.Buffered() != 0 {
+		t.Fatalf("Buffered = %d after Flush", w.Buffered())
+	}
+}
+
+// loopReader replays one encoded command forever.
+type loopReader struct {
+	data []byte
+	off  int
+}
+
+func (l *loopReader) Read(p []byte) (int, error) {
+	if l.off == len(l.data) {
+		l.off = 0
+	}
+	n := copy(p, l.data[l.off:])
+	l.off += n
+	return n, nil
+}
+
+func BenchmarkRESPDecode(b *testing.B) {
+	cmd := []byte("*3\r\n$3\r\nSET\r\n$8\r\nkey:1234\r\n$64\r\n" + strings.Repeat("x", 64) + "\r\n")
+	r := NewRESPReader(&loopReader{data: cmd})
+	b.ReportAllocs()
+	b.SetBytes(int64(len(cmd)))
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ReadCommand(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRESPEncode(b *testing.B) {
+	value := bytes.Repeat([]byte("x"), 64)
+	w := NewRESPWriter(io.Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.SimpleString("OK")
+		w.Bulk(value)
+		w.Int(1)
+		if i%64 == 63 {
+			if err := w.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestRESPDecodeAllocFree(t *testing.T) {
+	cmd := []byte("*3\r\n$3\r\nSET\r\n$8\r\nkey:1234\r\n$64\r\n" + strings.Repeat("x", 64) + "\r\n")
+	r := NewRESPReader(&loopReader{data: cmd})
+	// Warm up buffer growth and args capacity.
+	for i := 0; i < 100; i++ {
+		if _, err := r.ReadCommand(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := r.ReadCommand(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ReadCommand allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestRESPEncodeAllocFree(t *testing.T) {
+	value := bytes.Repeat([]byte("x"), 64)
+	w := NewRESPWriter(io.Discard)
+	allocs := testing.AllocsPerRun(1000, func() {
+		w.SimpleString("OK")
+		w.Bulk(value)
+		w.Int(1)
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("reply encoding allocates %.1f per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,163 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	buf := BeginFrame(nil, 7)
+	buf = append(buf, "hello frame"...)
+	buf = EndFrame(buf, 0)
+
+	kind, body, n, err := ReadFrame(buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if kind != 7 {
+		t.Fatalf("kind = %d, want 7", kind)
+	}
+	if string(body) != "hello frame" {
+		t.Fatalf("body = %q", body)
+	}
+	if n != len(buf) {
+		t.Fatalf("n = %d, want %d", n, len(buf))
+	}
+}
+
+func TestFrameIncomplete(t *testing.T) {
+	buf := BeginFrame(nil, 3)
+	buf = append(buf, "payload"...)
+	buf = EndFrame(buf, 0)
+	for cut := 0; cut < len(buf); cut++ {
+		kind, body, n, err := ReadFrame(buf[:cut])
+		if err != nil || n != 0 || kind != 0 || body != nil {
+			t.Fatalf("cut %d: got kind=%d n=%d err=%v, want incomplete", cut, kind, n, err)
+		}
+	}
+}
+
+func TestFrameCorrupt(t *testing.T) {
+	buf := BeginFrame(nil, 3)
+	buf = append(buf, "payload"...)
+	buf = EndFrame(buf, 0)
+
+	flipped := append([]byte(nil), buf...)
+	flipped[6] ^= 0x40 // body byte
+	if _, _, _, err := ReadFrame(flipped); err != ErrFrameCorrupt {
+		t.Fatalf("body corruption: err = %v, want ErrFrameCorrupt", err)
+	}
+
+	badVer := append([]byte(nil), buf...)
+	badVer[4] = FrameVersion + 1
+	sum := crc32.ChecksumIEEE(badVer[4 : len(badVer)-4])
+	binary.BigEndian.PutUint32(badVer[len(badVer)-4:], sum)
+	if _, _, _, err := ReadFrame(badVer); err != ErrFrameVersion {
+		t.Fatalf("bad version: err = %v, want ErrFrameVersion", err)
+	}
+}
+
+func TestFrameMultiple(t *testing.T) {
+	var buf []byte
+	for i := 0; i < 3; i++ {
+		start := len(buf)
+		buf = BeginFrame(buf, byte(i+1))
+		buf = append(buf, byte('a'+i))
+		buf = EndFrame(buf, start)
+	}
+	off := 0
+	for i := 0; i < 3; i++ {
+		kind, body, n, err := ReadFrame(buf[off:])
+		if err != nil || n == 0 {
+			t.Fatalf("frame %d: n=%d err=%v", i, n, err)
+		}
+		if kind != byte(i+1) || len(body) != 1 || body[0] != byte('a'+i) {
+			t.Fatalf("frame %d: kind=%d body=%q", i, kind, body)
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Fatalf("consumed %d of %d", off, len(buf))
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	uvals := []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<63 - 1, 1<<64 - 1}
+	for _, v := range uvals {
+		buf := AppendUvarint(nil, v)
+		got, n := Uvarint(buf)
+		if n != len(buf) || got != v {
+			t.Fatalf("uvarint %d: got %d n=%d", v, got, n)
+		}
+	}
+	ivals := []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40), 1<<63 - 1, -1 << 63}
+	for _, v := range ivals {
+		buf := AppendVarint(nil, v)
+		got, n := Varint(buf)
+		if n != len(buf) || got != v {
+			t.Fatalf("varint %d: got %d n=%d", v, got, n)
+		}
+	}
+}
+
+func TestUvarintOverlong(t *testing.T) {
+	buf := bytes.Repeat([]byte{0x80}, 11)
+	if _, n := Uvarint(buf); n > 0 {
+		t.Fatalf("overlong uvarint accepted, n=%d", n)
+	}
+	if _, n := Uvarint([]byte{0x80}); n != 0 {
+		t.Fatalf("truncated uvarint: n=%d, want 0", n)
+	}
+}
+
+func TestBytesAndBool(t *testing.T) {
+	buf := AppendBytes(nil, []byte("abc"))
+	buf = AppendString(buf, "defg")
+	buf = AppendBool(buf, true)
+	buf = AppendBool(buf, false)
+
+	b, n := Bytes(buf)
+	if string(b) != "abc" || n == 0 {
+		t.Fatalf("Bytes = %q, n=%d", b, n)
+	}
+	buf = buf[n:]
+	b, n = Bytes(buf)
+	if string(b) != "defg" {
+		t.Fatalf("Bytes = %q", b)
+	}
+	buf = buf[n:]
+	v, n := Bool(buf)
+	if !v || n != 1 {
+		t.Fatalf("Bool = %v n=%d", v, n)
+	}
+	v, n = Bool(buf[1:])
+	if v || n != 1 {
+		t.Fatalf("Bool = %v n=%d", v, n)
+	}
+}
+
+func BenchmarkFrameEncode(b *testing.B) {
+	body := bytes.Repeat([]byte("x"), 64)
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		buf = BeginFrame(buf, 1)
+		buf = append(buf, body...)
+		buf = EndFrame(buf, 0)
+	}
+}
+
+func BenchmarkFrameDecode(b *testing.B) {
+	buf := BeginFrame(nil, 1)
+	buf = append(buf, bytes.Repeat([]byte("x"), 64)...)
+	buf = EndFrame(buf, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := ReadFrame(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
