@@ -3,16 +3,17 @@
 // hot-key coordinator read cache (cached single-ack reads and the full
 // Zipfian mix), the membership layer (ring rebalance, snapshot
 // streaming, gossip probe rounds, the stale-ring wrong-owner retry),
-// the autoscale decision loop and the serving-layer codecs (RESP
-// command decode/encode, the inter-process wire round trip), plus an
-// end-to-end experiment run and a whole-repo repolint
-// pass — and writes the numbers as JSON so the performance trajectory
-// is tracked in-repo (BENCH_PR9.json). CI runs it on every push and
-// uploads the file as an artifact.
+// the autoscale decision loop, the serving-layer codecs (RESP
+// command decode/encode, the inter-process wire round trip) and the
+// range-addressed rebalance path (movement planning, range-bounded
+// snapshot streaming), plus an end-to-end experiment run and a
+// whole-repo repolint pass — and writes the numbers as JSON so the
+// performance trajectory is tracked in-repo (BENCH_PR10.json). CI runs
+// it on every push and uploads the file as an artifact.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-o BENCH_PR9.json] [-quick] [-baseline old.json]
+//	go run ./cmd/benchreport [-o BENCH_PR10.json] [-quick] [-baseline old.json]
 //
 // -quick shortens the measurement windows (CI smoke); -baseline embeds a
 // previously captured report under "baseline" so before/after travels in
@@ -414,6 +415,82 @@ func benchSnapshotStream(target time.Duration) Bench {
 	})
 }
 
+// benchRangeStreamPlan measures ring.Diff on a 64-node, 32-vnode ring
+// join: the movement plan (range → sources → targets) that replaced
+// per-key placement probing as the control-plane step of a membership
+// change (PR 10).
+func benchRangeStreamPlan(target time.Duration) Bench {
+	nodes := make([]netsim.NodeID, 64)
+	for i := range nodes {
+		nodes[i] = netsim.NodeID(i)
+	}
+	joined := append(append([]netsim.NodeID{}, nodes...), 64)
+	old := ring.NewSimpleStrategy(ring.New(nodes, 32, 7), 3)
+	next := ring.NewSimpleStrategy(ring.New(joined, 32, 7), 3)
+	moves := 0
+	return measure("RangeStreamPlan", target, func(n uint64) {
+		for i := uint64(0); i < n; i++ {
+			moves = len(ring.Diff(old, next))
+		}
+		if moves == 0 {
+			panic("benchreport: empty movement plan for a join")
+		}
+	})
+}
+
+// benchRangeSnapshotStream is SnapshotStream's range-addressed twin: the
+// same 4096-record LSM source and codec path, but reading only the arcs
+// one of eight ring members owns (SnapshotRanges) instead of walking the
+// whole store. Its per-cell cost runs higher than SnapshotStream's
+// (token-filtered point reads instead of one merged scan), but a join
+// reads ~1/N of the cells, so the whole transfer still wins by several
+// fold.
+func benchRangeSnapshotStream(target time.Duration) Bench {
+	src := storage.NewLSMEngine(storage.Options{FlushLimit: 64 << 10, SyncBytes: 1 << 20, MaxRuns: 8})
+	const records = 4096
+	for i := 0; i < records; i++ {
+		seq := uint64(i + 1)
+		src.Apply(fmt.Sprintf("user%08d", i), storage.Cell{
+			Version: storage.Version{Timestamp: time.Duration(seq), Seq: seq},
+			Value:   make([]byte, 128),
+		})
+	}
+	members := make([]netsim.NodeID, 8)
+	for i := range members {
+		members[i] = netsim.NodeID(i)
+	}
+	owned := ring.New(members, 32, 7).Ranges(0)
+	moved := 0
+	for it := src.SnapshotRanges(owned); ; moved++ {
+		if _, _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	if moved == 0 || moved*2 > records {
+		panic("benchreport: range snapshot not a store fraction")
+	}
+	var chunk []byte
+	return measure("RangeSnapshotStream", target, func(n uint64) {
+		for i := uint64(0); i < n; i += uint64(moved) {
+			dst := storage.NewMemEngine(0)
+			it := src.SnapshotRanges(owned)
+			for {
+				k, c, ok := it.Next()
+				if !ok {
+					break
+				}
+				chunk = storage.EncodeCell(chunk[:0], k, c)
+				if _, _, err := storage.ApplyEncoded(dst, chunk); err != nil {
+					panic(err)
+				}
+			}
+			if dst.Len() != moved {
+				panic("benchreport: range snapshot stream lost cells")
+			}
+		}
+	})
+}
+
 // benchGossipRound measures one SWIM probe round — deterministic peer
 // selection, a ping/ack exchange with piggybacked updates and the probe
 // timers — the steady-state background cost every node pays for
@@ -723,7 +800,7 @@ func runRepolint() Tool {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR9.json", "output path")
+	out := flag.String("o", "BENCH_PR10.json", "output path")
 	quick := flag.Bool("quick", false, "short measurement windows (CI smoke)")
 	baseline := flag.String("baseline", "", "previously captured report to embed under \"baseline\"")
 	flag.Parse()
@@ -750,6 +827,8 @@ func main() {
 		benchMergeRead(target),
 		benchRingRebalance(target),
 		benchSnapshotStream(target),
+		benchRangeStreamPlan(target),
+		benchRangeSnapshotStream(target),
 		benchAutoscaleDecide(target),
 		benchGossipRound(target),
 		benchStaleRingReadRetry(target),
@@ -772,7 +851,12 @@ func main() {
 			"noisy machine).",
 		"RESPDecode/RESPEncode/WireRoundTripLoopback track the serving-layer codecs "+
 			"(PR 9): the RESP front-end command parse and reply encode (both 0 allocs/op "+
-			"by construction) and the framed inter-process replica-message round trip.")
+			"by construction) and the framed inter-process replica-message round trip.",
+		"RangeStreamPlan/RangeSnapshotStream track the range-addressed rebalance path "+
+			"(PR 10): ring.Diff movement planning for a 64-node join, and the "+
+			"SnapshotStream codec pipeline bounded to the arcs one of eight members "+
+			"owns — costlier per cell (token-filtered point reads vs one merged scan) "+
+			"but ~1/N of the cells read, so the whole transfer wins severalfold.")
 
 	if *baseline != "" {
 		raw, err := os.ReadFile(*baseline)

@@ -1,7 +1,9 @@
 // Command bismarbench regenerates the paper's §IV-B Bismar evaluation:
 // the consistency-cost efficiency metric sampled across access patterns
-// and levels (-samples), and the adaptive Bismar tuner against every
-// static level over a phased workload.
+// and levels (-samples), the adaptive Bismar tuner against every static
+// level over a phased workload, and the storage-I/O pricing study
+// (-storage): measured per-op WAL/fsync/compaction rates fed through the
+// cost model and the engine-aware provisioner.
 package main
 
 import (
@@ -17,6 +19,7 @@ func main() {
 	scale := flag.Float64("scale", 0.02, "operation/record scale factor (1 = paper scale)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	samples := flag.Bool("samples", false, "run the efficiency-metric sampling study instead of the adaptive comparison")
+	storageStudy := flag.Bool("storage", false, "run the storage-I/O pricing study (engines, tuner and provisioning)")
 	flag.Parse()
 
 	var p experiments.Platform
@@ -30,6 +33,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *storageStudy {
+		fmt.Printf("platform %s: %d nodes, RF %d (scale %.3f)\n", p.Name, p.Nodes, p.RF, *scale)
+		_, table := experiments.RunStorageCost(p, *scale, *seed)
+		table.Render(os.Stdout)
+		return
+	}
 	if *samples {
 		sp := p.Scaled(*scale)
 		fmt.Printf("platform %s: %d nodes, RF %d (scale %.3f)\n", sp.Name, sp.Nodes, sp.RF, *scale)

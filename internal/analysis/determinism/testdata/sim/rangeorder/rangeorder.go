@@ -1,0 +1,51 @@
+// Package rangeorder pins the determinism rule the range-addressed
+// streaming refactor leans on: movement plans and per-target stream
+// fan-out must iterate ranges in sorted token order, never in map
+// order. A plan built from a map range without a sort, or a sender
+// driven directly from one, would make map order the wire order — and
+// the membership determinism hashes would flap.
+package rangeorder
+
+import "sort"
+
+type tokenRange struct{ start, end uint64 }
+
+type movement struct {
+	r       tokenRange
+	targets []int
+}
+
+// planUnsorted collects a movement plan straight out of a map range:
+// the plan's order (and so the stream send order) would follow map
+// order.
+func planUnsorted(gained map[uint64]movement) []movement {
+	var plan []movement
+	for _, mv := range gained { // want `map iteration appends to plan`
+		plan = append(plan, mv)
+	}
+	return plan
+}
+
+// planSorted is the blessed shape — collect, then sort by the ranges'
+// end tokens so the plan iterates the ring in ascending token order no
+// matter how the movements were keyed.
+func planSorted(gained map[uint64]movement) []movement {
+	var plan []movement
+	for _, mv := range gained {
+		plan = append(plan, mv)
+	}
+	sort.Slice(plan, func(i, j int) bool { return plan[i].r.end < plan[j].r.end })
+	return plan
+}
+
+type sender struct{}
+
+func (sender) Send(to int, r tokenRange) {}
+
+// streamUnsorted drives a network sender from a map range: chunk order
+// on the wire would follow map order.
+func streamUnsorted(s sender, owed map[int]tokenRange) {
+	for to, r := range owed {
+		s.Send(to, r) // want `map iteration drives`
+	}
+}

@@ -39,7 +39,26 @@ type Deployment struct {
 	DatasetBytes    float64 // logical dataset size (before replication)
 	CrossDCFraction float64 // fraction of inter-node hops crossing DCs
 
+	// Per-operation storage-I/O rates of the deployed engine, measured
+	// (IOPerOp) or profiled. Zero for a memory engine — and costless
+	// under catalogs that do not price I/O, so the pre-existing model is
+	// unchanged until both the rates and the prices are nonzero.
+	WALBytesPerOp       float64
+	FsyncsPerOp         float64
+	CompactedBytesPerOp float64
+
 	Pricing cost.Pricing
+}
+
+// IOPerOp derives the per-operation storage-I/O rates from a measured
+// usage record, the bridge from kv's metered durability counters to the
+// model's deployment constants.
+func IOPerOp(u kv.Usage, ops uint64) (walBytes, fsyncs, compactedBytes float64) {
+	if ops == 0 {
+		return 0, 0, 0
+	}
+	n := float64(ops)
+	return float64(u.WALBytes) / n, float64(u.WALSyncs) / n, float64(u.CompactedBytes) / n
 }
 
 const (
@@ -121,6 +140,12 @@ func (m Model) CostPerMillionOps(k int, snap monitor.Snapshot) float64 {
 		Duration:     duration,
 		StoredBytes:  d.DatasetBytes * float64(d.RF),
 		InterDCBytes: m.NetworkBytesPerOp(k, snap) * 1e6,
+		// Durability I/O scales with operations, not with the level: a
+		// flat adder per million ops that compresses the levels' relative
+		// cost spread once priced (cheap-but-stale levels lose ground).
+		WALBytes:       d.WALBytesPerOp * 1e6,
+		Fsyncs:         d.FsyncsPerOp * 1e6,
+		CompactedBytes: d.CompactedBytesPerOp * 1e6,
 	}
 	// The tuner compares levels with smooth (per-second) billing; the
 	// coarse hourly rounding is applied to real bills, not to marginal

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/cost"
+	"repro/internal/kv"
 	"repro/internal/monitor"
 )
 
@@ -137,5 +138,84 @@ func TestLevelForNames(t *testing.T) {
 	}
 	if New(testDeployment()).Name() != "bismar" {
 		t.Error("tuner name")
+	}
+}
+
+func TestZeroIORatesLeaveCostModelUnchanged(t *testing.T) {
+	// An I/O-pricing catalog over a memory engine (zero per-op rates)
+	// prices every level exactly as the base catalog does: the refactor
+	// is invisible until both rates and prices are nonzero.
+	s := snap(500, 1, 3, 8, 20, 60)
+	base := Model{Deploy: testDeployment()}
+	priced := Model{Deploy: testDeployment()}
+	priced.Deploy.Pricing = priced.Deploy.Pricing.WithStorageIO()
+	for k := 1; k <= 5; k++ {
+		a, b := base.CostPerMillionOps(k, s), priced.CostPerMillionOps(k, s)
+		if a != b {
+			t.Errorf("k=%d: zero-rate deployment priced %f under +io, %f under base", k, b, a)
+		}
+	}
+}
+
+func TestIORatesAddLevelIndependentCost(t *testing.T) {
+	s := snap(500, 1, 3, 8, 20, 60)
+	dep := testDeployment()
+	dep.Pricing = dep.Pricing.WithStorageIO()
+	dry := Model{Deploy: dep}
+	wet := Model{Deploy: dep}
+	wet.Deploy.WALBytesPerOp = 1100 // ~1 KB value + framing per write
+	wet.Deploy.FsyncsPerOp = 0.02   // group commit
+	wet.Deploy.CompactedBytesPerOp = 800
+
+	// Durability I/O scales with ops, not with the level: the adder per
+	// million ops is the same constant at every k.
+	u := cost.Usage{
+		WALBytes:       wet.Deploy.WALBytesPerOp * 1e6,
+		Fsyncs:         wet.Deploy.FsyncsPerOp * 1e6,
+		CompactedBytes: wet.Deploy.CompactedBytesPerOp * 1e6,
+	}
+	adder := dep.Pricing.BillFor(u).IO
+	if adder <= 0 {
+		t.Fatalf("expected positive I/O adder, got %f", adder)
+	}
+	for k := 1; k <= 5; k++ {
+		gap := wet.CostPerMillionOps(k, s) - dry.CostPerMillionOps(k, s)
+		if diff := gap - adder; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("k=%d: I/O raised cost by %f, want flat adder %f", k, gap, adder)
+		}
+	}
+}
+
+func TestIOAdderCompressesEfficiencySpread(t *testing.T) {
+	// A flat per-op adder narrows the relative (normalized) cost gap
+	// between ONE and ALL, so cheap-but-stale levels lose efficiency
+	// ground once durability is priced.
+	s := snap(500, 1, 3, 8, 20, 60)
+	dep := testDeployment()
+	dep.Pricing = dep.Pricing.WithStorageIO()
+	dry := New(dep)
+	depIO := dep
+	depIO.WALBytesPerOp = 1100
+	depIO.FsyncsPerOp = 0.02
+	depIO.CompactedBytesPerOp = 800
+	wet := New(depIO)
+
+	a, b := dry.Evaluate(s), wet.Evaluate(s)
+	if b[0].NormCost <= a[0].NormCost {
+		t.Errorf("ONE norm cost %f under I/O, want > %f (spread compressed)", b[0].NormCost, a[0].NormCost)
+	}
+	if b[0].Efficiency >= a[0].Efficiency {
+		t.Errorf("ONE efficiency %f under I/O, want < %f", b[0].Efficiency, a[0].Efficiency)
+	}
+}
+
+func TestIOPerOpDerivation(t *testing.T) {
+	u := kv.Usage{WALBytes: 5000, WALSyncs: 50, CompactedBytes: 2000}
+	w, f, c := IOPerOp(u, 1000)
+	if w != 5 || f != 0.05 || c != 2 {
+		t.Errorf("IOPerOp = %f, %f, %f", w, f, c)
+	}
+	if w, f, c := IOPerOp(u, 0); w != 0 || f != 0 || c != 0 {
+		t.Error("zero ops must derive zero rates")
 	}
 }

@@ -35,6 +35,15 @@ type Pricing struct {
 	// region; InterRegionPerGB prices WAN traffic between regions.
 	InterDCPerGB     float64
 	InterRegionPerGB float64
+
+	// Storage-I/O prices. Zero in the base catalogs — every pre-existing
+	// bill is unchanged until a catalog switches them on (WithStorageIO).
+	// WALPerGB prices bytes appended to write-ahead logs, FsyncPerMillion
+	// prices fsync calls as provisioned-IOPS requests, and
+	// CompactionPerGB prices the bytes compaction rewrites.
+	WALPerGB        float64
+	FsyncPerMillion float64
+	CompactionPerGB float64
 }
 
 // EC2East2013 is the paper-era us-east-1 catalog: m1.large on-demand at
@@ -59,6 +68,21 @@ func (p Pricing) PerSecond() Pricing {
 	return p
 }
 
+// WithStorageIO returns a copy of p with the storage-I/O prices
+// switched on, EBS-standard-flavoured for the paper era: $0.05 per GB
+// written to the WAL, $0.10 per million I/O requests (fsyncs), and
+// $0.05 per GB rewritten by compaction. With these at zero (the
+// default) durability traffic is free and Mem and LSM deployments price
+// identically; switched on, the tuner and the provisioner can weigh
+// consistency levels and engines against real disk spend.
+func (p Pricing) WithStorageIO() Pricing {
+	p.WALPerGB = 0.05
+	p.FsyncPerMillion = 0.10
+	p.CompactionPerGB = 0.05
+	p.Name += "+io"
+	return p
+}
+
 // Smooth returns a copy of p with exact (unrounded) instance billing;
 // normalized per-operation comparisons use it so short scaled runs are
 // not quantized by the billing unit.
@@ -75,22 +99,35 @@ type Usage struct {
 	StoredBytes      float64 // logical dataset size resident on disk (replicas included)
 	InterDCBytes     float64
 	InterRegionBytes float64
+
+	// Storage-I/O volumes (kv.Usage's durability counters). Priced only
+	// when the catalog's I/O prices are nonzero.
+	WALBytes       float64 // bytes appended to write-ahead logs
+	Fsyncs         float64 // fsync calls (provisioned-IOPS requests)
+	CompactedBytes float64 // bytes rewritten by compaction
 }
 
-// Bill is the paper's three-part decomposition.
+// Bill is the paper's three-part decomposition, extended with the
+// storage-I/O part (zero under catalogs that do not price I/O).
 type Bill struct {
 	Instances float64
 	Storage   float64
 	Network   float64
+	IO        float64
 }
 
 // Total sums the parts.
-func (b Bill) Total() float64 { return b.Instances + b.Storage + b.Network }
+func (b Bill) Total() float64 { return b.Instances + b.Storage + b.Network + b.IO }
 
-// String renders the decomposition.
+// String renders the decomposition. The I/O part appears only when
+// nonzero, so catalogs without I/O pricing render exactly as before.
 func (b Bill) String() string {
-	return fmt.Sprintf("$%.4f (vm $%.4f + storage $%.4f + network $%.4f)",
+	s := fmt.Sprintf("$%.4f (vm $%.4f + storage $%.4f + network $%.4f",
 		b.Total(), b.Instances, b.Storage, b.Network)
+	if b.IO != 0 {
+		s += fmt.Sprintf(" + io $%.4f", b.IO)
+	}
+	return s + ")"
 }
 
 // BillFor prices a usage record under the catalog.
@@ -106,6 +143,8 @@ func (p Pricing) BillFor(u Usage) Bill {
 	}
 	b.Storage = (u.StoredBytes / GB) * p.StorageGBMonth * (u.Duration.Hours() / HoursPerMonth)
 	b.Network = (u.InterDCBytes/GB)*p.InterDCPerGB + (u.InterRegionBytes/GB)*p.InterRegionPerGB
+	b.IO = (u.WALBytes/GB)*p.WALPerGB + (u.Fsyncs/1e6)*p.FsyncPerMillion +
+		(u.CompactedBytes/GB)*p.CompactionPerGB
 	return b
 }
 

@@ -108,3 +108,60 @@ func TestBillString(t *testing.T) {
 		t.Errorf("bill string: %s", s)
 	}
 }
+
+func TestWithStorageIOPricesDurability(t *testing.T) {
+	base := EC2East2013()
+	io := base.WithStorageIO()
+	u := Usage{
+		WALBytes:       10 * GB,
+		Fsyncs:         2_000_000,
+		CompactedBytes: 4 * GB,
+	}
+	// Base catalog: durability traffic is free.
+	if got := base.BillFor(u); got.IO != 0 || got.Total() != 0 {
+		t.Errorf("base catalog priced I/O: %+v", got)
+	}
+	b := io.BillFor(u)
+	want := 10*0.05 + 2*0.10 + 4*0.05
+	if math.Abs(b.IO-want) > 1e-9 {
+		t.Errorf("io = %f, want %f", b.IO, want)
+	}
+	if math.Abs(b.Total()-want) > 1e-9 {
+		t.Errorf("total = %f, want io-only %f", b.Total(), want)
+	}
+	if !strings.Contains(io.Name, "+io") {
+		t.Errorf("catalog name %q missing +io", io.Name)
+	}
+}
+
+func TestBillStringRendersIOOnlyWhenNonzero(t *testing.T) {
+	plain := Bill{Instances: 1, Storage: 0.5, Network: 0.25}.String()
+	if strings.Contains(plain, "io") {
+		t.Errorf("zero-I/O bill rendered an io part: %s", plain)
+	}
+	priced := Bill{Instances: 1, IO: 0.125}.String()
+	if !strings.Contains(priced, "io $0.1250") {
+		t.Errorf("priced bill missing io part: %s", priced)
+	}
+	if !strings.Contains(priced, "1.1250") {
+		t.Errorf("io part not in total: %s", priced)
+	}
+}
+
+func TestZeroIOPricesLeaveBillsUnchangedProperty(t *testing.T) {
+	// The base catalogs keep every pre-existing bill byte-identical no
+	// matter how much durability I/O the usage records.
+	p := EC2East2013()
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(func(nodes uint8, mins uint16, walGB, fsyncsM, compGB uint16) bool {
+		clean := Usage{Nodes: int(nodes), Duration: time.Duration(mins) * time.Minute, StoredBytes: GB}
+		dirty := clean
+		dirty.WALBytes = float64(walGB) * GB
+		dirty.Fsyncs = float64(fsyncsM) * 1e6
+		dirty.CompactedBytes = float64(compGB) * GB
+		a, b := p.BillFor(clean), p.BillFor(dirty)
+		return a == b && a.String() == b.String()
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunStorageCost(t *testing.T) {
+	res, table := RunStorageCost(EC2Cost(), 0.002, 7)
+	if len(res.Engines) != 2 {
+		t.Fatalf("engines = %d, want 2", len(res.Engines))
+	}
+	mem, lsm := res.Engines[0], res.Engines[1]
+
+	// The memory engine pays no durability I/O; the LSM pays all three.
+	if mem.WALBytesPerOp != 0 || mem.FsyncsPerOp != 0 || mem.CompactedBytesPerOp != 0 {
+		t.Errorf("mem measured I/O rates: %+v", mem)
+	}
+	if lsm.WALBytesPerOp <= 0 || lsm.FsyncsPerOp <= 0 {
+		t.Errorf("lsm measured no durability I/O: %+v", lsm)
+	}
+
+	// Free durability: both engines price identically per million ops.
+	if mem.BaseCostPM != lsm.BaseCostPM {
+		t.Errorf("base $/Mops differ: mem %f, lsm %f", mem.BaseCostPM, lsm.BaseCostPM)
+	}
+	// Priced durability: the memory engine is strictly cheaper, and the
+	// zero-rate engine's bill does not move at all.
+	if mem.IOCostPM != mem.BaseCostPM {
+		t.Errorf("mem bill moved under +io: %f -> %f", mem.BaseCostPM, mem.IOCostPM)
+	}
+	if lsm.IOCostPM <= mem.IOCostPM {
+		t.Errorf("lsm $/Mops %f not above mem %f under +io", lsm.IOCostPM, mem.IOCostPM)
+	}
+
+	// Provisioning: free durability favors the LSM (fewer nodes);
+	// pricing it reverses the choice to the memory engine.
+	if res.BaseChoice.Profile.Name != "lsm" {
+		t.Errorf("base provisioning chose %s, want lsm", res.BaseChoice.Profile.Name)
+	}
+	if res.IOChoice.Profile.Name != "mem" {
+		t.Errorf("+io provisioning chose %s, want mem", res.IOChoice.Profile.Name)
+	}
+
+	out := renderString(table)
+	for _, want := range []string{"mem", "lsm", "reverses the engine choice"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunStorageCostDeterministic(t *testing.T) {
+	_, a := RunStorageCost(EC2Cost(), 0.002, 7)
+	_, b := RunStorageCost(EC2Cost(), 0.002, 7)
+	if renderString(a) != renderString(b) {
+		t.Errorf("storage-cost study not deterministic:\n%s\n---\n%s", renderString(a), renderString(b))
+	}
+}
+
+func renderString(t *Table) string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}

@@ -249,6 +249,15 @@ func DefaultConfig() Config {
 	}
 }
 
+// streamChunkBudget returns StreamChunkBytes with the default applied:
+// the chunk framing budget shared by join and decommission streams.
+func (cfg *Config) streamChunkBudget() int {
+	if cfg.StreamChunkBytes > 0 {
+		return cfg.StreamChunkBytes
+	}
+	return 16 << 10
+}
+
 // Cluster is the replicated store: a set of node actors over a Network,
 // plus the client entry points. In simulation all methods must be called
 // from engine events (the simulation is single-threaded); live, the
@@ -947,6 +956,7 @@ type Usage struct {
 	WALSyncs       uint64
 	LostWALRecords uint64 // un-fsynced records dropped by crashes
 	Compactions    uint64
+	CompactedBytes uint64 // bytes rewritten by compactions (priced I/O)
 
 	// Elastic membership accounting. The stream counters meter the
 	// sender side of snapshot streaming (data moved by Join rebalances
@@ -958,6 +968,11 @@ type Usage struct {
 	StreamedBytes  uint64
 	StreamInCells  uint64 // cells applied from inbound snapshot streams
 	StreamInChunks uint64
+	// StreamSnapshotCells counts the cells stream senders actually read
+	// out of engine snapshots. With range-addressed streaming this is
+	// proportional to the moved fraction of the keyspace, not the store
+	// size (the PR10 acceptance meter).
+	StreamSnapshotCells uint64
 
 	// Gossip membership accounting (nonzero only with Config.Gossip).
 	GossipRounds       uint64 // probe rounds initiated
@@ -1006,11 +1021,13 @@ func accumulateNodeUsage(u *Usage, n *Node) {
 	u.WALSyncs += st.WALSyncs
 	u.LostWALRecords += st.LostRecords
 	u.Compactions += st.Compactions
+	u.CompactedBytes += st.CompactedBytes
 	u.StreamChunks += n.streamChunksOut
 	u.StreamedCells += n.streamedOutCells
 	u.StreamedBytes += n.streamedOutBytes
 	u.StreamInCells += n.streamedInCells
 	u.StreamInChunks += n.streamChunksIn
+	u.StreamSnapshotCells += n.streamSnapshotCells
 	if gs := n.gs; gs != nil {
 		u.GossipRounds += gs.rounds
 		u.GossipSuspicions += gs.suspicions

@@ -214,10 +214,21 @@ func (c *Cluster) startJoin(id netsim.NodeID) {
 		c.finishJoin(id)
 		return
 	}
+	// The arcs the joiner will own under the post-join placement: the
+	// movements the membership change implies, filtered to ranges the
+	// joiner enters. Every peer receives the same list and serves the
+	// subset it sources, so stream work is proportional to the moved
+	// ~1/N fraction, not the store size.
+	var owned []ring.Range
+	for _, mv := range ring.Diff(c.strategy, c.pending.next) {
+		if containsNode(mv.New, id) {
+			owned = append(owned, mv.Range)
+		}
+	}
 	n.joinPending = len(peers)
 	n.streamsIn = make(map[netsim.NodeID]*streamIn, len(peers))
 	for _, p := range peers {
-		c.net.Send(id, p, newStreamRequest(streamRequest{Joiner: id}), msgOverhead)
+		c.net.Send(id, p, newStreamRequest(streamRequest{Joiner: id, Ranges: owned}), msgOverhead)
 	}
 }
 
@@ -578,48 +589,52 @@ type streamIn struct {
 // complete reports whether every announced chunk has been applied.
 func (s *streamIn) complete() bool { return s.done && s.chunks >= s.expect }
 
-// streamSourceFor deterministically picks the single member that streams
-// key k to a joiner: the first current replica that can serve. Every
-// peer evaluates the same rule, so exactly one of them ships each key.
-func (c *Cluster) streamSourceFor(k string) netsim.NodeID {
-	for _, r := range c.strategy.Replicas(k) {
-		if n, ok := c.nodes[r]; ok && !n.failed && !n.crashed && n.phase != phaseDecommissioned {
-			return r
+// rangeSourceFor deterministically picks the single member that streams
+// arc r to a joiner: the first current replica of the arc that can
+// serve. A key's replica set is a function of its arc alone, so this is
+// the per-range form of the old per-key rule; every peer evaluates it
+// at the same event and exactly one of them ships each range.
+func (c *Cluster) rangeSourceFor(r ring.Range) netsim.NodeID {
+	for _, rep := range c.strategy.ReplicasAt(r.End) {
+		if n, ok := c.nodes[rep]; ok && !n.failed && !n.crashed && n.phase != phaseDecommissioned {
+			return rep
 		}
 	}
 	return -1
 }
 
-// onStreamRequest serves a joiner's range request: walk a point-in-time
-// engine snapshot, keep the keys the joiner will own under the pending
-// placement (single-source rule above), frame them into chunks, and ship
-// each chunk through the read stage — streaming contends with foreground
-// reads for service slots, exactly like Cassandra's bootstrap streaming
-// competing for disk.
+// onStreamRequest serves a joiner's range request: of the arcs the
+// joiner will own, keep those this node sources (single-source rule
+// above), walk a point-in-time snapshot of exactly those arcs, frame
+// the cells into chunks, and ship each chunk through the read stage —
+// streaming contends with foreground reads for service slots, exactly
+// like Cassandra's bootstrap streaming competing for disk.
 func (n *Node) onStreamRequest(m streamRequest) {
 	c := n.cluster
 	p := c.pending
 	if p == nil || !p.join || p.id != m.Joiner {
 		return // the join already flipped (guard timer) or was superseded
 	}
-	next := p.next
-	budget := c.cfg.StreamChunkBytes
-	if budget <= 0 {
-		budget = 16 << 10
+	budget := c.cfg.streamChunkBudget()
+	// Filtering preserves ring's sorted range order, so SnapshotRanges
+	// yields the same sorted-key cell sequence the full walk produced.
+	var mine []ring.Range
+	for _, r := range m.Ranges {
+		if c.rangeSourceFor(r) == n.id {
+			mine = append(mine, r)
+		}
 	}
 	var chunks [][]byte
 	var counts []int
 	var buf []byte
 	count, cells := 0, 0
-	it := n.engine.Snapshot()
+	it := n.engine.SnapshotRanges(mine)
 	for {
 		k, cell, ok := it.Next()
 		if !ok {
 			break
 		}
-		if !containsNode(next.Replicas(k), m.Joiner) || c.streamSourceFor(k) != n.id {
-			continue
-		}
+		n.streamSnapshotCells++
 		buf = storage.EncodeCell(buf, k, cell)
 		count++
 		cells++
@@ -635,14 +650,47 @@ func (n *Node) onStreamRequest(m streamRequest) {
 }
 
 // startDecommissionStream streams every key the leaver owns to the nodes
-// that newly own it under the pending placement.
+// that newly own it under the pending placement: the ring.Diff
+// movements the leaver exits name the arcs and their new owners, so the
+// leaver snapshots only those arcs instead of walking its whole store.
 func (n *Node) startDecommissionStream() {
 	c := n.cluster
 	p := c.pending
-	next := p.next
-	budget := c.cfg.StreamChunkBytes
-	if budget <= 0 {
-		budget = 16 << 10
+	budget := c.cfg.streamChunkBudget()
+	type rangeTargets struct {
+		r       ring.Range
+		targets []netsim.NodeID
+	}
+	var plan []rangeTargets
+	var owned []ring.Range
+	for _, mv := range ring.Diff(c.strategy, p.next) {
+		if !containsNode(mv.Old, n.id) {
+			continue // an arc this node never owned; its owners hand it off
+		}
+		var ts []netsim.NodeID
+		for _, t := range mv.New {
+			if containsNode(mv.Old, t) || c.isDown(t) {
+				continue // already holds the range, or unreachable (AE heals later)
+			}
+			ts = append(ts, t)
+		}
+		if len(ts) == 0 {
+			continue
+		}
+		plan = append(plan, rangeTargets{r: mv.Range, targets: ts})
+		owned = append(owned, mv.Range)
+	}
+	// plan follows ring's range order (ascending by End, wrapping arc
+	// first), so a binary search on End finds a key's arc.
+	targetsFor := func(tok ring.Token) []netsim.NodeID {
+		i := sort.Search(len(plan), func(i int) bool { return plan[i].r.End >= tok })
+		if i < len(plan) && plan[i].r.Contains(tok) {
+			return plan[i].targets
+		}
+		if len(plan) > 0 && plan[0].r.Wraps() && plan[0].r.Contains(tok) {
+			return plan[0].targets
+		}
+		return nil
 	}
 	type outStream struct {
 		chunks [][]byte
@@ -653,20 +701,14 @@ func (n *Node) startDecommissionStream() {
 	}
 	perTarget := make(map[netsim.NodeID]*outStream)
 	var order []netsim.NodeID
-	it := n.engine.Snapshot()
+	it := n.engine.SnapshotRanges(owned)
 	for {
 		k, cell, ok := it.Next()
 		if !ok {
 			break
 		}
-		cur := c.strategy.Replicas(k)
-		if !containsNode(cur, n.id) {
-			continue // resident but not owned (old stream residue); its owners handle it
-		}
-		for _, t := range next.Replicas(k) {
-			if containsNode(cur, t) || c.isDown(t) {
-				continue // already holds the range, or unreachable (AE heals later)
-			}
+		n.streamSnapshotCells++
+		for _, t := range targetsFor(ring.KeyToken(k)) {
 			os := perTarget[t]
 			if os == nil {
 				os = &outStream{}

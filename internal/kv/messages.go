@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/gossip"
 	"repro/internal/netsim"
+	"repro/internal/ring"
 	"repro/internal/storage"
 )
 
@@ -236,9 +237,14 @@ type aeCell struct {
 }
 
 // streamRequest asks a current member to snapshot-stream the ranges the
-// joiner will own under the pending post-join placement.
+// joiner will own under the pending post-join placement. Ranges are the
+// ring.Diff movements the joiner enters, in ring's sorted order; every
+// peer receives the same list and serves the subset it sources (the
+// per-range single-source rule), so the sender walks only the moved
+// arcs instead of filtering a full store snapshot per key.
 type streamRequest struct {
 	Joiner netsim.NodeID
+	Ranges []ring.Range
 }
 
 // streamChunk carries framed cells (storage.EncodeCell records) of a

@@ -88,6 +88,10 @@ type Node struct {
 	streamedOutBytes uint64
 	streamChunksIn   uint64
 	streamedInCells  uint64
+	// streamSnapshotCells counts cells this node read out of engine
+	// snapshots while serving streams — the sender-side work measure
+	// range-addressed streaming shrinks to the moved fraction.
+	streamSnapshotCells uint64
 
 	// SEDA stages: reads and mutations contend for separate slots.
 	readStage  stage

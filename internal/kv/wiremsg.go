@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/ring"
 	"repro/internal/storage"
 	"repro/internal/wire"
 )
@@ -132,6 +133,7 @@ func MarshalMessage(buf []byte, from, to netsim.NodeID, payload any) ([]byte, bo
 		buf = appendWireAECells(buf, m.Updates)
 	case *streamRequest:
 		buf = wire.AppendVarint(buf, int64(m.Joiner))
+		buf = appendWireRanges(buf, m.Ranges)
 		*m = streamRequest{}
 		streamRequestPool.Put(m)
 	case *streamChunk:
@@ -302,7 +304,10 @@ func UnmarshalMessage(kind byte, body []byte) (from, to netsim.NodeID, payload a
 	case wireAePush:
 		payload = aePush{Updates: c.aeCells()}
 	case wireStreamRequest:
-		payload = newStreamRequest(streamRequest{Joiner: netsim.NodeID(c.varint())})
+		payload = newStreamRequest(streamRequest{
+			Joiner: netsim.NodeID(c.varint()),
+			Ranges: c.ranges(),
+		})
 	case wireStreamChunk:
 		payload = newStreamChunk(streamChunk{
 			From:  netsim.NodeID(c.varint()),
@@ -355,6 +360,16 @@ func appendWireStrings(buf []byte, v []string) []byte {
 	buf = wire.AppendUvarint(buf, uint64(len(v)))
 	for _, s := range v {
 		buf = wire.AppendString(buf, s)
+	}
+	return buf
+}
+
+// appendWireRanges encodes a token-range list (streamRequest).
+func appendWireRanges(buf []byte, v []ring.Range) []byte {
+	buf = wire.AppendUvarint(buf, uint64(len(v)))
+	for _, r := range v {
+		buf = wire.AppendUvarint(buf, uint64(r.Start))
+		buf = wire.AppendUvarint(buf, uint64(r.End))
 	}
 	return buf
 }
@@ -453,6 +468,21 @@ func (c *wireCursor) strings() []string {
 	v := make([]string, 0, n)
 	for i := 0; i < n && !c.err; i++ {
 		v = append(v, c.str())
+	}
+	return v
+}
+
+func (c *wireCursor) ranges() []ring.Range {
+	n := int(c.uvarint())
+	if n == 0 || c.err {
+		return nil
+	}
+	v := make([]ring.Range, 0, n)
+	for i := 0; i < n && !c.err; i++ {
+		v = append(v, ring.Range{
+			Start: ring.Token(c.uvarint()),
+			End:   ring.Token(c.uvarint()),
+		})
 	}
 	return v
 }

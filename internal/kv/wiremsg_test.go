@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/ring"
 	"repro/internal/storage"
 	"repro/internal/wire"
 )
@@ -71,7 +72,9 @@ func TestWireMessageRoundTrips(t *testing.T) {
 			aeReply{Updates: []aeCell{{Key: "x", Cell: cell}}, Want: []string{"y"}, From: 3}},
 		{"aePush", aePush{Updates: []aeCell{{Key: "z", Cell: tomb}}},
 			aePush{Updates: []aeCell{{Key: "z", Cell: tomb}}}},
-		{"streamRequest", &streamRequest{Joiner: 6}, streamRequest{Joiner: 6}},
+		{"streamRequest",
+			&streamRequest{Joiner: 6, Ranges: []ring.Range{{Start: ^ring.Token(0) - 9, End: 40}, {Start: 40, End: 99}}},
+			streamRequest{Joiner: 6, Ranges: []ring.Range{{Start: ^ring.Token(0) - 9, End: 40}, {Start: 40, End: 99}}}},
 		{"streamChunk", &streamChunk{From: 1, Data: []byte{1, 2, 3}, Count: 3},
 			streamChunk{From: 1, Data: []byte{1, 2, 3}, Count: 3}},
 		{"streamDone", &streamDone{From: 1, Chunks: 2, Cells: 30, Bytes: 4096, NeedAck: true},

@@ -1,0 +1,120 @@
+package provision
+
+// Engine-aware provisioning: the same catalog search as Optimize, run
+// once per storage engine, with each engine's durability I/O priced into
+// the hourly bill. Under catalogs that do not price I/O the comparison
+// degenerates to instance cost alone — where a memory engine's larger
+// failure budget (a crashed node loses everything it held) makes it the
+// expensive option. Switching the I/O prices on can reverse that
+// ranking: the LSM's WAL, fsync and compaction traffic now costs real
+// dollars every hour, while the memory engine's extra node is a flat
+// rent.
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+)
+
+// EngineProfile describes one storage engine's durability behaviour for
+// provisioning: its per-operation I/O rates (measure with bismar.IOPerOp
+// or profile offline) and the extra node failures the deployment must
+// tolerate because of how the engine loses data.
+type EngineProfile struct {
+	Name string
+
+	// Per-operation storage-I/O rates; zero for a memory engine.
+	WALBytesPerOp       float64
+	FsyncsPerOp         float64
+	CompactedBytesPerOp float64
+
+	// ExtraFailureBudget widens Constraints.FailureBudget for this
+	// engine. A memory engine sets 1: a crash is a total data loss on
+	// that node, so surviving the nominal budget needs one more replica
+	// standing than a durable engine does.
+	ExtraFailureBudget int
+}
+
+// MemProfile is the in-memory engine: no durability I/O, one extra
+// failure to budget for.
+func MemProfile() EngineProfile {
+	return EngineProfile{Name: "mem", ExtraFailureBudget: 1}
+}
+
+// LSMProfile is the log-structured engine with measured (or assumed)
+// per-op I/O rates.
+func LSMProfile(walBytes, fsyncs, compactedBytes float64) EngineProfile {
+	return EngineProfile{
+		Name:                "lsm",
+		WALBytesPerOp:       walBytes,
+		FsyncsPerOp:         fsyncs,
+		CompactedBytesPerOp: compactedBytes,
+	}
+}
+
+// EngineChoice is one engine's best plan with its priced bill.
+type EngineChoice struct {
+	Profile     EngineProfile
+	Plan        Plan
+	IOHourly    float64 // dollars/hour of durability I/O at the offered load
+	TotalHourly float64 // Plan.HourlyCost + IOHourly
+}
+
+// String renders the choice for reports.
+func (e EngineChoice) String() string {
+	if !e.Plan.Feasible {
+		return fmt.Sprintf("%s: %s", e.Profile.Name, e.Plan)
+	}
+	return fmt.Sprintf("%s: %s + io $%.4f/h = $%.4f/h",
+		e.Profile.Name, e.Plan, e.IOHourly, e.TotalHourly)
+}
+
+// ioHourly prices one hour of the profile's durability traffic at the
+// offered load under the catalog.
+func ioHourly(p EngineProfile, w Workload, c Constraints, pricing cost.Pricing) float64 {
+	offered := w.OpsPerSecond
+	if offered < c.MinThroughput {
+		offered = c.MinThroughput
+	}
+	opsPerHour := offered * 3600
+	u := cost.Usage{
+		WALBytes:       p.WALBytesPerOp * opsPerHour,
+		Fsyncs:         p.FsyncsPerOp * opsPerHour,
+		CompactedBytes: p.CompactedBytesPerOp * opsPerHour,
+	}
+	return pricing.BillFor(u).IO
+}
+
+// OptimizeEngines runs the Optimize search once per engine profile and
+// ranks the feasible results by total hourly cost (instances + priced
+// durability I/O). Ties keep the earlier profile, so callers control
+// the preference order and the result is deterministic. The returned
+// slice holds every engine's choice in profile order; the best choice
+// is infeasible (VerdictNoPlan) only when no engine has a feasible plan.
+func OptimizeEngines(catalog []NodeType, profiles []EngineProfile, w Workload, c Constraints, maxNodes int, pricing cost.Pricing) (EngineChoice, []EngineChoice) {
+	var best EngineChoice
+	bestSet := false
+	choices := make([]EngineChoice, 0, len(profiles))
+	for _, prof := range profiles {
+		ec := c
+		ec.FailureBudget += prof.ExtraFailureBudget
+		plan, _ := Optimize(catalog, w, ec, maxNodes)
+		choice := EngineChoice{Profile: prof, Plan: plan}
+		if plan.Feasible {
+			choice.IOHourly = ioHourly(prof, w, c, pricing)
+			choice.TotalHourly = plan.HourlyCost + choice.IOHourly
+		}
+		choices = append(choices, choice)
+		if plan.Feasible && (!bestSet || choice.TotalHourly < best.TotalHourly) {
+			best = choice
+			bestSet = true
+		}
+	}
+	if !bestSet {
+		best = EngineChoice{Plan: Plan{
+			Verdict: VerdictNoPlan,
+			Reason:  fmt.Sprintf("no engine has a feasible plan over %d profiles", len(profiles)),
+		}}
+	}
+	return best, choices
+}

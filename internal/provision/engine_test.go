@@ -1,0 +1,131 @@
+package provision
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+)
+
+// engineWorkload is sized so capacity fits inside the LSM's durability
+// floor (RF+FailureBudget = 4 m1.mediums) while the memory engine's
+// wider budget forces a fifth node — the base-pricing gap the I/O
+// prices must overcome.
+func engineWorkload() (Workload, Constraints) {
+	w := Workload{
+		OpsPerSecond: 300,
+		ReadFraction: 0.9,
+		WriteRate:    0.5,
+		BaseLatency:  2 * time.Millisecond,
+	}
+	c := Constraints{
+		RF: 3, ReadLevel: 1, WriteLevel: 1,
+		MaxStaleRate:  1, // staleness out of scope here
+		FailureBudget: 1,
+	}
+	return w, c
+}
+
+func engineProfiles() []EngineProfile {
+	return []EngineProfile{
+		MemProfile(),
+		LSMProfile(4096, 0.05, 8192),
+	}
+}
+
+func TestOptimizeEnginesBaseFavorsDurable(t *testing.T) {
+	w, c := engineWorkload()
+	best, choices := OptimizeEngines(DefaultCatalog(), engineProfiles(), w, c, 0, cost.EC2East2013())
+	if len(choices) != 2 {
+		t.Fatalf("choices = %d, want 2", len(choices))
+	}
+	for _, ch := range choices {
+		if !ch.Plan.Feasible {
+			t.Fatalf("%s infeasible: %s", ch.Profile.Name, ch.Plan)
+		}
+		// Base catalog: durability traffic is free for both engines.
+		if ch.IOHourly != 0 {
+			t.Errorf("%s billed $%.4f/h of I/O under a catalog without I/O prices", ch.Profile.Name, ch.IOHourly)
+		}
+	}
+	mem, lsm := choices[0], choices[1]
+	if mem.Plan.Nodes != lsm.Plan.Nodes+1 {
+		t.Errorf("mem needs %d nodes, lsm %d; want exactly one extra for the crash budget",
+			mem.Plan.Nodes, lsm.Plan.Nodes)
+	}
+	if best.Profile.Name != "lsm" {
+		t.Errorf("base pricing chose %s, want lsm (fewer nodes, free I/O)", best.Profile.Name)
+	}
+	if best.TotalHourly != best.Plan.HourlyCost {
+		t.Errorf("total $%.4f != instance $%.4f with I/O free", best.TotalHourly, best.Plan.HourlyCost)
+	}
+}
+
+func TestOptimizeEnginesIOPricingReversesRanking(t *testing.T) {
+	w, c := engineWorkload()
+	pricing := cost.EC2East2013().WithStorageIO()
+	best, choices := OptimizeEngines(DefaultCatalog(), engineProfiles(), w, c, 0, pricing)
+	mem, lsm := choices[0], choices[1]
+	if mem.IOHourly != 0 {
+		t.Errorf("memory engine billed $%.4f/h of I/O", mem.IOHourly)
+	}
+	if lsm.IOHourly <= 0 {
+		t.Fatalf("lsm I/O hourly = %f, want positive", lsm.IOHourly)
+	}
+	// The same plans as under base pricing — only the bill moved.
+	if mem.Plan.Nodes != lsm.Plan.Nodes+1 {
+		t.Errorf("plans changed under I/O pricing: mem %d nodes, lsm %d", mem.Plan.Nodes, lsm.Plan.Nodes)
+	}
+	if lsm.TotalHourly <= mem.TotalHourly {
+		t.Errorf("lsm $%.4f/h not above mem $%.4f/h; I/O prices did not bite", lsm.TotalHourly, mem.TotalHourly)
+	}
+	if best.Profile.Name != "mem" {
+		t.Errorf("I/O pricing chose %s, want mem (reversal)", best.Profile.Name)
+	}
+	if got := best.String(); !strings.Contains(got, "mem:") || !strings.Contains(got, "io $") {
+		t.Errorf("choice renders %q", got)
+	}
+}
+
+func TestOptimizeEnginesDeterministic(t *testing.T) {
+	w, c := engineWorkload()
+	pricing := cost.EC2East2013().WithStorageIO()
+	bestA, chA := OptimizeEngines(DefaultCatalog(), engineProfiles(), w, c, 0, pricing)
+	bestB, chB := OptimizeEngines(DefaultCatalog(), engineProfiles(), w, c, 0, pricing)
+	if !reflect.DeepEqual(bestA, bestB) || !reflect.DeepEqual(chA, chB) {
+		t.Error("engine optimization is not deterministic across runs")
+	}
+}
+
+func TestOptimizeEnginesTieKeepsOrder(t *testing.T) {
+	// Two identical zero-I/O profiles: same plan, same bill — the earlier
+	// profile must win so callers' preference order decides ties.
+	w, c := engineWorkload()
+	profiles := []EngineProfile{{Name: "first"}, {Name: "second"}}
+	best, _ := OptimizeEngines(DefaultCatalog(), profiles, w, c, 0, cost.EC2East2013())
+	if best.Profile.Name != "first" {
+		t.Errorf("tie broken to %s, want first", best.Profile.Name)
+	}
+}
+
+func TestOptimizeEnginesNoPlan(t *testing.T) {
+	w, c := engineWorkload()
+	c.RF = 0 // degenerate for every engine
+	best, choices := OptimizeEngines(DefaultCatalog(), engineProfiles(), w, c, 0, cost.EC2East2013())
+	if best.Plan.Feasible || best.Plan.Verdict != VerdictNoPlan {
+		t.Errorf("degenerate constraints produced %+v", best.Plan)
+	}
+	for _, ch := range choices {
+		if ch.Plan.Feasible {
+			t.Errorf("%s feasible under RF 0", ch.Profile.Name)
+		}
+		if ch.TotalHourly != 0 || ch.IOHourly != 0 {
+			t.Errorf("%s billed an infeasible plan", ch.Profile.Name)
+		}
+	}
+	if got := best.String(); !strings.Contains(got, "no feasible plan") {
+		t.Errorf("no-plan choice renders %q", got)
+	}
+}

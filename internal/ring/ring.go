@@ -253,8 +253,17 @@ func (r *Ring) affectedStarts(changed []int, need int) []bool {
 // ring and bring the placement tables up to date.
 type Strategy interface {
 	// Replicas returns the replica nodes of key in preference order
-	// (the first entry is the primary).
+	// (the first entry is the primary). Replicas(key) is exactly
+	// ReplicasAt(KeyToken(key)).
 	Replicas(key string) []netsim.NodeID
+	// ReplicasAt returns the replica set of the arc containing token t,
+	// in preference order. A key's placement is a function of its arc
+	// alone, so one lookup answers for every key on the arc.
+	ReplicasAt(t Token) []netsim.NodeID
+	// Ranges returns every arc of the ring with its replica set,
+	// ascending by end token with the wrapping arc first (the package
+	// ordering invariant).
+	Ranges() []RangePlacement
 	// RF reports the total replication factor.
 	RF() int
 	// AddNode adds a node to the ring and updates placement.
@@ -386,16 +395,30 @@ func (s *SimpleStrategy) recomputeAffected(positions []int) {
 
 // Replicas implements Strategy.
 func (s *SimpleStrategy) Replicas(key string) []netsim.NodeID {
+	return s.ReplicasAt(KeyToken(key))
+}
+
+// ReplicasAt implements Strategy.
+func (s *SimpleStrategy) ReplicasAt(t Token) []netsim.NodeID {
 	if s.table == nil {
 		// Zero-constructed strategy (tests): fall back to walking.
+		if len(s.Ring.vnodes) == 0 {
+			return nil
+		}
 		out := make([]netsim.NodeID, 0, s.Factor)
-		s.Ring.Walk(key, func(n netsim.NodeID) bool {
-			out = append(out, n)
-			return len(out) < s.Factor
-		})
+		s.Ring.walkFrom(s.Ring.search(t), make(map[netsim.NodeID]bool, len(s.Ring.nodes)),
+			func(n netsim.NodeID) bool {
+				out = append(out, n)
+				return len(out) < s.Factor
+			})
 		return out
 	}
-	return s.table[s.Ring.search(KeyToken(key))]
+	return s.table[s.Ring.search(t)]
+}
+
+// Ranges implements Strategy.
+func (s *SimpleStrategy) Ranges() []RangePlacement {
+	return strategyRanges(s.Ring, s.ReplicasAt)
 }
 
 // RF implements Strategy.
@@ -485,6 +508,16 @@ func (s *NetworkTopologyStrategy) RemoveNode(id netsim.NodeID) {
 // Replicas implements Strategy.
 func (s *NetworkTopologyStrategy) Replicas(key string) []netsim.NodeID {
 	return s.table[s.Ring.search(KeyToken(key))]
+}
+
+// ReplicasAt implements Strategy.
+func (s *NetworkTopologyStrategy) ReplicasAt(t Token) []netsim.NodeID {
+	return s.table[s.Ring.search(t)]
+}
+
+// Ranges implements Strategy.
+func (s *NetworkTopologyStrategy) Ranges() []RangePlacement {
+	return strategyRanges(s.Ring, s.ReplicasAt)
 }
 
 // RF implements Strategy.

@@ -17,6 +17,8 @@
 //     replays the durable WAL prefix.
 package storage
 
+import "repro/internal/ring"
+
 // Engine is a single node's key-value storage. It is not safe for
 // concurrent use; node actors access it from one goroutine/event at a
 // time.
@@ -66,6 +68,14 @@ type Engine interface {
 	// snapshot is exactly its immutable sorted runs; the mem engine
 	// copies its cells out. Mutations after the call do not appear.
 	Snapshot() SnapshotIter
+	// SnapshotRanges is Snapshot restricted to the given token arcs:
+	// only resident cells whose key token (ring.KeyToken) falls inside
+	// one of the ranges appear, still in sorted key order. The list must
+	// follow ring's ordering invariant (ascending by end token, at most
+	// one wrapping arc and that one first — the shape ring.Diff emits).
+	// The LSM engine seals its memtable first exactly like Snapshot; an
+	// empty range set yields an empty snapshot.
+	SnapshotRanges(ranges []ring.Range) SnapshotIter
 
 	// Stats reports the engine's operation and durability counters.
 	Stats() Stats

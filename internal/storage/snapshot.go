@@ -9,6 +9,12 @@ package storage
 // consistent snapshot, the receiver applies each framed cell through the
 // normal last-write-wins path, so a stream is idempotent and can overlap
 // hints and anti-entropy without conflict.
+//
+// SnapshotRanges is the range-addressed form: the key index remembers
+// each key's ring token, so membership streams ask for exactly the
+// moved arcs (ring.Diff) and the engine walks only those cells.
+
+import "repro/internal/ring"
 
 // SnapshotIter walks a consistent point-in-time snapshot of an engine in
 // sorted key order. Next returns ok=false when the snapshot is
@@ -45,6 +51,24 @@ func (e *MemEngine) Snapshot() SnapshotIter {
 	keys := e.keys.sortedKeys()
 	entries := make([]runEntry, 0, len(keys))
 	for _, k := range keys {
+		if c, ok := e.cells[k]; ok {
+			entries = append(entries, runEntry{key: k, cell: c})
+		}
+	}
+	return &memSnapshot{entries: entries}
+}
+
+// SnapshotRanges returns a point-in-time iterator restricted to the
+// given token ranges: only resident cells whose key tokens fall inside
+// one of the arcs appear, still in sorted key order. An empty range set
+// yields an empty snapshot.
+func (e *MemEngine) SnapshotRanges(ranges []ring.Range) SnapshotIter {
+	keys, toks := e.keys.sortedView()
+	var entries []runEntry
+	for i, k := range keys {
+		if !ring.RangesContain(ranges, toks[i]) {
+			continue
+		}
 		if c, ok := e.cells[k]; ok {
 			entries = append(entries, runEntry{key: k, cell: c})
 		}
@@ -109,6 +133,28 @@ func (e *LSMEngine) Snapshot() SnapshotIter {
 		s.remaining += len(runs[i].entries)
 	}
 	return s
+}
+
+// SnapshotRanges returns a point-in-time iterator restricted to the
+// given token ranges. The memtable is sealed first exactly like
+// Snapshot (so range- and full snapshots have identical flush side
+// effects); matching cells are then materialized through the key index
+// and Peek, which reads the same newest-run-wins view the merge
+// iterator would. An empty range set yields an empty snapshot (but
+// still flushes).
+func (e *LSMEngine) SnapshotRanges(ranges []ring.Range) SnapshotIter {
+	e.Flush()
+	keys, toks := e.keys.sortedView()
+	var entries []runEntry
+	for i, k := range keys {
+		if !ring.RangesContain(ranges, toks[i]) {
+			continue
+		}
+		if c, ok := e.Peek(k); ok {
+			entries = append(entries, runEntry{key: k, cell: c})
+		}
+	}
+	return &memSnapshot{entries: entries}
 }
 
 // EncodeCell appends the framed wire encoding of one (key, cell) pair to
